@@ -1,0 +1,120 @@
+// Command pgxd-gen generates synthetic graphs and converts between the text
+// edge-list and binary formats.
+//
+// Usage:
+//
+//	pgxd-gen -kind rmat -scale 16 -edgefactor 16 -shape twitter -o twt.bin
+//	pgxd-gen -kind uniform -nodes 100000 -edges 1600000 -o uni.txt
+//	pgxd-gen -kind grid -rows 300 -cols 300 -shortcuts 100 -o road.bin
+//	pgxd-gen -convert in.txt -o out.bin
+//
+// The output format is chosen by extension: .bin for binary, anything else
+// for text edge list. -weights LO,HI attaches uniform random edge weights.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "rmat", "generator: rmat, uniform, grid, prefattach")
+		scale      = flag.Int("scale", 14, "rmat: 2^scale nodes")
+		edgeFactor = flag.Int("edgefactor", 16, "rmat: edges per node")
+		shape      = flag.String("shape", "twitter", "rmat shape: twitter or web")
+		nodes      = flag.Int("nodes", 1<<14, "uniform/prefattach: node count")
+		edges      = flag.Int("edges", 1<<18, "uniform: edge count")
+		k          = flag.Int("k", 4, "prefattach: edges per new node")
+		rows       = flag.Int("rows", 100, "grid: rows")
+		cols       = flag.Int("cols", 100, "grid: cols")
+		shortcuts  = flag.Int("shortcuts", 50, "grid: random long-range edges")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		weights    = flag.String("weights", "", "attach uniform edge weights: LO,HI")
+		convert    = flag.String("convert", "", "convert an existing graph file instead of generating")
+		out        = flag.String("o", "", "output path (.bin = binary, else text)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatalf("-o is required")
+	}
+
+	var g *graph.Graph
+	var err error
+	if *convert != "" {
+		g, err = loadAny(*convert)
+	} else {
+		switch *kind {
+		case "rmat":
+			params := graph.TwitterLike()
+			if *shape == "web" {
+				params = graph.WebLike()
+			} else if *shape != "twitter" {
+				fatalf("unknown -shape %q", *shape)
+			}
+			g, err = graph.RMAT(*scale, *edgeFactor, params, *seed)
+		case "uniform":
+			g, err = graph.Uniform(*nodes, *edges, *seed)
+		case "grid":
+			g, err = graph.Grid(*rows, *cols, *shortcuts, *seed)
+		case "prefattach":
+			g, err = graph.PreferentialAttachment(*nodes, *k, *seed)
+		default:
+			fatalf("unknown -kind %q", *kind)
+		}
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *weights != "" {
+		parts := strings.Split(*weights, ",")
+		if len(parts) != 2 {
+			fatalf("-weights wants LO,HI")
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil || hi <= lo {
+			fatalf("bad -weights %q", *weights)
+		}
+		g = g.WithUniformWeights(lo, hi, *seed)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(*out, ".bin") {
+		err = graph.WriteBinary(f, g)
+	} else {
+		err = graph.WriteEdgeList(f, g)
+	}
+	if err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	stats := graph.ComputeDegreeStats(g)
+	fmt.Fprintf(os.Stderr, "wrote %s: %s\n", *out, stats)
+}
+
+func loadAny(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return graph.ReadBinary(f)
+	}
+	return graph.ReadEdgeList(f)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pgxd-gen: "+format+"\n", args...)
+	os.Exit(1)
+}

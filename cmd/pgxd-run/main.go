@@ -1,0 +1,164 @@
+// Command pgxd-run executes one graph algorithm on the PGX.D engine and
+// prints the result summary plus execution metrics.
+//
+// Usage:
+//
+//	pgxd-run -graph twt.bin -algo pagerank -machines 4 [-iters 10] [-top 5]
+//	pgxd-run -graph road.txt -algo sssp -source 0 -machines 2
+//
+// Algorithms: pagerank, pagerank-push, pagerank-approx, wcc, sssp, hopdist,
+// eigenvector, kcore.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/pgxd"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file (.bin or text edge list)")
+		algo      = flag.String("algo", "pagerank", "algorithm to run")
+		machines  = flag.Int("machines", 4, "simulated machine count")
+		workers   = flag.Int("workers", 4, "workers per machine")
+		copiers   = flag.Int("copiers", 2, "copiers per machine")
+		iters     = flag.Int("iters", 10, "iterations for pagerank/eigenvector")
+		source    = flag.Uint("source", 0, "source vertex for sssp/hopdist")
+		threshold = flag.Float64("threshold", 1e-7, "delta threshold for pagerank-approx")
+		top       = flag.Int("top", 5, "print the top-N vertices by result value")
+		tcp       = flag.Bool("tcp", false, "run over loopback TCP instead of in-process channels")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fatalf("-graph is required")
+	}
+	g, err := loadAny(*graphPath)
+	if err != nil {
+		fatalf("loading %s: %v", *graphPath, err)
+	}
+	fmt.Printf("loaded %s: %s\n", *graphPath, graph.ComputeDegreeStats(g))
+
+	cfg := pgxd.DefaultConfig(*machines)
+	cfg.Workers = *workers
+	cfg.Copiers = *copiers
+	if *tcp {
+		fabric, err := pgxd.NewTCPFabric(cfg)
+		if err != nil {
+			fatalf("tcp fabric: %v", err)
+		}
+		cfg.Fabric = fabric
+		defer fabric.Close()
+	}
+	cluster, err := pgxd.NewCluster(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer cluster.Shutdown()
+	if err := cluster.LoadGraph(g); err != nil {
+		fatalf("distributing graph: %v", err)
+	}
+	fmt.Printf("cluster: %d machines x %d workers/%d copiers, %d ghosts\n",
+		*machines, *workers, *copiers, cluster.NumGhosts())
+
+	var met pgxd.Metrics
+	var f64s []float64
+	var i64s []int64
+	switch *algo {
+	case "pagerank":
+		f64s, met, err = cluster.PageRankPull(*iters, 0.85)
+	case "pagerank-push":
+		f64s, met, err = cluster.PageRankPush(*iters, 0.85)
+	case "pagerank-approx":
+		f64s, met, err = cluster.PageRankApprox(0.85, *threshold, 100000)
+	case "wcc":
+		i64s, met, err = cluster.WCC(100000)
+	case "sssp":
+		if !g.Weighted() {
+			fatalf("sssp needs a weighted graph (pgxd-gen -weights)")
+		}
+		f64s, met, err = cluster.SSSP(pgxd.NodeID(*source), 100000)
+	case "hopdist":
+		i64s, met, err = cluster.HopDist(pgxd.NodeID(*source), 100000)
+	case "eigenvector":
+		f64s, met, err = cluster.Eigenvector(*iters)
+	case "kcore":
+		var best int64
+		best, i64s, met, err = cluster.KCore(0)
+		if err == nil {
+			fmt.Printf("max core number: %d\n", best)
+		}
+	default:
+		fatalf("unknown -algo %q", *algo)
+	}
+	if err != nil {
+		fatalf("%s: %v", *algo, err)
+	}
+
+	fmt.Printf("done: %d iterations, %d jobs, %v total (%v per iteration)\n",
+		met.Iterations, met.Jobs, met.Total.Round(10e3), met.PerIteration().Round(10e3))
+	fmt.Printf("traffic: %s\n", met.Traffic)
+	printTop(*algo, f64s, i64s, *top)
+}
+
+func printTop(algo string, f64s []float64, i64s []int64, top int) {
+	type kv struct {
+		node int
+		val  float64
+	}
+	var all []kv
+	switch {
+	case f64s != nil:
+		for i, v := range f64s {
+			if !math.IsInf(v, 0) {
+				all = append(all, kv{i, v})
+			}
+		}
+	case i64s != nil:
+		for i, v := range i64s {
+			if v != math.MaxInt64 {
+				all = append(all, kv{i, float64(v)})
+			}
+		}
+	default:
+		return
+	}
+	desc := algo == "pagerank" || algo == "pagerank-push" || algo == "pagerank-approx" ||
+		algo == "eigenvector" || algo == "kcore"
+	sort.Slice(all, func(i, j int) bool {
+		if desc {
+			return all[i].val > all[j].val
+		}
+		return all[i].val < all[j].val
+	})
+	if top > len(all) {
+		top = len(all)
+	}
+	fmt.Printf("top %d vertices:\n", top)
+	for i := 0; i < top; i++ {
+		fmt.Printf("  node %8d  %g\n", all[i].node, all[i].val)
+	}
+}
+
+func loadAny(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return graph.ReadBinary(f)
+	}
+	return graph.ReadEdgeList(f)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pgxd-run: "+format+"\n", args...)
+	os.Exit(1)
+}

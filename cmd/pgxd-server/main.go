@@ -1,0 +1,54 @@
+// Command pgxd-server hosts the engine as a long-running, multi-tenant
+// analysis service (the paper's §6.2 outlook): clients load named graph
+// instances and run analyses interactively over a JSON-lines TCP protocol.
+//
+// Usage:
+//
+//	pgxd-server -addr 127.0.0.1:7427 -max-edges 67108864 -max-analyses 2
+//
+// Protocol (one JSON object per line, one response per request):
+//
+//	{"op":"generate","graph":"twt","kind":"rmat","scale":14,"machines":4}
+//	{"op":"load","graph":"web","path":"web.bin"}
+//	{"op":"run","graph":"twt","algo":"pagerank","iterations":10,"top_k":5}
+//	{"op":"list"}  {"op":"stats"}  {"op":"drop","graph":"twt"}
+//
+// Algorithms: pagerank, pagerank-push, pagerank-approx, eigenvector, wcc,
+// sssp, hopdist, kcore.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7427", "listen address")
+		maxEdges    = flag.Int64("max-edges", 64<<20, "resident edge budget across loaded graphs")
+		maxAnalyses = flag.Int("max-analyses", 2, "concurrently running analyses")
+		machines    = flag.Int("machines", 4, "default simulated machines per graph")
+	)
+	flag.Parse()
+	s, err := server.New(server.Config{
+		Addr:                  *addr,
+		MaxResidentEdges:      *maxEdges,
+		MaxConcurrentAnalyses: *maxAnalyses,
+		DefaultMachines:       *machines,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgxd-server: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pgxd-server listening on %s\n", s.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "pgxd-server: shutting down")
+	s.Close()
+}

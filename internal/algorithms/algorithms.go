@@ -1,0 +1,95 @@
+// Package algorithms implements the paper's evaluation suite (Table 2) on
+// the PGX.D engine: exact PageRank in both pull and push form, approximate
+// PageRank with delta propagation, weakly connected components, single-source
+// shortest paths (Bellman-Ford), hop distance (BFS), eigenvector centrality,
+// and the maximum k-core number. Each algorithm is written as the paper
+// writes them — a driver of sequential regions interleaved with parallel
+// jobs — and each returns Metrics suitable for the benchmark harness.
+package algorithms
+
+import (
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// Metrics aggregates the execution of one algorithm run.
+type Metrics struct {
+	// Iterations is the number of algorithm-level iterations executed.
+	Iterations int
+	// Jobs is the number of parallel regions run.
+	Jobs int
+	// Total is the end-to-end wall time of the algorithm body (excluding
+	// graph loading and result gathering).
+	Total time.Duration
+	// JobTime is the summed duration of all parallel regions.
+	JobTime time.Duration
+	// Breakdown aggregates the per-job Figure 6c decomposition.
+	Breakdown core.Breakdown
+	// Traffic aggregates the transport deltas of all jobs.
+	Traffic comm.Snapshot
+}
+
+// PerIteration returns the average wall time per iteration, the number the
+// paper's Table 3 reports for PageRank and eigenvector centrality.
+func (m Metrics) PerIteration() time.Duration {
+	if m.Iterations == 0 {
+		return 0
+	}
+	return m.Total / time.Duration(m.Iterations)
+}
+
+// track folds one job's stats into the metrics.
+func (m *Metrics) track(st core.JobStats) {
+	m.Jobs++
+	m.JobTime += st.Duration
+	m.Breakdown.Add(st.Breakdown)
+	m.Traffic = m.Traffic.Add(st.Traffic)
+}
+
+// nowFn indirects time.Now so tests can stub algorithm timing.
+var nowFn = time.Now
+
+// runner wraps a cluster with metrics tracking and deferred error handling
+// so algorithm bodies read like the paper's pseudocode instead of error
+// plumbing.
+type runner struct {
+	c   *core.Cluster
+	met Metrics
+	err error
+}
+
+func (r *runner) run(spec core.JobSpec) {
+	if r.err != nil {
+		return
+	}
+	st, err := r.c.RunJob(spec)
+	if err != nil {
+		r.err = err
+		return
+	}
+	r.met.track(st)
+}
+
+func (r *runner) propF64(name string) core.PropID {
+	if r.err != nil {
+		return 0
+	}
+	p, err := r.c.AddPropF64(name)
+	if err != nil {
+		r.err = err
+	}
+	return p
+}
+
+func (r *runner) propI64(name string) core.PropID {
+	if r.err != nil {
+		return 0
+	}
+	p, err := r.c.AddPropI64(name)
+	if err != nil {
+		r.err = err
+	}
+	return p
+}

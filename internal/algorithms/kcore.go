@@ -1,0 +1,180 @@
+package algorithms
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/reduce"
+)
+
+// KCore finds the biggest k-core number of the graph (Table 2: "Find
+// Biggest K-core number") by iterative peeling over the undirected view:
+// for k = 1, 2, ... repeatedly remove every surviving node whose remaining
+// degree is below k, decrementing its neighbors' degrees, until no node is
+// removed; if any node survives, the graph has a k-core. The largest such k
+// is the answer, and each node's core number is the last k at which it
+// survived.
+//
+// The peeling runs an enormous number of tiny parallel steps, which is why
+// the paper singles it out: "for algorithms which require a lot of iteration
+// steps while each step does a very small amount of work (e.g. KCore), the
+// performance is totally governed by these [framework] overheads."
+
+// dyingMarkKernel marks alive nodes whose degree fell below k.
+type dyingMarkKernel struct {
+	core.NoReads
+	deg, alive, dying core.PropID
+	k                 int64
+}
+
+func (kk *dyingMarkKernel) Run(c *core.Ctx) {
+	if c.GetI64(kk.alive) != 0 && c.GetI64(kk.deg) < kk.k {
+		c.SetI64(kk.alive, 0)
+		c.SetI64(kk.dying, 1)
+	} else {
+		c.SetI64(kk.dying, 0)
+	}
+}
+
+// degDecKernel subtracts 1 from each neighbor's remaining degree; run from
+// dying nodes over both orientations (undirected view).
+type degDecKernel struct {
+	core.NoReads
+	deg core.PropID
+}
+
+func (kk *degDecKernel) Run(c *core.Ctx) {
+	c.NbrWriteI64(kk.deg, reduce.Sum, -1)
+}
+
+// coreRecordKernel records k as the core number of nodes still alive.
+type coreRecordKernel struct {
+	core.NoReads
+	alive, coreNum core.PropID
+	k              int64
+}
+
+func (kk *coreRecordKernel) Run(c *core.Ctx) {
+	if c.GetI64(kk.alive) != 0 {
+		c.SetI64(kk.coreNum, kk.k)
+	}
+}
+
+// KCore returns the maximum core number, each node's core number, and
+// metrics. maxK caps the search (0 means unbounded).
+func KCore(c *core.Cluster, maxK int64) (int64, []int64, Metrics, error) {
+	r := &runner{c: c}
+	deg := r.propI64("kcore_deg")
+	alive := r.propI64("kcore_alive")
+	dying := r.propI64("kcore_dying")
+	coreNum := r.propI64("kcore_num")
+	if r.err != nil {
+		return 0, nil, r.met, r.err
+	}
+	defer c.DropProps(deg, alive, dying)
+	c.FillI64(alive, 1)
+	c.FillI64(dying, 0)
+	c.FillI64(coreNum, 0)
+	start := nowFn()
+	// Initialize remaining degree = in+out (undirected multigraph view).
+	r.run(core.JobSpec{Name: "kcore-deg", Iter: core.IterNodes, Task: &degInitKernel{deg: deg}})
+
+	dyingFilter := func(ctx *core.Ctx) bool { return ctx.GetI64(dying) != 0 }
+	best := int64(0)
+	for k := int64(1); (maxK <= 0 || k <= maxK) && r.err == nil; k++ {
+		// Inner loop: peel until stable at this k.
+		for r.err == nil {
+			r.run(core.JobSpec{Name: "kcore-mark", Iter: core.IterNodes,
+				Task: &dyingMarkKernel{deg: deg, alive: alive, dying: dying, k: k}})
+			removed, err := c.ReduceI64(dying, reduce.Sum)
+			if err != nil {
+				r.err = err
+				break
+			}
+			r.met.Iterations++
+			if removed == 0 {
+				break
+			}
+			dec := &degDecKernel{deg: deg}
+			writes := []core.WriteSpec{{Prop: deg, Op: reduce.Sum}}
+			r.run(core.JobSpec{Name: "kcore-dec", Iter: core.IterBothEdges,
+				Task: dec, Filter: dyingFilter, WriteProps: writes})
+		}
+		if r.err != nil {
+			break
+		}
+		survivors, err := c.ReduceI64(alive, reduce.Sum)
+		if err != nil {
+			r.err = err
+			break
+		}
+		if survivors == 0 {
+			break
+		}
+		best = k
+		r.run(core.JobSpec{Name: "kcore-record", Iter: core.IterNodes,
+			Task: &coreRecordKernel{alive: alive, coreNum: coreNum, k: k}})
+	}
+	r.met.Total = nowFn().Sub(start)
+	if r.err != nil {
+		return 0, nil, r.met, r.err
+	}
+	return best, c.GatherI64(coreNum), r.met, nil
+}
+
+type degInitKernel struct {
+	core.NoReads
+	deg core.PropID
+}
+
+func (kk *degInitKernel) Run(c *core.Ctx) {
+	c.SetI64(kk.deg, c.InDegree()+c.OutDegree())
+}
+
+// CoreNumberReference computes core numbers sequentially with the standard
+// peeling algorithm over the undirected multigraph view — used by tests to
+// validate the distributed implementation.
+func CoreNumberReference(g *graph.Graph) (int64, []int64) {
+	n := g.NumNodes()
+	deg := make([]int64, n)
+	for u := 0; u < n; u++ {
+		deg[u] = g.TotalDegree(graph.NodeID(u))
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	coreNum := make([]int64, n)
+	best := int64(0)
+	remaining := n
+	for k := int64(1); remaining > 0; k++ {
+		for {
+			removed := 0
+			for u := 0; u < n; u++ {
+				if alive[u] && deg[u] < k {
+					alive[u] = false
+					removed++
+					remaining--
+					for _, v := range g.Out.Neighbors(graph.NodeID(u)) {
+						deg[v]--
+					}
+					for _, v := range g.In.Neighbors(graph.NodeID(u)) {
+						deg[v]--
+					}
+				}
+			}
+			if removed == 0 {
+				break
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		best = k
+		for u := 0; u < n; u++ {
+			if alive[u] {
+				coreNum[u] = k
+			}
+		}
+	}
+	return best, coreNum
+}

@@ -1,0 +1,251 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/reduce"
+)
+
+// The three PageRank variants of the paper's §5.2. All compute the power
+// iteration
+//
+//	PR'(n) = (1-d)/N + d * Σ_{t∈inNbrs(n)} PR(t)/outDeg(t)
+//
+// but move the data differently: pull reads PR(t)/outDeg(t) from incoming
+// neighbors (one-sided remote reads, plain local accumulation — no atomics);
+// push writes n's contribution to each outgoing neighbor (atomic SUM
+// reductions, the only form conventional frameworks support); approx
+// propagates only PR deltas and deactivates converged vertices.
+
+// scaleKernel computes scaled = pr/outDeg per node (a temporary property, so
+// the iteration job never reads and writes the same property — the paper's
+// "temporary copies" discipline).
+type scaleKernel struct {
+	core.NoReads
+	pr, scaled core.PropID
+}
+
+func (k *scaleKernel) Run(c *core.Ctx) {
+	d := c.OutDegree()
+	if d == 0 {
+		c.SetF64(k.scaled, 0)
+		return
+	}
+	c.SetF64(k.scaled, c.GetF64(k.pr)/float64(d))
+}
+
+// prPullKernel reads scaled from each incoming neighbor and accumulates into
+// the node's nxt with a plain addition — no atomic needed because all edges
+// of one node run on one worker.
+type prPullKernel struct {
+	scaled, nxt core.PropID
+}
+
+func (k *prPullKernel) Run(c *core.Ctx) { c.NbrRead(k.scaled) }
+
+func (k *prPullKernel) ReadDone(c *core.Ctx, val uint64) {
+	c.SetF64(k.nxt, c.GetF64(k.nxt)+core.F64Word(val))
+}
+
+// prPushKernel pushes the node's scaled value into each outgoing neighbor's
+// nxt with an atomic SUM reduction.
+type prPushKernel struct {
+	core.NoReads
+	scaled, nxt core.PropID
+}
+
+func (k *prPushKernel) Run(c *core.Ctx) {
+	c.NbrWriteF64(k.nxt, reduce.Sum, c.GetF64(k.scaled))
+}
+
+// prApplyKernel finishes an iteration and prepares the next in one pass:
+// pr = (1-d)/N + d*nxt, scaled = pr/outDeg, nxt = 0. Fusing the apply and
+// scale phases halves the node-iterator jobs per power iteration.
+type prApplyKernel struct {
+	core.NoReads
+	pr, nxt, scaled core.PropID
+	base            float64
+	damping         float64
+}
+
+func (k *prApplyKernel) Run(c *core.Ctx) {
+	pr := k.base + k.damping*c.GetF64(k.nxt)
+	c.SetF64(k.pr, pr)
+	c.SetF64(k.nxt, 0)
+	if d := c.OutDegree(); d > 0 {
+		c.SetF64(k.scaled, pr/float64(d))
+	} else {
+		c.SetF64(k.scaled, 0)
+	}
+}
+
+// PageRankPull runs iters power iterations with the pull pattern and returns
+// the PageRank vector.
+func PageRankPull(c *core.Cluster, iters int, damping float64) ([]float64, Metrics, error) {
+	return pageRankExact(c, iters, damping, true)
+}
+
+// PageRankPush runs iters power iterations with the push pattern.
+func PageRankPush(c *core.Cluster, iters int, damping float64) ([]float64, Metrics, error) {
+	return pageRankExact(c, iters, damping, false)
+}
+
+func pageRankExact(c *core.Cluster, iters int, damping float64, pull bool) ([]float64, Metrics, error) {
+	r := &runner{c: c}
+	pr := r.propF64("pr")
+	nxt := r.propF64("pr_nxt")
+	scaled := r.propF64("pr_scaled")
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	defer c.DropProps(nxt, scaled)
+	n := float64(c.NumNodes())
+	c.FillF64(pr, 1/n)
+	c.FillF64(nxt, 0)
+
+	start := nowFn()
+	// Seed scaled = pr/outDeg once; afterwards the fused apply kernel keeps
+	// it current.
+	r.run(core.JobSpec{
+		Name: "pr-scale", Iter: core.IterNodes,
+		Task: &scaleKernel{pr: pr, scaled: scaled},
+	})
+	for it := 0; it < iters && r.err == nil; it++ {
+		if pull {
+			r.run(core.JobSpec{
+				Name: "pr-pull", Iter: core.IterInEdges,
+				Task:      &prPullKernel{scaled: scaled, nxt: nxt},
+				ReadProps: []core.PropID{scaled},
+			})
+		} else {
+			r.run(core.JobSpec{
+				Name: "pr-push", Iter: core.IterOutEdges,
+				Task:       &prPushKernel{scaled: scaled, nxt: nxt},
+				WriteProps: []core.WriteSpec{{Prop: nxt, Op: reduce.Sum}},
+			})
+		}
+		r.run(core.JobSpec{
+			Name: "pr-apply", Iter: core.IterNodes,
+			Task: &prApplyKernel{pr: pr, nxt: nxt, scaled: scaled, base: (1 - damping) / n, damping: damping},
+		})
+		r.met.Iterations++
+	}
+	r.met.Total = nowFn().Sub(start)
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	return c.GatherF64(pr), r.met, nil
+}
+
+// --- approximate PageRank ----------------------------------------------------
+
+// prDeltaPushKernel propagates damped deltas from active nodes.
+type prDeltaPushKernel struct {
+	core.NoReads
+	scaledDelta, deltaNxt core.PropID
+}
+
+func (k *prDeltaPushKernel) Run(c *core.Ctx) {
+	c.NbrWriteF64(k.deltaNxt, reduce.Sum, c.GetF64(k.scaledDelta))
+}
+
+// prDeltaApplyKernel folds the received delta into pr and decides activity.
+type prDeltaApplyKernel struct {
+	core.NoReads
+	pr, delta, deltaNxt, scaledDelta, active core.PropID
+	damping                                  float64
+	threshold                                float64
+}
+
+func (k *prDeltaApplyKernel) Run(c *core.Ctx) {
+	d := c.GetF64(k.deltaNxt)
+	c.SetF64(k.deltaNxt, 0)
+	c.SetF64(k.pr, c.GetF64(k.pr)+d)
+	c.SetF64(k.delta, d)
+	if math.Abs(d) >= k.threshold {
+		c.SetI64(k.active, 1)
+		if od := c.OutDegree(); od > 0 {
+			c.SetF64(k.scaledDelta, k.damping*d/float64(od))
+		} else {
+			c.SetF64(k.scaledDelta, 0)
+		}
+	} else {
+		c.SetI64(k.active, 0)
+	}
+}
+
+// PageRankApprox runs the paper's delta-propagation PageRank: nodes whose
+// delta falls below threshold deactivate, so computation and communication
+// shrink every iteration ("this method performs a decreasing amount of
+// computation and communication as the iteration continues"). Only the push
+// form exists — "this approximation only works with the push-based
+// implementation."
+func PageRankApprox(c *core.Cluster, damping, threshold float64, maxIter int) ([]float64, Metrics, error) {
+	r := &runner{c: c}
+	pr := r.propF64("apr")
+	delta := r.propF64("apr_delta")
+	deltaNxt := r.propF64("apr_delta_nxt")
+	scaledDelta := r.propF64("apr_scaled")
+	active := r.propI64("apr_active")
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	defer c.DropProps(delta, deltaNxt, scaledDelta, active)
+	n := float64(c.NumNodes())
+	base := (1 - damping) / n
+	c.FillF64(pr, base)
+	c.FillF64(delta, base)
+	c.FillF64(deltaNxt, 0)
+	c.FillI64(active, 1)
+	c.FillF64(scaledDelta, 0)
+	// Initial scaled delta seeds the first propagation round.
+	r.run(core.JobSpec{
+		Name: "apr-seed", Iter: core.IterNodes,
+		Task: &seedScaledDelta{delta: delta, scaledDelta: scaledDelta, damping: damping},
+	})
+
+	start := nowFn()
+	activeFilter := func(ctx *core.Ctx) bool { return ctx.GetI64(active) != 0 }
+	for it := 0; it < maxIter && r.err == nil; it++ {
+		r.run(core.JobSpec{
+			Name: "apr-push", Iter: core.IterOutEdges,
+			Task:       &prDeltaPushKernel{scaledDelta: scaledDelta, deltaNxt: deltaNxt},
+			Filter:     activeFilter,
+			WriteProps: []core.WriteSpec{{Prop: deltaNxt, Op: reduce.Sum}},
+		})
+		r.run(core.JobSpec{
+			Name: "apr-apply", Iter: core.IterNodes,
+			Task: &prDeltaApplyKernel{
+				pr: pr, delta: delta, deltaNxt: deltaNxt, scaledDelta: scaledDelta,
+				active: active, damping: damping, threshold: threshold,
+			},
+		})
+		r.met.Iterations++
+		remaining, err := c.ReduceI64(active, reduce.Sum)
+		if err != nil {
+			r.err = err
+			break
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	r.met.Total = nowFn().Sub(start)
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	return c.GatherF64(pr), r.met, nil
+}
+
+type seedScaledDelta struct {
+	core.NoReads
+	delta, scaledDelta core.PropID
+	damping            float64
+}
+
+func (k *seedScaledDelta) Run(c *core.Ctx) {
+	if od := c.OutDegree(); od > 0 {
+		c.SetF64(k.scaledDelta, k.damping*c.GetF64(k.delta)/float64(od))
+	}
+}

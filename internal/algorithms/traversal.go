@@ -1,0 +1,222 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/reduce"
+)
+
+// minLabelPush propagates the node's current label to the neighbor's next
+// label with a MIN reduction — the shared kernel of WCC (labels), SSSP
+// (distances via dist+weight), and hop distance (dist+1).
+type minLabelPush struct {
+	core.NoReads
+	label, labelNxt core.PropID
+}
+
+func (k *minLabelPush) Run(c *core.Ctx) {
+	c.NbrWriteI64(k.labelNxt, reduce.Min, c.GetI64(k.label))
+}
+
+// minAdoptKernel adopts labelNxt when it improves label and records whether
+// the node changed (the activity bit for the next round).
+type minAdoptKernel struct {
+	core.NoReads
+	label, labelNxt, active core.PropID
+}
+
+func (k *minAdoptKernel) Run(c *core.Ctx) {
+	nxt := c.GetI64(k.labelNxt)
+	if nxt < c.GetI64(k.label) {
+		c.SetI64(k.label, nxt)
+		c.SetI64(k.active, 1)
+	} else {
+		c.SetI64(k.active, 0)
+	}
+}
+
+// WCC computes weakly connected components by iterative min-label
+// propagation over both edge orientations (weak connectivity ignores edge
+// direction), with vertex deactivation between rounds: "In WCC, a
+// deactivated node can later be active again" — adopting a smaller label
+// reactivates the node. Returns the component label per node (the minimum
+// global id in the component).
+func WCC(c *core.Cluster, maxIter int) ([]int64, Metrics, error) {
+	r := &runner{c: c}
+	label := r.propI64("wcc")
+	labelNxt := r.propI64("wcc_nxt")
+	active := r.propI64("wcc_active")
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	defer c.DropProps(labelNxt, active)
+	c.FillByNodeI64(label, func(v graph.NodeID) int64 { return int64(v) })
+	c.FillByNodeI64(labelNxt, func(v graph.NodeID) int64 { return int64(v) })
+	c.FillI64(active, 1)
+	activeFilter := func(ctx *core.Ctx) bool { return ctx.GetI64(active) != 0 }
+
+	start := nowFn()
+	for it := 0; it < maxIter && r.err == nil; it++ {
+		push := &minLabelPush{label: label, labelNxt: labelNxt}
+		writes := []core.WriteSpec{{Prop: labelNxt, Op: reduce.Min}}
+		// Weak connectivity ignores direction: one both-orientations job per
+		// round instead of separate out and in jobs.
+		r.run(core.JobSpec{Name: "wcc-push", Iter: core.IterBothEdges, Task: push, Filter: activeFilter, WriteProps: writes})
+		r.run(core.JobSpec{Name: "wcc-adopt", Iter: core.IterNodes,
+			Task: &minAdoptKernel{label: label, labelNxt: labelNxt, active: active}})
+		r.met.Iterations++
+		remaining, err := c.ReduceI64(active, reduce.Sum)
+		if err != nil {
+			r.err = err
+			break
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	r.met.Total = nowFn().Sub(start)
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	return c.GatherI64(label), r.met, nil
+}
+
+// --- SSSP (Bellman-Ford) -----------------------------------------------------
+
+// distRelaxKernel relaxes each out-edge: nbr.distNxt = min(nbr.distNxt,
+// dist + weight). Only active (just-improved) nodes relax.
+type distRelaxKernel struct {
+	core.NoReads
+	dist, distNxt core.PropID
+}
+
+func (k *distRelaxKernel) Run(c *core.Ctx) {
+	c.NbrWriteF64(k.distNxt, reduce.Min, c.GetF64(k.dist)+c.EdgeWeight())
+}
+
+type distAdoptKernel struct {
+	core.NoReads
+	dist, distNxt, active core.PropID
+}
+
+func (k *distAdoptKernel) Run(c *core.Ctx) {
+	nxt := c.GetF64(k.distNxt)
+	if nxt < c.GetF64(k.dist) {
+		c.SetF64(k.dist, nxt)
+		c.SetI64(k.active, 1)
+	} else {
+		c.SetI64(k.active, 0)
+	}
+}
+
+// SSSP computes single-source shortest path distances with the iterative
+// Bellman-Ford scheme the paper uses; unreachable nodes report +Inf. Edge
+// weights come from the loaded graph ("we generated these values using a
+// uniform random distribution").
+func SSSP(c *core.Cluster, source graph.NodeID, maxIter int) ([]float64, Metrics, error) {
+	r := &runner{c: c}
+	dist := r.propF64("sssp")
+	distNxt := r.propF64("sssp_nxt")
+	active := r.propI64("sssp_active")
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	defer c.DropProps(distNxt, active)
+	inf := math.Inf(1)
+	c.FillF64(dist, inf)
+	c.FillF64(distNxt, inf)
+	c.FillI64(active, 0)
+	c.SetNodeF64(source, dist, 0)
+	c.SetNodeF64(source, distNxt, 0)
+	c.SetNodeI64(source, active, 1)
+	activeFilter := func(ctx *core.Ctx) bool { return ctx.GetI64(active) != 0 }
+
+	start := nowFn()
+	for it := 0; it < maxIter && r.err == nil; it++ {
+		r.run(core.JobSpec{Name: "sssp-relax", Iter: core.IterOutEdges,
+			Task:       &distRelaxKernel{dist: dist, distNxt: distNxt},
+			Filter:     activeFilter,
+			WriteProps: []core.WriteSpec{{Prop: distNxt, Op: reduce.Min}}})
+		r.run(core.JobSpec{Name: "sssp-adopt", Iter: core.IterNodes,
+			Task: &distAdoptKernel{dist: dist, distNxt: distNxt, active: active}})
+		r.met.Iterations++
+		remaining, err := c.ReduceI64(active, reduce.Sum)
+		if err != nil {
+			r.err = err
+			break
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	r.met.Total = nowFn().Sub(start)
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	return c.GatherF64(dist), r.met, nil
+}
+
+// --- hop distance (BFS) -------------------------------------------------------
+
+// hopRelaxKernel pushes dist+1 to out-neighbors.
+type hopRelaxKernel struct {
+	core.NoReads
+	dist, distNxt core.PropID
+}
+
+func (k *hopRelaxKernel) Run(c *core.Ctx) {
+	c.NbrWriteI64(k.distNxt, reduce.Min, c.GetI64(k.dist)+1)
+}
+
+// HopDist computes breadth-first hop distances from root ("Breadth-first
+// traversal from the root"); unreachable nodes report math.MaxInt64.
+func HopDist(c *core.Cluster, root graph.NodeID, maxIter int) ([]int64, Metrics, error) {
+	r := &runner{c: c}
+	dist := r.propI64("hop")
+	distNxt := r.propI64("hop_nxt")
+	active := r.propI64("hop_active")
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	defer c.DropProps(distNxt, active)
+	unreached := int64(math.MaxInt64) - 1 // headroom so dist+1 cannot wrap
+	c.FillI64(dist, unreached)
+	c.FillI64(distNxt, unreached)
+	c.FillI64(active, 0)
+	c.SetNodeI64(root, dist, 0)
+	c.SetNodeI64(root, distNxt, 0)
+	c.SetNodeI64(root, active, 1)
+	activeFilter := func(ctx *core.Ctx) bool { return ctx.GetI64(active) != 0 }
+
+	start := nowFn()
+	for it := 0; it < maxIter && r.err == nil; it++ {
+		r.run(core.JobSpec{Name: "hop-relax", Iter: core.IterOutEdges,
+			Task:       &hopRelaxKernel{dist: dist, distNxt: distNxt},
+			Filter:     activeFilter,
+			WriteProps: []core.WriteSpec{{Prop: distNxt, Op: reduce.Min}}})
+		r.run(core.JobSpec{Name: "hop-adopt", Iter: core.IterNodes,
+			Task: &minAdoptKernel{label: dist, labelNxt: distNxt, active: active}})
+		r.met.Iterations++
+		remaining, err := c.ReduceI64(active, reduce.Sum)
+		if err != nil {
+			r.err = err
+			break
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	r.met.Total = nowFn().Sub(start)
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	out := c.GatherI64(dist)
+	for i, v := range out {
+		if v >= unreached {
+			out[i] = math.MaxInt64
+		}
+	}
+	return out, r.met, nil
+}

@@ -1,0 +1,176 @@
+package gas
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/baseline/sa"
+	"repro/internal/graph"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.RMAT(8, 8, graph.TwitterLike(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	g := testGraph(t)
+	if _, err := New(g, 0, 1); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := New(g, 1, 0); err == nil {
+		t.Error("threads=0 accepted")
+	}
+}
+
+func TestPageRankExactMatchesSA(t *testing.T) {
+	g := testGraph(t)
+	want := sa.PageRank(g, 8, 0.85, 1)
+	for _, p := range []int{1, 3} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			got, st, err := PageRank(g, p, 2, 8, 0.85, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Supersteps != 8 {
+				t.Errorf("supersteps = %d", st.Supersteps)
+			}
+			for u := range want {
+				if d := math.Abs(got[u] - want[u]); d > 1e-10 {
+					t.Fatalf("node %d: %g vs %g", u, got[u], want[u])
+				}
+			}
+			if p > 1 && st.BytesSent == 0 {
+				t.Error("no traffic recorded on multi-machine run")
+			}
+		})
+	}
+}
+
+func TestPageRankApproxConverges(t *testing.T) {
+	g := testGraph(t)
+	exact := sa.PageRank(g, 60, 0.85, 1)
+	got, st, err := PageRank(g, 3, 2, 500, 0.85, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Supersteps == 0 || st.Supersteps == 500 {
+		t.Errorf("supersteps = %d", st.Supersteps)
+	}
+	for u := range exact {
+		if d := math.Abs(got[u] - exact[u]); d > 1e-4 {
+			t.Fatalf("node %d: approx %g vs exact %g", u, got[u], exact[u])
+		}
+	}
+}
+
+func TestWCCMatchesSA(t *testing.T) {
+	g := testGraph(t)
+	want, _ := sa.WCC(g, 1)
+	got, st, err := WCC(g, 3, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Supersteps == 0 {
+		t.Error("0 supersteps")
+	}
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("node %d: %d vs %d", u, got[u], want[u])
+		}
+	}
+}
+
+func TestSSSPMatchesSA(t *testing.T) {
+	g := testGraph(t).WithUniformWeights(1, 5, 8)
+	want, _ := sa.SSSP(g, 0, 1)
+	got, _, err := SSSP(g, 0, 3, 2, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if math.IsInf(want[u], 1) != math.IsInf(got[u], 1) {
+			t.Fatalf("node %d reachability mismatch", u)
+		}
+		if !math.IsInf(want[u], 1) && math.Abs(got[u]-want[u]) > 1e-9 {
+			t.Fatalf("node %d: %g vs %g", u, got[u], want[u])
+		}
+	}
+}
+
+func TestHopDistMatchesSA(t *testing.T) {
+	g := testGraph(t)
+	want, _ := sa.HopDist(g, 2, 1)
+	got, _, err := HopDist(g, 2, 2, 2, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("node %d: %d vs %d", u, got[u], want[u])
+		}
+	}
+}
+
+func TestKCoreMatchesSA(t *testing.T) {
+	g, err := graph.RMAT(7, 5, graph.TwitterLike(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBest, wantCore, _ := sa.KCore(g, 1)
+	gotBest, gotCore, st, err := KCore(g, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBest != wantBest {
+		t.Fatalf("best = %d, want %d", gotBest, wantBest)
+	}
+	for u := range wantCore {
+		if gotCore[u] != wantCore[u] {
+			t.Fatalf("node %d: core %d vs %d", u, gotCore[u], wantCore[u])
+		}
+	}
+	if st.Supersteps < int(wantBest) {
+		t.Errorf("suspiciously few supersteps: %d", st.Supersteps)
+	}
+}
+
+func TestEdgeIterationRuns(t *testing.T) {
+	g := testGraph(t)
+	_, st, err := EdgeIteration(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Supersteps != 1 {
+		t.Errorf("supersteps = %d", st.Supersteps)
+	}
+}
+
+func TestDirtyMirrorSyncOnlyShipsChanges(t *testing.T) {
+	// WCC converges region by region; late supersteps must ship much less
+	// mirror data than early ones. Compare total bytes against a worst case
+	// of full-resync every step.
+	g := testGraph(t)
+	e, err := New(g, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetData(func(v graph.NodeID) float64 { return float64(v) })
+	e.ActivateAll()
+	st := e.Run(WCCProgram{}, 1000)
+	var fullPerStep int64
+	for _, m := range e.ms {
+		for d := 0; d < e.p; d++ {
+			fullPerStep += int64(12 * (len(m.subsOut[d]) + len(m.subsIn[d])))
+		}
+	}
+	worst := fullPerStep * int64(st.Supersteps)
+	if st.BytesSent >= worst {
+		t.Errorf("dirty tracking ineffective: sent %d, full-resync bound %d", st.BytesSent, worst)
+	}
+}

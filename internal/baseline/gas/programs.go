@@ -1,0 +1,330 @@
+package gas
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Vertex programs for the algorithms the paper ran on GraphLab (Table 2's
+// GL column): approximate PageRank, WCC, SSSP, hop distance, and k-core,
+// plus exact PageRank implemented by us "on top of these systems" as the
+// paper did for algorithms missing from the package.
+
+// PageRank runs exact (tolerance 0, fixed iters) or approximate
+// (tolerance > 0, run to quiescence) PageRank on the GAS engine and returns
+// the rank vector and stats.
+func PageRank(g *graph.Graph, p, threads, iters int, damping, tolerance float64) ([]float64, Stats, error) {
+	e, err := New(g, p, threads)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n := float64(g.NumNodes())
+	base := (1 - damping) / n
+	e.SetData(func(v graph.NodeID) float64 {
+		if d := g.OutDegree(v); d > 0 {
+			return (1 / n) / float64(d)
+		}
+		return 1 / n
+	})
+	e.ActivateAll()
+	prog := &prVertex{g: g, damping: damping, base: base, tolerance: tolerance}
+	st := e.Run(prog, iters)
+	ranks := e.Data()
+	for u := range ranks {
+		if d := g.OutDegree(graph.NodeID(u)); d > 0 {
+			ranks[u] *= float64(d)
+		}
+	}
+	return ranks, st, nil
+}
+
+// prVertex implements PageRank with the out-degree recovered through the
+// graph handle; data stays in scaled form.
+type prVertex struct {
+	g         *graph.Graph
+	damping   float64
+	base      float64
+	tolerance float64
+
+	// applyVertex is set by the engine before Apply (see engine hook);
+	// GraphLab's apply likewise knows which vertex it operates on.
+	cur graph.NodeID
+}
+
+func (p *prVertex) GatherDir() Direction          { return In }
+func (p *prVertex) ScatterDir() Direction         { return Out }
+func (p *prVertex) InitAcc() float64              { return 0 }
+func (p *prVertex) Gather(nbr, w float64) float64 { return nbr }
+func (p *prVertex) Combine(a, b float64) float64  { return a + b }
+
+func (p *prVertex) ApplyAt(v graph.NodeID, old, acc float64) (float64, bool) {
+	rank := p.base + p.damping*acc
+	d := p.g.OutDegree(v)
+	oldRank := old
+	if d > 0 {
+		oldRank = old * float64(d)
+	}
+	signal := p.tolerance <= 0 || math.Abs(rank-oldRank) >= p.tolerance
+	if d > 0 {
+		return rank / float64(d), signal
+	}
+	return rank, signal
+}
+
+// Apply satisfies Program; the engine calls ApplyAt when available.
+func (p *prVertex) Apply(old, acc float64) (float64, bool) {
+	panic("gas: prVertex requires VertexApplier dispatch")
+}
+
+// WCCProgram propagates minimum labels over both orientations.
+type WCCProgram struct{}
+
+// GatherDir implements Program.
+func (WCCProgram) GatherDir() Direction { return Both }
+
+// ScatterDir implements Program.
+func (WCCProgram) ScatterDir() Direction { return Both }
+
+// InitAcc implements Program.
+func (WCCProgram) InitAcc() float64 { return math.Inf(1) }
+
+// Gather implements Program.
+func (WCCProgram) Gather(nbr, w float64) float64 { return nbr }
+
+// Combine implements Program.
+func (WCCProgram) Combine(a, b float64) float64 { return math.Min(a, b) }
+
+// Apply implements Program.
+func (WCCProgram) Apply(old, acc float64) (float64, bool) {
+	if acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// WCC runs weakly connected components on the GAS engine.
+func WCC(g *graph.Graph, p, threads, maxSteps int) ([]int64, Stats, error) {
+	e, err := New(g, p, threads)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	e.SetData(func(v graph.NodeID) float64 { return float64(v) })
+	e.ActivateAll()
+	st := e.Run(WCCProgram{}, maxSteps)
+	data := e.Data()
+	out := make([]int64, len(data))
+	for i, v := range data {
+		out[i] = int64(v)
+	}
+	return out, st, nil
+}
+
+// SSSPProgram relaxes distances: gather min(nbrDist + weight) over in-edges.
+type SSSPProgram struct{}
+
+// GatherDir implements Program.
+func (SSSPProgram) GatherDir() Direction { return In }
+
+// ScatterDir implements Program.
+func (SSSPProgram) ScatterDir() Direction { return Out }
+
+// InitAcc implements Program.
+func (SSSPProgram) InitAcc() float64 { return math.Inf(1) }
+
+// Gather implements Program.
+func (SSSPProgram) Gather(nbr, w float64) float64 { return nbr + w }
+
+// Combine implements Program.
+func (SSSPProgram) Combine(a, b float64) float64 { return math.Min(a, b) }
+
+// Apply implements Program.
+func (SSSPProgram) Apply(old, acc float64) (float64, bool) {
+	if acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// SSSP runs Bellman-Ford on the GAS engine from source.
+func SSSP(g *graph.Graph, source graph.NodeID, p, threads, maxSteps int) ([]float64, Stats, error) {
+	e, err := New(g, p, threads)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	e.SetData(func(v graph.NodeID) float64 {
+		if v == source {
+			return 0
+		}
+		return math.Inf(1)
+	})
+	e.ActivateAll() // first superstep lets every vertex gather; only the
+	// source's neighbors see a finite value, mirroring GraphLab's sssp start
+	st := e.Run(SSSPProgram{}, maxSteps)
+	return e.Data(), st, nil
+}
+
+// hopProgram is SSSP with unit weights.
+type hopProgram struct{ SSSPProgram }
+
+func (hopProgram) Gather(nbr, w float64) float64 { return nbr + 1 }
+
+// HopDist runs BFS hop distances on the GAS engine.
+func HopDist(g *graph.Graph, root graph.NodeID, p, threads, maxSteps int) ([]int64, Stats, error) {
+	e, err := New(g, p, threads)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	e.SetData(func(v graph.NodeID) float64 {
+		if v == root {
+			return 0
+		}
+		return math.Inf(1)
+	})
+	e.ActivateAll()
+	st := e.Run(hopProgram{}, maxSteps)
+	data := e.Data()
+	out := make([]int64, len(data))
+	for i, v := range data {
+		if math.IsInf(v, 1) {
+			out[i] = math.MaxInt64
+		} else {
+			out[i] = int64(v)
+		}
+	}
+	return out, st, nil
+}
+
+// kcoreProgram counts alive neighbors; vertices die when the count drops
+// below k. Data: 1 = alive, 0 = dead.
+type kcoreProgram struct{ k float64 }
+
+func (kcoreProgram) GatherDir() Direction  { return Both }
+func (kcoreProgram) ScatterDir() Direction { return Both }
+func (kcoreProgram) InitAcc() float64      { return 0 }
+func (kcoreProgram) Gather(nbr, w float64) float64 {
+	return nbr // 1 per alive neighbor, 0 per dead
+}
+func (kcoreProgram) Combine(a, b float64) float64 { return a + b }
+func (p kcoreProgram) Apply(old, acc float64) (float64, bool) {
+	if old != 0 && acc < p.k {
+		return 0, true // die and wake the neighbors
+	}
+	return old, false
+}
+
+// KCore finds the maximum k-core number on the GAS engine, returning the max
+// core number, per-node core numbers, and aggregate stats.
+func KCore(g *graph.Graph, p, threads int, maxK int64) (int64, []int64, Stats, error) {
+	e, err := New(g, p, threads)
+	if err != nil {
+		return 0, nil, Stats{}, err
+	}
+	e.SetData(func(v graph.NodeID) float64 { return 1 })
+	coreNum := make([]int64, g.NumNodes())
+	var agg Stats
+	start := time.Now()
+	best := int64(0)
+	for k := int64(1); maxK <= 0 || k <= maxK; k++ {
+		e.ActivateAll()
+		st := e.Run(kcoreProgram{k: float64(k)}, 1<<30)
+		agg.Supersteps += st.Supersteps
+		agg.BytesSent += st.BytesSent
+		data := e.Data()
+		alive := 0
+		for u, v := range data {
+			if v != 0 {
+				alive++
+				coreNum[u] = k
+			}
+		}
+		if alive == 0 {
+			break
+		}
+		best = k
+	}
+	agg.Duration = time.Since(start)
+	return best, coreNum, agg, nil
+}
+
+// EdgeIteration visits every out-edge once through the GAS gather machinery
+// (the Figure 5a comparison kernel) and returns a checksum.
+func EdgeIteration(g *graph.Graph, threads int) (int64, Stats, error) {
+	e, err := New(g, 1, threads)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	e.SetData(func(v graph.NodeID) float64 { return float64(v) })
+	e.ActivateAll()
+	st := e.Run(&edgeIterProgram{}, 1)
+	var sum int64
+	for _, v := range e.Data() {
+		sum += int64(v)
+	}
+	return sum, st, nil
+}
+
+// edgeIterProgram sums neighbor ids — pure iteration through the framework.
+type edgeIterProgram struct{}
+
+func (*edgeIterProgram) GatherDir() Direction          { return Out }
+func (*edgeIterProgram) ScatterDir() Direction         { return None }
+func (*edgeIterProgram) InitAcc() float64              { return 0 }
+func (*edgeIterProgram) Gather(nbr, w float64) float64 { return nbr }
+func (*edgeIterProgram) Combine(a, b float64) float64  { return a + b }
+func (*edgeIterProgram) Apply(old, acc float64) (float64, bool) {
+	_ = acc // checksum accumulates into vertex data unchanged
+	return old, false
+}
+
+// evGasProgram gathers the sum of in-neighbors' values; the driver
+// normalizes between rounds.
+type evGasProgram struct{}
+
+func (evGasProgram) GatherDir() Direction          { return In }
+func (evGasProgram) ScatterDir() Direction         { return None }
+func (evGasProgram) InitAcc() float64              { return 0 }
+func (evGasProgram) Gather(nbr, w float64) float64 { return nbr }
+func (evGasProgram) Combine(a, b float64) float64  { return a + b }
+func (evGasProgram) Apply(old, acc float64) (float64, bool) {
+	return acc, false
+}
+
+// Eigenvector runs iters normalized power iterations on the GAS engine,
+// with driver-side L2 normalization between supersteps (the paper
+// implemented EV by hand on GraphLab the same way).
+func Eigenvector(g *graph.Graph, p, threads, iters int) ([]float64, Stats, error) {
+	e, err := New(g, p, threads)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	n := float64(g.NumNodes())
+	e.SetData(func(v graph.NodeID) float64 { return 1 / math.Sqrt(n) })
+	var agg Stats
+	start := time.Now()
+	for it := 0; it < iters; it++ {
+		e.ActivateAll()
+		st := e.Run(evGasProgram{}, 1)
+		agg.Supersteps += st.Supersteps
+		agg.BytesSent += st.BytesSent
+		var sumSq float64
+		for _, m := range e.ms {
+			for off := 0; off < m.n; off++ {
+				v := math.Float64frombits(m.data[off])
+				sumSq += v * v
+			}
+		}
+		if sumSq > 0 {
+			inv := 1 / math.Sqrt(sumSq)
+			for _, m := range e.ms {
+				for off := 0; off < m.n; off++ {
+					m.data[off] = math.Float64bits(math.Float64frombits(m.data[off]) * inv)
+					m.dirty[off] = true // normalized values must re-sync to mirrors
+				}
+			}
+		}
+	}
+	agg.Duration = time.Since(start)
+	return e.Data(), agg, nil
+}

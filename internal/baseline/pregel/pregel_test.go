@@ -1,0 +1,145 @@
+package pregel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/baseline/sa"
+	"repro/internal/graph"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.RMAT(8, 8, graph.TwitterLike(), 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewRejectsBadArgs(t *testing.T) {
+	g := testGraph(t)
+	if _, err := New(g, 0, 1); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := New(g, 1, 0); err == nil {
+		t.Error("threads=0 accepted")
+	}
+}
+
+func TestPageRankExactMatchesSA(t *testing.T) {
+	g := testGraph(t)
+	want := sa.PageRank(g, 8, 0.85, 1)
+	for _, p := range []int{1, 3} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			got, st, err := PageRank(g, p, 2, 8, 0.85, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Supersteps != 8 {
+				t.Errorf("supersteps = %d", st.Supersteps)
+			}
+			for u := range want {
+				if d := math.Abs(got[u] - want[u]); d > 1e-10 {
+					t.Fatalf("node %d: %g vs %g", u, got[u], want[u])
+				}
+			}
+			if st.Messages == 0 {
+				t.Error("no messages recorded")
+			}
+		})
+	}
+}
+
+func TestPageRankApproxConverges(t *testing.T) {
+	g := testGraph(t)
+	exact := sa.PageRank(g, 60, 0.85, 1)
+	got, st, err := PageRank(g, 3, 2, 1000, 0.85, 1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Supersteps == 0 || st.Supersteps >= 1000 {
+		t.Errorf("supersteps = %d", st.Supersteps)
+	}
+	for u := range exact {
+		if d := math.Abs(got[u] - exact[u]); d > 1e-4 {
+			t.Fatalf("node %d: approx %g vs exact %g", u, got[u], exact[u])
+		}
+	}
+}
+
+func TestWCCMatchesSA(t *testing.T) {
+	g := testGraph(t)
+	want, _ := sa.WCC(g, 1)
+	got, _, err := WCC(g, 3, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("node %d: %d vs %d", u, got[u], want[u])
+		}
+	}
+}
+
+func TestSSSPMatchesSA(t *testing.T) {
+	g := testGraph(t).WithUniformWeights(1, 5, 4)
+	want, _ := sa.SSSP(g, 0, 1)
+	got, _, err := SSSP(g, 0, 3, 2, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if math.IsInf(want[u], 1) != math.IsInf(got[u], 1) {
+			t.Fatalf("node %d reachability mismatch", u)
+		}
+		if !math.IsInf(want[u], 1) && math.Abs(got[u]-want[u]) > 1e-9 {
+			t.Fatalf("node %d: %g vs %g", u, got[u], want[u])
+		}
+	}
+}
+
+func TestHopDistMatchesSA(t *testing.T) {
+	g := testGraph(t)
+	want, _ := sa.HopDist(g, 5, 1)
+	got, st, err := HopDist(g, 5, 2, 2, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("node %d: %d vs %d", u, got[u], want[u])
+		}
+	}
+	if st.Supersteps == 0 {
+		t.Error("0 supersteps")
+	}
+}
+
+func TestEigenvectorMatchesSA(t *testing.T) {
+	g := testGraph(t)
+	want := sa.Eigenvector(g, 6, 1)
+	got, _, err := Eigenvector(g, 3, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if d := math.Abs(got[u] - want[u]); d > 1e-9 {
+			t.Fatalf("node %d: %g vs %g", u, got[u], want[u])
+		}
+	}
+}
+
+func TestMessageCountsAccumulate(t *testing.T) {
+	g := testGraph(t)
+	_, st, err := PageRank(g, 2, 2, 3, 0.85, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact PR sends one message per out-edge of every non-dangling vertex
+	// per superstep; cross-machine plus local all count.
+	if st.Messages < g.NumEdges() {
+		t.Errorf("messages = %d, want >= %d", st.Messages, g.NumEdges())
+	}
+}

@@ -1,0 +1,415 @@
+// Package sa implements the paper's "SA" baseline: standalone single-machine
+// algorithms "using direct CSR (Compressed Sparse Row) arrays and OpenMP
+// parallel loops", with no framework overhead. Parallelism is plain
+// goroutine fan-out over node ranges (the Go equivalent of an OpenMP
+// parallel for); pull-form algorithms need no atomics, push-form ones use
+// the same atomic reductions the engine's copiers use.
+//
+// Besides serving as the Table 3 "SA" row, these implementations are the
+// correctness references for the distributed engine's algorithm tests.
+package sa
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Threads controls the fan-out of parallel loops; 0 uses GOMAXPROCS.
+// Figure 5a sweeps it.
+type Threads int
+
+func (t Threads) count() int {
+	if t > 0 {
+		return int(t)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor runs body over [0, n) split into contiguous ranges, one per
+// thread — the shape of "#pragma omp parallel for" over CSR rows.
+func parallelFor(n int, threads Threads, body func(lo, hi int)) {
+	p := threads.count()
+	if p > n {
+		p = n
+	}
+	if p <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// PageRank runs iters pull-form power iterations (the paper: "the above
+// [pull] method is the preferred way of computing Pagerank for single
+// machine environments").
+func PageRank(g *graph.Graph, iters int, damping float64, threads Threads) []float64 {
+	n := g.NumNodes()
+	pr := make([]float64, n)
+	nxt := make([]float64, n)
+	scaled := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		parallelFor(n, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if d := g.OutDegree(graph.NodeID(u)); d > 0 {
+					scaled[u] = pr[u] / float64(d)
+				} else {
+					scaled[u] = 0
+				}
+			}
+		})
+		parallelFor(n, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				var sum float64
+				for _, t := range g.In.Neighbors(graph.NodeID(u)) {
+					sum += scaled[t]
+				}
+				nxt[u] = base + damping*sum
+			}
+		})
+		pr, nxt = nxt, pr
+	}
+	return pr
+}
+
+// PageRankApprox runs delta-propagation PageRank with deactivation below
+// threshold, matching the engine's approximate variant.
+func PageRankApprox(g *graph.Graph, damping, threshold float64, maxIter int, threads Threads) ([]float64, int) {
+	n := g.NumNodes()
+	base := (1 - damping) / float64(n)
+	pr := make([]float64, n)
+	scaledDelta := make([]float64, n)
+	deltaNxt := make([]uint64, n) // float bits, accumulated atomically
+	active := make([]bool, n)
+	for u := 0; u < n; u++ {
+		pr[u] = base
+		active[u] = true
+		if d := g.OutDegree(graph.NodeID(u)); d > 0 {
+			scaledDelta[u] = damping * base / float64(d)
+		}
+	}
+	iters := 0
+	for it := 0; it < maxIter; it++ {
+		parallelFor(n, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if !active[u] {
+					continue
+				}
+				v := scaledDelta[u]
+				for _, t := range g.Out.Neighbors(graph.NodeID(u)) {
+					atomicAddF64(&deltaNxt[t], v)
+				}
+			}
+		})
+		var remaining atomic.Int64
+		parallelFor(n, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				d := math.Float64frombits(deltaNxt[u])
+				deltaNxt[u] = 0
+				pr[u] += d
+				if math.Abs(d) >= threshold {
+					active[u] = true
+					remaining.Add(1)
+					if od := g.OutDegree(graph.NodeID(u)); od > 0 {
+						scaledDelta[u] = damping * d / float64(od)
+					} else {
+						scaledDelta[u] = 0
+					}
+				} else {
+					active[u] = false
+				}
+			}
+		})
+		iters++
+		if remaining.Load() == 0 {
+			break
+		}
+	}
+	return pr, iters
+}
+
+func atomicAddF64(bits *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(bits, old, next) {
+			return
+		}
+	}
+}
+
+// WCC computes weakly connected component labels (min global id per
+// component) by label propagation over the undirected view.
+func WCC(g *graph.Graph, threads Threads) ([]int64, int) {
+	n := g.NumNodes()
+	label := make([]int64, n)
+	for u := range label {
+		label[u] = int64(u)
+	}
+	iters := 0
+	for {
+		var changed atomic.Int64
+		parallelFor(n, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				min := atomic.LoadInt64(&label[u])
+				for _, t := range g.Out.Neighbors(graph.NodeID(u)) {
+					if l := atomic.LoadInt64(&label[t]); l < min {
+						min = l
+					}
+				}
+				for _, t := range g.In.Neighbors(graph.NodeID(u)) {
+					if l := atomic.LoadInt64(&label[t]); l < min {
+						min = l
+					}
+				}
+				if min < atomic.LoadInt64(&label[u]) {
+					atomic.StoreInt64(&label[u], min)
+					changed.Add(1)
+				}
+			}
+		})
+		iters++
+		if changed.Load() == 0 {
+			break
+		}
+	}
+	return label, iters
+}
+
+// SSSP computes Bellman-Ford shortest paths from source; unreachable nodes
+// report +Inf. The graph must be weighted.
+func SSSP(g *graph.Graph, source graph.NodeID, threads Threads) ([]float64, int) {
+	n := g.NumNodes()
+	dist := make([]uint64, n) // float bits
+	inf := math.Float64bits(math.Inf(1))
+	for u := range dist {
+		dist[u] = inf
+	}
+	dist[source] = math.Float64bits(0)
+	iters := 0
+	for {
+		var changed atomic.Int64
+		parallelFor(n, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				du := math.Float64frombits(atomic.LoadUint64(&dist[u]))
+				if math.IsInf(du, 1) {
+					continue
+				}
+				nbrs := g.Out.Neighbors(graph.NodeID(u))
+				ws := g.Out.EdgeWeights(graph.NodeID(u))
+				for i, t := range nbrs {
+					nd := du + ws[i]
+					for {
+						old := atomic.LoadUint64(&dist[t])
+						if math.Float64frombits(old) <= nd {
+							break
+						}
+						if atomic.CompareAndSwapUint64(&dist[t], old, math.Float64bits(nd)) {
+							changed.Add(1)
+							break
+						}
+					}
+				}
+			}
+		})
+		iters++
+		if changed.Load() == 0 {
+			break
+		}
+	}
+	out := make([]float64, n)
+	for u := range out {
+		out[u] = math.Float64frombits(dist[u])
+	}
+	return out, iters
+}
+
+// HopDist computes BFS hop distances from root; unreachable nodes report
+// math.MaxInt64. Level-synchronous frontier sweep.
+func HopDist(g *graph.Graph, root graph.NodeID, threads Threads) ([]int64, int) {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	for u := range dist {
+		dist[u] = math.MaxInt64
+	}
+	dist[root] = 0
+	depth := int64(0)
+	iters := 0
+	for {
+		var changed atomic.Int64
+		parallelFor(n, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if atomic.LoadInt64(&dist[u]) != depth {
+					continue
+				}
+				for _, t := range g.Out.Neighbors(graph.NodeID(u)) {
+					if atomic.LoadInt64(&dist[t]) > depth+1 {
+						atomic.StoreInt64(&dist[t], depth+1)
+						changed.Add(1)
+					}
+				}
+			}
+		})
+		iters++
+		if changed.Load() == 0 {
+			break
+		}
+		depth++
+	}
+	return dist, iters
+}
+
+// Eigenvector runs iters power iterations of eigenvector centrality with L2
+// normalization, matching the engine's pull implementation.
+func Eigenvector(g *graph.Graph, iters int, threads Threads) []float64 {
+	n := g.NumNodes()
+	ev := make([]float64, n)
+	nxt := make([]float64, n)
+	for u := range ev {
+		ev[u] = 1 / math.Sqrt(float64(n))
+	}
+	for it := 0; it < iters; it++ {
+		partials := make([]float64, threads.count())
+		var pi atomic.Int64
+		parallelFor(n, threads, func(lo, hi int) {
+			slot := int(pi.Add(1)) - 1
+			var local float64
+			for u := lo; u < hi; u++ {
+				var sum float64
+				for _, t := range g.In.Neighbors(graph.NodeID(u)) {
+					sum += ev[t]
+				}
+				nxt[u] = sum
+				local += sum * sum
+			}
+			if slot < len(partials) {
+				partials[slot] = local
+			}
+		})
+		var sumSq float64
+		for _, p := range partials {
+			sumSq += p
+		}
+		invNorm := 0.0
+		if sumSq > 0 {
+			invNorm = 1 / math.Sqrt(sumSq)
+		}
+		parallelFor(n, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				ev[u] = nxt[u] * invNorm
+			}
+		})
+	}
+	return ev
+}
+
+// KCore returns the maximum core number and per-node core numbers by
+// synchronous parallel peeling over the undirected view.
+func KCore(g *graph.Graph, threads Threads) (int64, []int64, int) {
+	n := g.NumNodes()
+	deg := make([]int64, n)
+	for u := 0; u < n; u++ {
+		deg[u] = g.TotalDegree(graph.NodeID(u))
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	coreNum := make([]int64, n)
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	best := int64(0)
+	iters := 0
+	for k := int64(1); remaining.Load() > 0; k++ {
+		for {
+			var removed atomic.Int64
+			dying := make([]bool, n)
+			parallelFor(n, threads, func(lo, hi int) {
+				for u := lo; u < hi; u++ {
+					if alive[u] && atomic.LoadInt64(&deg[u]) < k {
+						alive[u] = false
+						dying[u] = true
+						removed.Add(1)
+					}
+				}
+			})
+			iters++
+			if removed.Load() == 0 {
+				break
+			}
+			remaining.Add(-removed.Load())
+			parallelFor(n, threads, func(lo, hi int) {
+				for u := lo; u < hi; u++ {
+					if !dying[u] {
+						continue
+					}
+					for _, t := range g.Out.Neighbors(graph.NodeID(u)) {
+						atomic.AddInt64(&deg[t], -1)
+					}
+					for _, t := range g.In.Neighbors(graph.NodeID(u)) {
+						atomic.AddInt64(&deg[t], -1)
+					}
+				}
+			})
+		}
+		if remaining.Load() == 0 {
+			break
+		}
+		best = k
+		parallelFor(n, threads, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				if alive[u] {
+					coreNum[u] = k
+				}
+			}
+		})
+	}
+	return best, coreNum, iters
+}
+
+// EdgeIterationRate iterates every out-edge once doing trivial work and
+// returns edges visited — the Figure 5a microbenchmark kernel ("a simple
+// algorithm that iterates over all the edges in the graph without doing
+// actual communication at all"). The checksum defeats dead-code elimination.
+func EdgeIterationRate(g *graph.Graph, threads Threads) int64 {
+	n := g.NumNodes()
+	partials := make([]int64, threads.count()+1)
+	var pi atomic.Int64
+	parallelFor(n, threads, func(lo, hi int) {
+		slot := int(pi.Add(1))
+		var acc int64
+		for u := lo; u < hi; u++ {
+			for _, t := range g.Out.Neighbors(graph.NodeID(u)) {
+				acc += int64(t)
+			}
+		}
+		if slot < len(partials) {
+			partials[slot] = acc
+		}
+	})
+	var sum int64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum
+}

@@ -1,0 +1,307 @@
+package sa
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.RMAT(9, 8, graph.TwitterLike(), 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// seqPageRank is a deliberately simple sequential reference.
+func seqPageRank(g *graph.Graph, iters int, damping float64) []float64 {
+	n := g.NumNodes()
+	pr := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		nxt := make([]float64, n)
+		for u := 0; u < n; u++ {
+			var sum float64
+			for _, t := range g.In.Neighbors(graph.NodeID(u)) {
+				if d := g.OutDegree(t); d > 0 {
+					sum += pr[t] / float64(d)
+				}
+			}
+			nxt[u] = base + damping*sum
+		}
+		pr = nxt
+	}
+	return pr
+}
+
+func TestPageRankMatchesSequentialAcrossThreads(t *testing.T) {
+	g := testGraph(t)
+	want := seqPageRank(g, 6, 0.85)
+	for _, th := range []Threads{1, 2, 8, 0} {
+		got := PageRank(g, 6, 0.85, th)
+		for u := range want {
+			if d := math.Abs(got[u] - want[u]); d > 1e-12 {
+				t.Fatalf("threads=%d node %d: %g vs %g", th, u, got[u], want[u])
+			}
+		}
+	}
+}
+
+func TestApproxConvergesToExact(t *testing.T) {
+	g := testGraph(t)
+	exact := seqPageRank(g, 60, 0.85)
+	approx, iters := PageRankApprox(g, 0.85, 1e-8, 200, 4)
+	if iters == 0 || iters == 200 {
+		t.Errorf("approx iterations = %d", iters)
+	}
+	for u := range exact {
+		if d := math.Abs(approx[u] - exact[u]); d > 1e-5 {
+			t.Fatalf("node %d: approx %g vs exact %g", u, approx[u], exact[u])
+		}
+	}
+}
+
+// seqWCC via union-find.
+func seqWCC(g *graph.Graph) []int64 {
+	n := g.NumNodes()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := 0; u < n; u++ {
+		for _, v := range g.Out.Neighbors(graph.NodeID(u)) {
+			ru, rv := find(u), find(int(v))
+			if ru != rv {
+				if ru < rv {
+					parent[rv] = ru
+				} else {
+					parent[ru] = rv
+				}
+			}
+		}
+	}
+	// Min-id labels need a second normalization pass: the union order above
+	// keeps the smaller root, so find(u) is already the component min.
+	out := make([]int64, n)
+	for u := range out {
+		out[u] = int64(find(u))
+	}
+	return out
+}
+
+func TestWCCMatchesUnionFind(t *testing.T) {
+	g := testGraph(t)
+	want := seqWCC(g)
+	for _, th := range []Threads{1, 4} {
+		got, iters := WCC(g, th)
+		if iters == 0 {
+			t.Fatal("0 iterations")
+		}
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("threads=%d node %d: %d vs %d", th, u, got[u], want[u])
+			}
+		}
+	}
+}
+
+// seqSSSP via Bellman-Ford.
+func seqSSSP(g *graph.Graph, src graph.NodeID) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	for {
+		changed := false
+		for u := 0; u < n; u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			nbrs := g.Out.Neighbors(graph.NodeID(u))
+			ws := g.Out.EdgeWeights(graph.NodeID(u))
+			for i, v := range nbrs {
+				if nd := dist[u] + ws[i]; nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestSSSPMatchesSequential(t *testing.T) {
+	g := testGraph(t).WithUniformWeights(0.5, 3, 3)
+	want := seqSSSP(g, 0)
+	got, iters := SSSP(g, 0, 4)
+	if iters == 0 {
+		t.Fatal("0 iterations")
+	}
+	for u := range want {
+		if math.IsInf(want[u], 1) {
+			if !math.IsInf(got[u], 1) {
+				t.Fatalf("node %d reachable in parallel but not sequential", u)
+			}
+			continue
+		}
+		if d := math.Abs(got[u] - want[u]); d > 1e-9 {
+			t.Fatalf("node %d: %g vs %g", u, got[u], want[u])
+		}
+	}
+}
+
+func TestHopDistProperties(t *testing.T) {
+	g := testGraph(t)
+	dist, _ := HopDist(g, 0, 4)
+	if dist[0] != 0 {
+		t.Fatal("root distance not 0")
+	}
+	// Triangle inequality along every edge: dist[v] <= dist[u]+1.
+	for u := 0; u < g.NumNodes(); u++ {
+		if dist[u] == math.MaxInt64 {
+			continue
+		}
+		for _, v := range g.Out.Neighbors(graph.NodeID(u)) {
+			if dist[v] > dist[u]+1 {
+				t.Fatalf("edge %d->%d: dist %d -> %d", u, v, dist[u], dist[v])
+			}
+		}
+	}
+	// Every finite-distance node except the root has an in-neighbor one
+	// hop closer.
+	for u := 1; u < g.NumNodes(); u++ {
+		if dist[u] == math.MaxInt64 || dist[u] == 0 {
+			continue
+		}
+		ok := false
+		for _, v := range g.In.Neighbors(graph.NodeID(u)) {
+			if dist[v] == dist[u]-1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("node %d at distance %d has no predecessor", u, dist[u])
+		}
+	}
+}
+
+func TestEigenvectorNormalized(t *testing.T) {
+	g := testGraph(t)
+	ev := Eigenvector(g, 10, 4)
+	var norm float64
+	for _, v := range ev {
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Errorf("||ev||² = %g", norm)
+	}
+	// Deterministic across thread counts.
+	ev1 := Eigenvector(g, 10, 1)
+	for u := range ev {
+		if math.Abs(ev[u]-ev1[u]) > 1e-12 {
+			t.Fatalf("node %d differs across thread counts", u)
+		}
+	}
+}
+
+func TestKCoreInvariant(t *testing.T) {
+	g := testGraph(t)
+	best, coreNum, iters := KCore(g, 4)
+	if iters == 0 {
+		t.Fatal("0 iterations")
+	}
+	if best <= 0 {
+		t.Fatalf("best = %d", best)
+	}
+	// Invariant: within the subgraph of nodes with coreNum >= k, every such
+	// node has >= k neighbors (undirected multigraph view). Check k = best.
+	inCore := func(u int) bool { return coreNum[u] >= best }
+	for u := 0; u < g.NumNodes(); u++ {
+		if !inCore(u) {
+			continue
+		}
+		cnt := int64(0)
+		for _, v := range g.Out.Neighbors(graph.NodeID(u)) {
+			if inCore(int(v)) {
+				cnt++
+			}
+		}
+		for _, v := range g.In.Neighbors(graph.NodeID(u)) {
+			if inCore(int(v)) {
+				cnt++
+			}
+		}
+		if cnt < best {
+			t.Fatalf("node %d in %d-core has only %d core neighbors", u, best, cnt)
+		}
+	}
+	// Max core number must appear.
+	found := false
+	for _, cn := range coreNum {
+		if cn == best {
+			found = true
+		}
+		if cn > best {
+			t.Fatalf("core number %d exceeds best %d", cn, best)
+		}
+	}
+	if !found {
+		t.Error("no node carries the max core number")
+	}
+}
+
+func TestEdgeIterationRateChecksum(t *testing.T) {
+	g := testGraph(t)
+	want := EdgeIterationRate(g, 1)
+	for _, th := range []Threads{2, 4, 0} {
+		if got := EdgeIterationRate(g, th); got != want {
+			t.Fatalf("threads=%d checksum %d, want %d", th, got, want)
+		}
+	}
+	// Checksum equals the direct sum of all edge targets.
+	var direct int64
+	for _, v := range g.Out.Cols {
+		direct += int64(v)
+	}
+	if want != direct {
+		t.Fatalf("checksum %d, direct %d", want, direct)
+	}
+}
+
+func TestParallelForCoverage(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, th := range []Threads{1, 3, 16} {
+			seen := make([]bool, n)
+			parallelFor(n, th, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seen[i] = true
+				}
+			})
+			for i, s := range seen {
+				if !s {
+					t.Fatalf("n=%d threads=%d: index %d not covered", n, th, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/baseline/gas"
+	"repro/internal/baseline/sa"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// --- Figure 4: uniform random vs skewed graph -------------------------------
+
+// Fig4Opts parameterizes the communication-isolation experiment: exact
+// PageRank on a uniform random graph (inherently balanced, maximally
+// communicating) versus the skewed TWT' instance.
+type Fig4Opts struct {
+	Scale         int
+	MachineCounts []int
+	Workers       int
+	Copiers       int
+	PRIters       int
+	Progress      Progress
+}
+
+// DefaultFig4Opts returns laptop-scale defaults.
+func DefaultFig4Opts() Fig4Opts {
+	return Fig4Opts{Scale: DefaultScale, MachineCounts: []int{1, 2, 4}, Workers: 4, Copiers: 2, PRIters: 5}
+}
+
+// ExpFig4 runs PageRank (exact) per system on UNI' and TWT' and reports
+// relative performance normalized to GL on the smallest machine count, the
+// paper's Figure 4 layout.
+func ExpFig4(ds *Datasets, opts Fig4Opts) (*Table, error) {
+	t := &Table{Title: "Figure 4: PageRank(exact) on uniform vs skewed graph (relative perf, GL@min = 1.0)"}
+	t.Header = []string{"graph", "series"}
+	for _, p := range opts.MachineCounts {
+		t.Header = append(t.Header, fmt.Sprintf("p=%d", p))
+	}
+	for _, dsName := range []string{DSUniform, DSTwitter} {
+		g, err := ds.Get(dsName, opts.Scale)
+		if err != nil {
+			return nil, err
+		}
+		cfgFor := func(p int) CellConfig {
+			cfg := DefaultCellConfig(p)
+			cfg.Workers, cfg.Copiers, cfg.PRIters = opts.Workers, opts.Copiers, opts.PRIters
+			return cfg
+		}
+		var base float64
+		series := []struct {
+			label string
+			run   func(p int) (CellResult, error)
+		}{
+			{"GL push", func(p int) (CellResult, error) { return runGL(AlgoPRPush, g, cfgFor(p)) }},
+			{"PGX push", func(p int) (CellResult, error) { return runPGX(AlgoPRPush, g, cfgFor(p)) }},
+			{"PGX pull", func(p int) (CellResult, error) { return runPGX(AlgoPRPull, g, cfgFor(p)) }},
+		}
+		for si, sr := range series {
+			opts.Progress.log("fig4: %s %s", dsName, sr.label)
+			row := []string{dsName, sr.label}
+			for pi, p := range opts.MachineCounts {
+				res, err := sr.run(p)
+				if err != nil {
+					return nil, err
+				}
+				if si == 0 && pi == 0 {
+					base = res.Seconds
+				}
+				row = append(row, fmtRel(base/res.Seconds))
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"UNI': (P-1)/P of edges cross partitions regardless of layout — communication-bound",
+		"PGX advantage on UNI' isolates communication efficiency; the larger TWT' gap adds load balance")
+	return t, nil
+}
+
+// --- Figure 5a: edge iteration rate vs threads -------------------------------
+
+// edgeIterKernel touches every edge through the engine with no data
+// movement — the framework-overhead microbenchmark.
+type edgeIterKernel struct {
+	core.NoReads
+}
+
+func (k *edgeIterKernel) Run(c *core.Ctx) {
+	_ = c.NbrRef()
+}
+
+// ExpFig5a measures edge-iteration throughput (millions of edges per
+// second, single machine) versus thread count for the SA loop, the PGX.D
+// engine, and the GAS engine.
+func ExpFig5a(ds *Datasets, scale int, threadCounts []int, prog Progress) (*Table, error) {
+	g, err := ds.Get(DSTwitter, scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Figure 5a: edge iteration rate, single machine (million edges/second)"}
+	t.Header = []string{"threads", "SA(OpenMP-style)", "PGX.D", "GL(GAS)"}
+	edges := float64(g.NumEdges())
+	for _, th := range threadCounts {
+		prog.log("fig5a: threads=%d", th)
+		// SA: raw CSR loop.
+		start := time.Now()
+		sa.EdgeIterationRate(g, sa.Threads(th))
+		saRate := edges / time.Since(start).Seconds() / 1e6
+
+		// PGX.D: one machine, th workers, empty per-edge kernel.
+		cfg := core.DefaultConfig(1)
+		cfg.Workers = th
+		c, err := core.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Load(g); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		stats, err := c.RunJob(core.JobSpec{Name: "edge-iter", Iter: core.IterOutEdges, Task: &edgeIterKernel{}})
+		c.Shutdown()
+		if err != nil {
+			return nil, err
+		}
+		pgxRate := edges / stats.Duration.Seconds() / 1e6
+
+		// GAS: one machine, th threads.
+		_, gst, err := gas.EdgeIteration(g, th)
+		if err != nil {
+			return nil, err
+		}
+		gasRate := edges / gst.Duration.Seconds() / 1e6
+
+		t.AddRow(fmt.Sprint(th), fmt.Sprintf("%.1f", saRate), fmt.Sprintf("%.1f", pgxRate), fmt.Sprintf("%.1f", gasRate))
+	}
+	t.Notes = append(t.Notes, "expected shape: SA fastest, PGX.D close behind, GAS well below (paper Fig 5a)")
+	return t, nil
+}
+
+// --- Figure 5b: barrier latency ----------------------------------------------
+
+// ExpFig5b measures the engine's distributed barrier latency versus machine
+// count.
+func ExpFig5b(machineCounts []int, rounds int, prog Progress) (*Table, error) {
+	t := &Table{Title: "Figure 5b: barrier latency vs machines"}
+	t.Header = []string{"machines", "barrier latency"}
+	for _, p := range machineCounts {
+		prog.log("fig5b: p=%d", p)
+		c, err := core.NewCluster(core.DefaultConfig(p))
+		if err != nil {
+			return nil, err
+		}
+		// The barrier needs a loaded graph only for the engine's Load
+		// invariants, not for the measurement; a tiny instance suffices.
+		g, err := dummyGraph()
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		if err := c.Load(g); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		// Warm up, then measure.
+		for i := 0; i < 10; i++ {
+			if err := c.Barrier(); err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if err := c.Barrier(); err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+		}
+		per := time.Since(start) / time.Duration(rounds)
+		c.Shutdown()
+		t.AddRow(fmt.Sprint(p), per.String())
+	}
+	t.Notes = append(t.Notes, "latency grows with machine count but stays far below per-step compute times (paper Fig 5b)")
+	return t, nil
+}
+
+func dummyGraph() (*graph.Graph, error) {
+	return graph.Uniform(64, 256, 1)
+}
+
+// --- Figure 6a: ghost node sweep ----------------------------------------------
+
+// ExpFig6a sweeps the ghost count and reports runtime and data traffic of
+// PageRank-pull on TWT', both relative to the no-ghost run — the paper's
+// Figure 6a.
+func ExpFig6a(ds *Datasets, scale int, machines int, ghostCounts []int, prog Progress) (*Table, error) {
+	g, err := ds.Get(DSTwitter, scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Figure 6a: ghost-node effect on runtime and traffic (PR-pull on TWT')"}
+	t.Header = []string{"ghosts", "runtime", "traffic", "rel runtime", "rel traffic"}
+	var baseTime, baseTraffic float64
+	for i, gc := range ghostCounts {
+		prog.log("fig6a: ghosts=%d", gc)
+		cfg := core.DefaultConfig(machines)
+		cfg.GhostCount = gc
+		if gc == 0 {
+			cfg.GhostThreshold = -1
+		}
+		c, err := core.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Load(g); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		_, met, err := algorithms.PageRankPull(c, 3, 0.85)
+		c.Shutdown()
+		if err != nil {
+			return nil, err
+		}
+		secs := met.Total.Seconds()
+		traffic := float64(met.Traffic.DataBytesSent)
+		if i == 0 {
+			baseTime, baseTraffic = secs, traffic
+		}
+		t.AddRow(fmt.Sprint(gc), fmtSecs(secs), fmtBytes(int64(traffic)),
+			fmt.Sprintf("%.2f", secs/baseTime), fmt.Sprintf("%.2f", traffic/baseTraffic))
+	}
+	t.Notes = append(t.Notes,
+		"traffic falls steeply with the first few hundred ghosts (skewed degree distribution)",
+		"runtime saturates once the network stops being the bottleneck (paper: ~75% at ~500 ghosts)")
+	return t, nil
+}
+
+// --- Figure 6b: edge vs vertex partitioning -----------------------------------
+
+// ExpFig6b compares edge partitioning against vertex partitioning for
+// PageRank-pull on TWT' across machine counts (ghosting enabled for both,
+// as in the paper).
+func ExpFig6b(ds *Datasets, scale int, machineCounts []int, prog Progress) (*Table, error) {
+	g, err := ds.Get(DSTwitter, scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Figure 6b: edge vs vertex partitioning (PR-pull on TWT')"}
+	t.Header = []string{"machines", "vertex part.", "edge part.", "edge speedup", "imbal. vertex", "imbal. edge"}
+	for _, p := range machineCounts {
+		prog.log("fig6b: p=%d", p)
+		times := make(map[partition.Strategy]float64)
+		imbal := make(map[partition.Strategy]float64)
+		for _, strat := range []partition.Strategy{partition.VertexBalanced, partition.EdgeBalanced} {
+			cfg := core.DefaultConfig(p)
+			cfg.Partitioning = strat
+			c, err := core.NewCluster(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.Load(g); err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			_, met, err := algorithms.PageRankPull(c, 3, 0.85)
+			imbal[strat] = c.Layout().EdgeImbalance(g)
+			c.Shutdown()
+			if err != nil {
+				return nil, err
+			}
+			times[strat] = met.Total.Seconds()
+		}
+		t.AddRow(fmt.Sprint(p), fmtSecs(times[partition.VertexBalanced]), fmtSecs(times[partition.EdgeBalanced]),
+			fmtRel(times[partition.VertexBalanced]/times[partition.EdgeBalanced]),
+			fmt.Sprintf("%.2f", imbal[partition.VertexBalanced]), fmt.Sprintf("%.2f", imbal[partition.EdgeBalanced]))
+	}
+	t.Notes = append(t.Notes,
+		"the edge-partitioning benefit grows with machine count (paper Fig 6b)",
+		"imbal. = max/mean per-machine edge weight (1.00 is perfect); structural, so it holds even when wall time is CPU-bound")
+	return t, nil
+}
+
+// --- Figure 6c: load-balancing breakdown ---------------------------------------
+
+// ExpFig6c decomposes PageRank-pull runtime into the paper's Figure 6c
+// components under three configurations: ghosting only (vertex partitioning
+// + node chunking), plus edge partitioning, plus edge chunking.
+func ExpFig6c(ds *Datasets, scale int, machines int, prog Progress) (*Table, error) {
+	g, err := ds.Get(DSTwitter, scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Figure 6c: execution-time breakdown of load-balancing techniques (PR-pull on TWT')"}
+	t.Header = []string{"config", "total", "fully parallel", "intra-machine imbal.", "inter-machine imbal.", "sync"}
+	configs := []struct {
+		label string
+		strat partition.Strategy
+		nodes bool
+	}{
+		{"ghost only (vertex part., node chunks)", partition.VertexBalanced, true},
+		{"+ edge partitioning", partition.EdgeBalanced, true},
+		{"+ edge chunking", partition.EdgeBalanced, false},
+	}
+	for _, cc := range configs {
+		prog.log("fig6c: %s", cc.label)
+		cfg := core.DefaultConfig(machines)
+		cfg.Partitioning = cc.strat
+		cfg.NodeChunking = cc.nodes
+		c, err := core.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Load(g); err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		_, met, err := algorithms.PageRankPull(c, 3, 0.85)
+		c.Shutdown()
+		if err != nil {
+			return nil, err
+		}
+		total := met.Total.Seconds()
+		pct := func(d time.Duration) string {
+			return fmt.Sprintf("%.0f%%", 100*d.Seconds()/total)
+		}
+		b := met.Breakdown
+		t.AddRow(cc.label, fmtSecs(total), pct(b.FullyParallel), pct(b.IntraMachine), pct(b.InterMachine), pct(b.Sync))
+	}
+	t.Notes = append(t.Notes,
+		"edge partitioning alone moves imbalance from machines to cores; edge chunking removes it (paper Fig 6c)")
+	return t, nil
+}
+
+// --- Figure 7: worker/copier grid ----------------------------------------------
+
+// ExpFig7 sweeps worker and copier counts for PageRank-pull, reporting
+// relative performance with the best cell as 1.00 — the paper's Figure 7
+// heat map.
+func ExpFig7(ds *Datasets, scale, machines int, workerCounts, copierCounts []int, prog Progress) (*Table, error) {
+	g, err := ds.Get(DSTwitter, scale)
+	if err != nil {
+		return nil, err
+	}
+	secs := make(map[[2]int]float64)
+	best := 0.0
+	for _, w := range workerCounts {
+		for _, cp := range copierCounts {
+			prog.log("fig7: workers=%d copiers=%d", w, cp)
+			cfg := core.DefaultConfig(machines)
+			cfg.Workers, cfg.Copiers = w, cp
+			c, err := core.NewCluster(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.Load(g); err != nil {
+				c.Shutdown()
+				return nil, err
+			}
+			_, met, err := algorithms.PageRankPull(c, 3, 0.85)
+			c.Shutdown()
+			if err != nil {
+				return nil, err
+			}
+			s := met.Total.Seconds()
+			secs[[2]int{w, cp}] = s
+			if best == 0 || s < best {
+				best = s
+			}
+		}
+	}
+	t := &Table{Title: "Figure 7: relative performance across worker/copier counts (best = 1.00)"}
+	t.Header = []string{"workers \\ copiers"}
+	for _, cp := range copierCounts {
+		t.Header = append(t.Header, fmt.Sprint(cp))
+	}
+	for _, w := range workerCounts {
+		row := []string{fmt.Sprint(w)}
+		for _, cp := range copierCounts {
+			row = append(row, fmt.Sprintf("%.2f", best/secs[[2]int{w, cp}]))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "performance collapses when either thread kind is under-provisioned (paper Fig 7)")
+	return t, nil
+}

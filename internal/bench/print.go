@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result: a header, labeled rows, and
+// footnotes. The harness prints these in the paper's table shapes so runs
+// can be compared against the publication side by side.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// fmtSecs renders seconds with sensible precision across µs..minutes.
+func fmtSecs(s float64) string {
+	switch {
+	case s <= 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	case s < 100:
+		return fmt.Sprintf("%.2fs", s)
+	default:
+		return fmt.Sprintf("%.0fs", s)
+	}
+}
+
+// fmtRel renders a relative-performance multiple.
+func fmtRel(r float64) string {
+	if r <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", r)
+}
+
+// fmtBytes renders a byte count.
+func fmtBytes(b int64) string {
+	switch {
+	case b < 1<<10:
+		return fmt.Sprintf("%dB", b)
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	}
+}
+
+// fmtBandwidth renders bytes/second.
+func fmtBandwidth(bps float64) string {
+	switch {
+	case bps < 1e6:
+		return fmt.Sprintf("%.1fKB/s", bps/1e3)
+	case bps < 1e9:
+		return fmt.Sprintf("%.1fMB/s", bps/1e6)
+	default:
+		return fmt.Sprintf("%.2fGB/s", bps/1e9)
+	}
+}
+
+// Progress receives human-readable updates during long experiments; nil
+// disables reporting.
+type Progress func(format string, args ...any)
+
+func (p Progress) log(format string, args ...any) {
+	if p != nil {
+		p(format, args...)
+	}
+}

@@ -1,0 +1,168 @@
+package bench
+
+// Substrate micro-benchmarks: the building blocks under every table/figure.
+// Not tied to a specific paper artifact, but useful for regression-spotting
+// in the pieces whose costs the experiments aggregate.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/reduce"
+)
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	ds := NewDatasets()
+	g, err := ds.Get(DSTwitter, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkSubstrate_CSRBuild(b *testing.B) {
+	g := benchGraph(b)
+	edges := g.EdgeList()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.FromEdges(g.NumNodes(), edges, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(g.NumEdges() * 8)
+}
+
+func BenchmarkSubstrate_RMATGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.RMAT(12, 8, graph.TwitterLike(), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_PartitionCompute(b *testing.B) {
+	g := benchGraph(b)
+	for _, strat := range []partition.Strategy{partition.VertexBalanced, partition.EdgeBalanced} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.Compute(g, 8, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSubstrate_GhostSelect(b *testing.B) {
+	g := benchGraph(b)
+	b.Run("threshold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			partition.SelectGhosts(g, 128)
+		}
+	})
+	b.Run("topk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			partition.SelectTopGhosts(g, 256)
+		}
+	})
+}
+
+func BenchmarkSubstrate_EdgeChunks(b *testing.B) {
+	g := benchGraph(b)
+	target := g.NumEdges() / 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		partition.EdgeChunks(g.Out.Rows, target)
+	}
+}
+
+func BenchmarkSubstrate_AtomicReduceF64(b *testing.B) {
+	for _, op := range []reduce.Op{reduce.Sum, reduce.Min} {
+		b.Run(op.String(), func(b *testing.B) {
+			var bits atomic.Uint64
+			for i := 0; i < b.N; i++ {
+				reduce.AtomicApplyF64(&bits, op, float64(i%7))
+			}
+		})
+	}
+}
+
+func BenchmarkSubstrate_BufferAppend(b *testing.B) {
+	pool := comm.NewPool(1, 256<<10)
+	buf := pool.Acquire()
+	defer buf.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset(comm.Header{Type: comm.MsgWriteReq})
+		for buf.Room() >= 16 {
+			buf.AppendU64(uint64(i))
+			buf.AppendU64(uint64(i) * 3)
+		}
+	}
+	b.SetBytes(int64(buf.Cap()))
+}
+
+func BenchmarkSubstrate_InProcRoundTrip(b *testing.B) {
+	f := comm.NewInProcFabric(2, 64)
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	defer ep0.Close()
+	defer ep1.Close()
+	pool := comm.NewPool(4, 4096)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			buf, ok := ep1.Recv()
+			if !ok {
+				return
+			}
+			// Bounce straight back.
+			buf.SetAux(buf.Header().Aux + 1)
+			if err := ep1.Send(0, buf); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := pool.Acquire()
+		buf.Reset(comm.Header{Type: comm.MsgCtrl, Aux: uint64(i)})
+		if err := ep0.Send(1, buf); err != nil {
+			b.Fatal(err)
+		}
+		resp, ok := ep0.Recv()
+		if !ok {
+			b.Fatal("closed")
+		}
+		resp.Release()
+	}
+	b.StopTimer()
+	ep0.Close()
+	ep1.Close()
+	<-done
+}
+
+func BenchmarkSubstrate_BinaryIO(b *testing.B) {
+	g := benchGraph(b)
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sink countWriter
+			if err := graph.WriteBinary(&sink, g); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(sink.n)
+		}
+	})
+}
+
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/baseline/gas"
+	"repro/internal/baseline/pregel"
+	"repro/internal/baseline/sa"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// System identifies one of the four compared systems, using the paper's
+// Table 3 labels: SA (standalone single machine), GX (GraphX-like Pregel
+// engine), GL (GraphLab-like GAS engine), PGX (this engine).
+type System string
+
+// Systems compared in Table 3 / Figure 3.
+const (
+	SysSA  System = "SA"
+	SysGX  System = "GX"
+	SysGL  System = "GL"
+	SysPGX System = "PGX"
+)
+
+// Algo identifies one algorithm of the paper's Table 2 suite.
+type Algo string
+
+// Algorithms of Table 2.
+const (
+	AlgoPRPull   Algo = "PR(pull)"
+	AlgoPRPush   Algo = "PR(push)"
+	AlgoPRApprox Algo = "PR(approx)"
+	AlgoWCC      Algo = "WCC"
+	AlgoSSSP     Algo = "SSSP"
+	AlgoHopDist  Algo = "HopDist"
+	AlgoEV       Algo = "EV"
+	AlgoKCore    Algo = "KCore"
+)
+
+// AllAlgos lists the Table 3 column order.
+var AllAlgos = []Algo{AlgoPRPull, AlgoPRPush, AlgoPRApprox, AlgoWCC, AlgoSSSP, AlgoHopDist, AlgoEV, AlgoKCore}
+
+// PerIteration reports whether Table 3 lists this algorithm per iteration
+// ("for Pagerank (exact and approximate) and Eigenvector, we report
+// (average) per-iteration execution time").
+func (a Algo) PerIteration() bool {
+	switch a {
+	case AlgoPRPull, AlgoPRPush, AlgoPRApprox, AlgoEV:
+		return true
+	default:
+		return false
+	}
+}
+
+// Supports reports whether the paper's Table 3 has a number for (system,
+// algorithm): data pulling exists only on SA and PGX.D, and the paper has
+// no GraphX k-core (Table 2 marks it unavailable; Table 3 reports n/a).
+func (s System) Supports(a Algo) bool {
+	switch {
+	case a == AlgoPRPull:
+		return s == SysSA || s == SysPGX
+	case a == AlgoKCore && s == SysGX:
+		return false
+	default:
+		return true
+	}
+}
+
+// CellConfig parameterizes one Table 3 cell run.
+type CellConfig struct {
+	// Machines is the simulated cluster size (ignored for SA).
+	Machines int
+	// Workers is worker goroutines per machine (PGX) or threads per
+	// machine (GL/GX) or total threads (SA).
+	Workers int
+	// Copiers is copier goroutines per machine (PGX only).
+	Copiers int
+	// PRIters is the power-iteration count for exact PageRank and EV.
+	PRIters int
+	// ApproxThreshold deactivates vertices whose PageRank delta drops
+	// below it.
+	ApproxThreshold float64
+	// MaxIter bounds convergence loops.
+	MaxIter int
+	// Source is the SSSP/HopDist start vertex.
+	Source graph.NodeID
+	// MaxK bounds the k-core search (0 = unbounded).
+	MaxK int64
+}
+
+// DefaultCellConfig returns the harness defaults for p machines.
+func DefaultCellConfig(p int) CellConfig {
+	return CellConfig{
+		Machines:        p,
+		Workers:         4,
+		Copiers:         2,
+		PRIters:         5,
+		ApproxThreshold: 1e-7,
+		MaxIter:         100000,
+		MaxK:            0,
+	}
+}
+
+// CellResult is one measured Table 3 cell.
+type CellResult struct {
+	// Seconds is per-iteration or total per Algo.PerIteration.
+	Seconds    float64
+	Iterations int
+}
+
+// RunCell executes (system, algorithm) on g with cfg and returns the
+// measured cell. The graph must be weighted for SSSP. Graph loading is not
+// part of the measurement, matching the paper ("numbers in Table 3 only
+// account for the actual computation time").
+func RunCell(sys System, algo Algo, g *graph.Graph, cfg CellConfig) (CellResult, error) {
+	if !sys.Supports(algo) {
+		return CellResult{}, fmt.Errorf("bench: %s does not support %s", sys, algo)
+	}
+	switch sys {
+	case SysSA:
+		return runSA(algo, g, cfg)
+	case SysGL:
+		return runGL(algo, g, cfg)
+	case SysGX:
+		return runGX(algo, g, cfg)
+	case SysPGX:
+		return runPGX(algo, g, cfg)
+	default:
+		return CellResult{}, fmt.Errorf("bench: unknown system %q", sys)
+	}
+}
+
+func cell(algo Algo, total time.Duration, iters int) CellResult {
+	secs := total.Seconds()
+	if algo.PerIteration() && iters > 0 {
+		secs /= float64(iters)
+	}
+	return CellResult{Seconds: secs, Iterations: iters}
+}
+
+func runSA(algo Algo, g *graph.Graph, cfg CellConfig) (CellResult, error) {
+	th := sa.Threads(cfg.Workers)
+	start := time.Now()
+	switch algo {
+	case AlgoPRPull, AlgoPRPush: // SA always computes pull-form
+		sa.PageRank(g, cfg.PRIters, 0.85, th)
+		return cell(algo, time.Since(start), cfg.PRIters), nil
+	case AlgoPRApprox:
+		_, iters := sa.PageRankApprox(g, 0.85, cfg.ApproxThreshold, cfg.MaxIter, th)
+		return cell(algo, time.Since(start), iters), nil
+	case AlgoWCC:
+		_, iters := sa.WCC(g, th)
+		return cell(algo, time.Since(start), iters), nil
+	case AlgoSSSP:
+		_, iters := sa.SSSP(g, cfg.Source, th)
+		return cell(algo, time.Since(start), iters), nil
+	case AlgoHopDist:
+		_, iters := sa.HopDist(g, cfg.Source, th)
+		return cell(algo, time.Since(start), iters), nil
+	case AlgoEV:
+		sa.Eigenvector(g, cfg.PRIters, th)
+		return cell(algo, time.Since(start), cfg.PRIters), nil
+	case AlgoKCore:
+		_, _, iters := sa.KCore(g, th)
+		return cell(algo, time.Since(start), iters), nil
+	}
+	return CellResult{}, fmt.Errorf("bench: unknown algorithm %q", algo)
+}
+
+func runGL(algo Algo, g *graph.Graph, cfg CellConfig) (CellResult, error) {
+	p, th := cfg.Machines, cfg.Workers
+	switch algo {
+	case AlgoPRPush:
+		_, st, err := gas.PageRank(g, p, th, cfg.PRIters, 0.85, 0)
+		return cell(algo, st.Duration, cfg.PRIters), err
+	case AlgoPRApprox:
+		_, st, err := gas.PageRank(g, p, th, cfg.MaxIter, 0.85, cfg.ApproxThreshold)
+		return cell(algo, st.Duration, st.Supersteps), err
+	case AlgoWCC:
+		_, st, err := gas.WCC(g, p, th, cfg.MaxIter)
+		return cell(algo, st.Duration, st.Supersteps), err
+	case AlgoSSSP:
+		_, st, err := gas.SSSP(g, cfg.Source, p, th, cfg.MaxIter)
+		return cell(algo, st.Duration, st.Supersteps), err
+	case AlgoHopDist:
+		_, st, err := gas.HopDist(g, cfg.Source, p, th, cfg.MaxIter)
+		return cell(algo, st.Duration, st.Supersteps), err
+	case AlgoEV:
+		// The paper implemented EV by hand on GraphLab; the GAS form gathers
+		// neighbor sums each round with driver-side L2 normalization.
+		_, st, err := gas.Eigenvector(g, p, th, cfg.PRIters)
+		return cell(algo, st.Duration, cfg.PRIters), err
+	case AlgoKCore:
+		_, _, st, err := gas.KCore(g, p, th, cfg.MaxK)
+		return cell(algo, st.Duration, st.Supersteps), err
+	}
+	return CellResult{}, fmt.Errorf("bench: unknown algorithm %q", algo)
+}
+
+func runGX(algo Algo, g *graph.Graph, cfg CellConfig) (CellResult, error) {
+	p, th := cfg.Machines, cfg.Workers
+	switch algo {
+	case AlgoPRPush:
+		_, st, err := pregel.PageRank(g, p, th, cfg.PRIters, 0.85, 0)
+		return cell(algo, st.Duration, cfg.PRIters), err
+	case AlgoPRApprox:
+		_, st, err := pregel.PageRank(g, p, th, cfg.MaxIter, 0.85, cfg.ApproxThreshold)
+		return cell(algo, st.Duration, st.Supersteps), err
+	case AlgoWCC:
+		_, st, err := pregel.WCC(g, p, th, cfg.MaxIter)
+		return cell(algo, st.Duration, st.Supersteps), err
+	case AlgoSSSP:
+		_, st, err := pregel.SSSP(g, cfg.Source, p, th, cfg.MaxIter)
+		return cell(algo, st.Duration, st.Supersteps), err
+	case AlgoHopDist:
+		_, st, err := pregel.HopDist(g, cfg.Source, p, th, cfg.MaxIter)
+		return cell(algo, st.Duration, st.Supersteps), err
+	case AlgoEV:
+		_, st, err := pregel.Eigenvector(g, p, th, cfg.PRIters)
+		return cell(algo, st.Duration, cfg.PRIters), err
+	}
+	return CellResult{}, fmt.Errorf("bench: unknown algorithm %q", algo)
+}
+
+func runPGX(algo Algo, g *graph.Graph, cfg CellConfig) (CellResult, error) {
+	ccfg := core.DefaultConfig(cfg.Machines)
+	ccfg.Workers = cfg.Workers
+	ccfg.Copiers = cfg.Copiers
+	c, err := core.NewCluster(ccfg)
+	if err != nil {
+		return CellResult{}, err
+	}
+	defer c.Shutdown()
+	if err := c.Load(g); err != nil {
+		return CellResult{}, err
+	}
+	var met algorithms.Metrics
+	switch algo {
+	case AlgoPRPull:
+		_, met, err = algorithms.PageRankPull(c, cfg.PRIters, 0.85)
+	case AlgoPRPush:
+		_, met, err = algorithms.PageRankPush(c, cfg.PRIters, 0.85)
+	case AlgoPRApprox:
+		_, met, err = algorithms.PageRankApprox(c, 0.85, cfg.ApproxThreshold, cfg.MaxIter)
+	case AlgoWCC:
+		_, met, err = algorithms.WCC(c, cfg.MaxIter)
+	case AlgoSSSP:
+		_, met, err = algorithms.SSSP(c, cfg.Source, cfg.MaxIter)
+	case AlgoHopDist:
+		_, met, err = algorithms.HopDist(c, cfg.Source, cfg.MaxIter)
+	case AlgoEV:
+		_, met, err = algorithms.Eigenvector(c, cfg.PRIters)
+	case AlgoKCore:
+		_, _, met, err = algorithms.KCore(c, cfg.MaxK)
+	default:
+		return CellResult{}, fmt.Errorf("bench: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return CellResult{}, err
+	}
+	return cell(algo, met.Total, met.Iterations), nil
+}
+
+// PickSource returns the vertex with the highest out-degree — a stable,
+// well-connected SSSP/BFS source.
+func PickSource(g *graph.Graph) graph.NodeID {
+	best := graph.NodeID(0)
+	var bestDeg int64 = -1
+	for u := 0; u < g.NumNodes(); u++ {
+		if d := g.OutDegree(graph.NodeID(u)); d > bestDeg {
+			bestDeg = d
+			best = graph.NodeID(u)
+		}
+	}
+	return best
+}

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Table3Opts parameterizes the headline comparison (paper Table 3): every
+// algorithm on every system across machine counts.
+type Table3Opts struct {
+	Scale         int
+	MachineCounts []int
+	Workers       int
+	Copiers       int
+	PRIters       int
+	Progress      Progress
+}
+
+// DefaultTable3Opts returns laptop-scale defaults.
+func DefaultTable3Opts() Table3Opts {
+	return Table3Opts{
+		Scale:         DefaultScale,
+		MachineCounts: []int{1, 2, 4},
+		Workers:       4,
+		Copiers:       2,
+		PRIters:       5,
+	}
+}
+
+// Table3Data holds the numeric cells keyed by (system, machines, algo,
+// dataset) for downstream figures (Figure 3 normalizes it).
+type Table3Data struct {
+	Opts  Table3Opts
+	Cells map[string]float64
+}
+
+func t3key(sys System, p int, algo Algo, ds string) string {
+	return fmt.Sprintf("%s/%d/%s/%s", sys, p, algo, ds)
+}
+
+// Get returns one cell's seconds (0 when absent).
+func (d *Table3Data) Get(sys System, p int, algo Algo, ds string) float64 {
+	return d.Cells[t3key(sys, p, algo, ds)]
+}
+
+// algoDatasets returns the two datasets an algorithm column uses: k-core
+// runs on the smaller LJ'/WIK' pair as in the paper ("we used two other
+// public graph instances with smaller size instead").
+func algoDatasets(algo Algo) (string, string) {
+	if algo == AlgoKCore {
+		return DSLive, DSWiki
+	}
+	return DSTwitter, DSWeb
+}
+
+// ExpTable3 runs the full Table 3 sweep and renders it in the paper's
+// layout: one row per (system, machine count), one column per
+// (algorithm, dataset).
+func ExpTable3(ds *Datasets, opts Table3Opts) (*Table, *Table3Data, error) {
+	data := &Table3Data{Opts: opts, Cells: make(map[string]float64)}
+	t := &Table{Title: "Table 3: execution time per system (seconds; PR and EV per iteration)"}
+	t.Header = []string{"sys", "p"}
+	for _, algo := range AllAlgos {
+		a, b := algoDatasets(algo)
+		t.Header = append(t.Header, fmt.Sprintf("%s %s", algo, a), fmt.Sprintf("%s %s", algo, b))
+	}
+
+	cellFor := func(sys System, p int, algo Algo, dsName string) (string, error) {
+		if !sys.Supports(algo) {
+			return "-", nil
+		}
+		var g *graph.Graph
+		var err error
+		if algo == AlgoSSSP {
+			g, err = ds.Weighted(dsName, opts.Scale)
+		} else {
+			g, err = ds.Get(dsName, opts.Scale)
+		}
+		if err != nil {
+			return "", err
+		}
+		cfg := DefaultCellConfig(p)
+		cfg.Workers = opts.Workers
+		cfg.Copiers = opts.Copiers
+		cfg.PRIters = opts.PRIters
+		cfg.Source = PickSource(g)
+		res, err := RunCell(sys, algo, g, cfg)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s/%s/p=%d: %w", sys, algo, dsName, p, err)
+		}
+		data.Cells[t3key(sys, p, algo, dsName)] = res.Seconds
+		return fmtSecs(res.Seconds), nil
+	}
+
+	addRows := func(sys System, machineCounts []int) error {
+		for _, p := range machineCounts {
+			opts.Progress.log("table3: %s p=%d", sys, p)
+			row := []string{string(sys), fmt.Sprint(p)}
+			for _, algo := range AllAlgos {
+				a, b := algoDatasets(algo)
+				ca, err := cellFor(sys, p, algo, a)
+				if err != nil {
+					return err
+				}
+				cb, err := cellFor(sys, p, algo, b)
+				if err != nil {
+					return err
+				}
+				row = append(row, ca, cb)
+			}
+			t.AddRow(row...)
+		}
+		return nil
+	}
+
+	if err := addRows(SysSA, []int{1}); err != nil {
+		return nil, nil, err
+	}
+	for _, sys := range []System{SysGX, SysGL, SysPGX} {
+		if err := addRows(sys, opts.MachineCounts); err != nil {
+			return nil, nil, err
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("graphs at scale %d (2^%d nodes); datasets are generated stand-ins (DESIGN.md §5)", opts.Scale, opts.Scale),
+		"'-' marks combinations the original systems do not support (pull on GL/GX, k-core on GX)",
+		"KCore columns use the smaller LJ'/WIK' instances, as in the paper",
+	)
+	return t, data, nil
+}
+
+// ExpFig3 derives Figure 3 from Table 3 data: relative performance with the
+// GL-like engine at the smallest machine count as 1.0, per (algorithm,
+// dataset).
+func ExpFig3(data *Table3Data) *Table {
+	opts := data.Opts
+	baseP := opts.MachineCounts[0]
+	t := &Table{Title: fmt.Sprintf("Figure 3: relative performance (baseline: GL at %d machine(s) = 1.0)", baseP)}
+	t.Header = []string{"algo", "dataset", fmt.Sprintf("SA@1")}
+	for _, sys := range []System{SysGX, SysGL, SysPGX} {
+		for _, p := range opts.MachineCounts {
+			t.Header = append(t.Header, fmt.Sprintf("%s@%d", sys, p))
+		}
+	}
+	for _, algo := range AllAlgos {
+		a, b := algoDatasets(algo)
+		for _, dsName := range []string{a, b} {
+			base := data.Get(SysGL, baseP, algo, dsName)
+			if base == 0 {
+				continue
+			}
+			row := []string{string(algo), dsName}
+			rel := func(sys System, p int) string {
+				v := data.Get(sys, p, algo, dsName)
+				if v == 0 {
+					return "-"
+				}
+				return fmtRel(base / v)
+			}
+			row = append(row, rel(SysSA, 1))
+			for _, sys := range []System{SysGX, SysGL, SysPGX} {
+				for _, p := range opts.MachineCounts {
+					row = append(row, rel(sys, p))
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Notes = append(t.Notes, "values above 1.0 are faster than the GL baseline; the SA column is the paper's dotted line")
+	return t
+}

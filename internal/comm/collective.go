@@ -1,0 +1,258 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/reduce"
+)
+
+// Collectives implements the control-plane operations the engine runs
+// between parallel regions: the step barrier (Figure 5b measures its
+// latency), allreduce for sequential-region reductions (eigenvector
+// normalization, convergence tests, termination detection), and broadcast.
+//
+// The implementation is a star rooted at machine 0 over MsgCtrl frames. All
+// machines must invoke the same collective sequence (SPMD); frames are
+// matched by (op, seq) so a fast machine running ahead into the next
+// collective cannot confuse a slow one.
+//
+// Collectives is used only by a machine's main goroutine and is not safe for
+// concurrent use within one machine.
+type Collectives struct {
+	ep      Endpoint
+	ctrl    <-chan *Buffer
+	pool    *Pool
+	seq     uint32
+	pending []*Buffer
+}
+
+// Control-frame operation codes, stored in the high half of Header.Aux with
+// the sequence number in the low half.
+const (
+	ctrlBarrierArrive uint32 = iota + 1
+	ctrlBarrierRelease
+	ctrlReduceContrib
+	ctrlReduceResult
+	ctrlBcast
+)
+
+// NewCollectives creates the collective engine for ep, consuming control
+// frames from ctrl (the Router's control channel) and allocating outbound
+// frames from pool.
+func NewCollectives(ep Endpoint, ctrl <-chan *Buffer, pool *Pool) *Collectives {
+	return &Collectives{ep: ep, ctrl: ctrl, pool: pool}
+}
+
+func ctrlAux(op, seq uint32) uint64 { return uint64(op)<<32 | uint64(seq) }
+
+func (c *Collectives) newFrame(op, seq uint32) *Buffer {
+	buf := c.pool.Acquire()
+	buf.Reset(Header{
+		Type:   MsgCtrl,
+		Worker: CtrlWorker,
+		Src:    uint16(c.ep.Machine()),
+		Aux:    ctrlAux(op, seq),
+	})
+	return buf
+}
+
+// waitCtrl blocks for the next control frame matching (op, seq), buffering
+// mismatches for later collectives. The caller owns (and must release) the
+// returned buffer.
+func (c *Collectives) waitCtrl(op, seq uint32) (*Buffer, error) {
+	want := ctrlAux(op, seq)
+	for i, buf := range c.pending {
+		if buf.Header().Aux == want {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return buf, nil
+		}
+	}
+	for {
+		buf, ok := <-c.ctrl
+		if !ok {
+			return nil, fmt.Errorf("comm: control channel closed during collective (op=%d seq=%d)", op, seq)
+		}
+		if buf.Header().Aux == want {
+			return buf, nil
+		}
+		c.pending = append(c.pending, buf)
+	}
+}
+
+// Barrier blocks until every machine has entered it. With one machine it is
+// a no-op. Figure 5b reports this operation's latency versus machine count.
+func (c *Collectives) Barrier() error {
+	c.seq++
+	seq := c.seq
+	p := c.ep.NumMachines()
+	if p == 1 {
+		return nil
+	}
+	me := c.ep.Machine()
+	if me == 0 {
+		for i := 0; i < p-1; i++ {
+			buf, err := c.waitCtrl(ctrlBarrierArrive, seq)
+			if err != nil {
+				return err
+			}
+			buf.Release()
+		}
+		for d := 1; d < p; d++ {
+			if err := c.ep.Send(d, c.newFrame(ctrlBarrierRelease, seq)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.ep.Send(0, c.newFrame(ctrlBarrierArrive, seq)); err != nil {
+		return err
+	}
+	buf, err := c.waitCtrl(ctrlBarrierRelease, seq)
+	if err != nil {
+		return err
+	}
+	buf.Release()
+	return nil
+}
+
+// AllReduceF64 reduces vals element-wise across all machines with op and
+// stores the global result back into vals on every machine.
+func (c *Collectives) AllReduceF64(vals []float64, op reduce.Op) error {
+	return c.allReduce(len(vals),
+		func(buf *Buffer) {
+			for _, v := range vals {
+				buf.AppendU64(math.Float64bits(v))
+			}
+		},
+		func(payload []byte, merge bool) {
+			for i := range vals {
+				v := math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+				if merge {
+					vals[i] = reduce.ApplyF64(op, vals[i], v)
+				} else {
+					vals[i] = v
+				}
+			}
+		})
+}
+
+// AllReduceI64 reduces vals element-wise across all machines with op and
+// stores the global result back into vals on every machine.
+func (c *Collectives) AllReduceI64(vals []int64, op reduce.Op) error {
+	return c.allReduce(len(vals),
+		func(buf *Buffer) {
+			for _, v := range vals {
+				buf.AppendU64(uint64(v))
+			}
+		},
+		func(payload []byte, merge bool) {
+			for i := range vals {
+				v := int64(binary.LittleEndian.Uint64(payload[8*i:]))
+				if merge {
+					vals[i] = reduce.ApplyI64(op, vals[i], v)
+				} else {
+					vals[i] = v
+				}
+			}
+		})
+}
+
+// allReduce implements the star-shaped gather-reduce-broadcast shared by the
+// typed variants. write serializes the local contribution; apply merges a
+// remote payload into the local values (merge=true) or overwrites them with
+// the root's result (merge=false).
+func (c *Collectives) allReduce(n int, write func(*Buffer), apply func(payload []byte, merge bool)) error {
+	c.seq++
+	seq := c.seq
+	p := c.ep.NumMachines()
+	if p == 1 {
+		return nil
+	}
+	if 8*n > c.pool.BufSize()-HeaderSize {
+		return fmt.Errorf("comm: allreduce of %d values exceeds buffer size %d", n, c.pool.BufSize())
+	}
+	me := c.ep.Machine()
+	if me == 0 {
+		for i := 0; i < p-1; i++ {
+			buf, err := c.waitCtrl(ctrlReduceContrib, seq)
+			if err != nil {
+				return err
+			}
+			apply(buf.Payload(), true)
+			buf.Release()
+		}
+		for d := 1; d < p; d++ {
+			out := c.newFrame(ctrlReduceResult, seq)
+			write(out)
+			if err := c.ep.Send(d, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	out := c.newFrame(ctrlReduceContrib, seq)
+	write(out)
+	if err := c.ep.Send(0, out); err != nil {
+		return err
+	}
+	buf, err := c.waitCtrl(ctrlReduceResult, seq)
+	if err != nil {
+		return err
+	}
+	apply(buf.Payload(), false)
+	buf.Release()
+	return nil
+}
+
+// Broadcast distributes machine 0's data to every machine. Machine 0 passes
+// the payload (which is returned unchanged); other machines pass nil and
+// receive a fresh copy of the root's payload.
+func (c *Collectives) Broadcast(data []byte) ([]byte, error) {
+	c.seq++
+	seq := c.seq
+	p := c.ep.NumMachines()
+	me := c.ep.Machine()
+	if me == 0 {
+		if len(data) > c.pool.BufSize()-HeaderSize {
+			return nil, fmt.Errorf("comm: broadcast of %d bytes exceeds buffer size %d", len(data), c.pool.BufSize())
+		}
+		for d := 1; d < p; d++ {
+			out := c.newFrame(ctrlBcast, seq)
+			out.AppendBytes(data)
+			if err := c.ep.Send(d, out); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	buf, err := c.waitCtrl(ctrlBcast, seq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(buf.Payload()))
+	copy(out, buf.Payload())
+	buf.Release()
+	return out, nil
+}
+
+// AllReduceSumI64 is a convenience wrapper: sum a single int64 across all
+// machines.
+func (c *Collectives) AllReduceSumI64(v int64) (int64, error) {
+	vals := []int64{v}
+	if err := c.AllReduceI64(vals, reduce.Sum); err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// AllReduceSumF64 is a convenience wrapper: sum a single float64 across all
+// machines.
+func (c *Collectives) AllReduceSumF64(v float64) (float64, error) {
+	vals := []float64{v}
+	if err := c.AllReduceF64(vals, reduce.Sum); err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}

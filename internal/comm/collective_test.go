@@ -1,0 +1,304 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/reduce"
+)
+
+// clusterHarness boots P routers + collectives over an in-proc fabric and
+// runs fn as each machine's main goroutine.
+func clusterHarness(t *testing.T, p int, fn func(m int, col *Collectives, r *Router)) {
+	t.Helper()
+	f := NewInProcFabric(p, 1024)
+	var wg sync.WaitGroup
+	routers := make([]*Router, p)
+	for m := 0; m < p; m++ {
+		ep, err := f.Endpoint(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routers[m] = NewRouter(ep, RouterConfig{NumWorkers: 2, RespDepth: 64, ReqDepth: 64, CtrlDepth: 64})
+		pool := NewPool(16, 8192)
+		col := NewCollectives(ep, routers[m].Ctrl(), pool)
+		wg.Add(1)
+		go func(m int, col *Collectives, r *Router) {
+			defer wg.Done()
+			fn(m, col, r)
+		}(m, col, routers[m])
+	}
+	wg.Wait()
+	for _, r := range routers {
+		r.Shutdown()
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const p = 5
+	const rounds = 20
+	var phase atomic.Int64
+	counts := make([]atomic.Int64, rounds)
+	clusterHarness(t, p, func(m int, col *Collectives, r *Router) {
+		for i := 0; i < rounds; i++ {
+			counts[i].Add(1)
+			if err := col.Barrier(); err != nil {
+				t.Errorf("machine %d barrier %d: %v", m, i, err)
+				return
+			}
+			// After the barrier, every machine must have entered round i.
+			if got := counts[i].Load(); got != p {
+				t.Errorf("machine %d after barrier %d: only %d arrivals", m, i, got)
+				return
+			}
+			phase.Add(1)
+		}
+	})
+	if phase.Load() != p*rounds {
+		t.Errorf("phases completed = %d, want %d", phase.Load(), p*rounds)
+	}
+}
+
+func TestBarrierSingleMachine(t *testing.T) {
+	clusterHarness(t, 1, func(m int, col *Collectives, r *Router) {
+		for i := 0; i < 3; i++ {
+			if err := col.Barrier(); err != nil {
+				t.Errorf("barrier: %v", err)
+			}
+		}
+	})
+}
+
+func TestAllReduceF64(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			clusterHarness(t, p, func(m int, col *Collectives, r *Router) {
+				vals := []float64{float64(m + 1), float64(m * m), 1}
+				if err := col.AllReduceF64(vals, reduce.Sum); err != nil {
+					t.Errorf("allreduce: %v", err)
+					return
+				}
+				wantSum0 := float64(p*(p+1)) / 2
+				var wantSum1 float64
+				for i := 0; i < p; i++ {
+					wantSum1 += float64(i * i)
+				}
+				if vals[0] != wantSum0 || vals[1] != wantSum1 || vals[2] != float64(p) {
+					t.Errorf("machine %d got %v, want [%g %g %d]", m, vals, wantSum0, wantSum1, p)
+				}
+			})
+		})
+	}
+}
+
+func TestAllReduceI64MinMax(t *testing.T) {
+	const p = 4
+	clusterHarness(t, p, func(m int, col *Collectives, r *Router) {
+		mins := []int64{int64(10 + m)}
+		if err := col.AllReduceI64(mins, reduce.Min); err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		if mins[0] != 10 {
+			t.Errorf("machine %d: min = %d, want 10", m, mins[0])
+		}
+		maxs := []int64{int64(10 + m)}
+		if err := col.AllReduceI64(maxs, reduce.Max); err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		if maxs[0] != 10+p-1 {
+			t.Errorf("machine %d: max = %d, want %d", m, maxs[0], 10+p-1)
+		}
+	})
+}
+
+func TestAllReduceConvenience(t *testing.T) {
+	const p = 3
+	clusterHarness(t, p, func(m int, col *Collectives, r *Router) {
+		si, err := col.AllReduceSumI64(int64(m + 1))
+		if err != nil || si != 6 {
+			t.Errorf("machine %d: sum i64 = %d (%v), want 6", m, si, err)
+		}
+		sf, err := col.AllReduceSumF64(0.5)
+		if err != nil || sf != 1.5 {
+			t.Errorf("machine %d: sum f64 = %g (%v), want 1.5", m, sf, err)
+		}
+	})
+}
+
+func TestBroadcast(t *testing.T) {
+	const p = 4
+	payload := []byte("pivot table: 0,100,200,300")
+	clusterHarness(t, p, func(m int, col *Collectives, r *Router) {
+		var in []byte
+		if m == 0 {
+			in = payload
+		}
+		out, err := col.Broadcast(in)
+		if err != nil {
+			t.Errorf("machine %d: %v", m, err)
+			return
+		}
+		if string(out) != string(payload) {
+			t.Errorf("machine %d got %q", m, out)
+		}
+	})
+}
+
+// Mixed sequences of collectives must not cross-match frames even when some
+// machines race ahead.
+func TestCollectiveSequences(t *testing.T) {
+	const p = 4
+	clusterHarness(t, p, func(m int, col *Collectives, r *Router) {
+		for i := 0; i < 10; i++ {
+			v, err := col.AllReduceSumI64(1)
+			if err != nil || v != p {
+				t.Errorf("machine %d iter %d: %d (%v)", m, i, v, err)
+				return
+			}
+			if err := col.Barrier(); err != nil {
+				t.Errorf("machine %d iter %d barrier: %v", m, i, err)
+				return
+			}
+			out, err := col.Broadcast([]byte{byte(i)})
+			if err != nil || len(out) != 1 || out[0] != byte(i) {
+				t.Errorf("machine %d iter %d bcast: %v %v", m, i, out, err)
+				return
+			}
+		}
+	})
+}
+
+func TestAllReduceTooLarge(t *testing.T) {
+	f := NewInProcFabric(2, 16)
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	r0 := NewRouter(ep0, RouterConfig{NumWorkers: 1})
+	r1 := NewRouter(ep1, RouterConfig{NumWorkers: 1})
+	pool0 := NewPool(4, 64)
+	pool1 := NewPool(4, 64)
+	col0 := NewCollectives(ep0, r0.Ctrl(), pool0)
+	col1 := NewCollectives(ep1, r1.Ctrl(), pool1)
+	errs := make(chan error, 2)
+	go func() { errs <- col0.AllReduceF64(make([]float64, 100), reduce.Sum) }()
+	go func() { errs <- col1.AllReduceF64(make([]float64, 100), reduce.Sum) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err == nil {
+			t.Error("oversized allreduce accepted")
+		}
+	}
+	r0.Shutdown()
+	r1.Shutdown()
+}
+
+func TestRouterRoutesByType(t *testing.T) {
+	f := NewInProcFabric(2, 64)
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	router := NewRouter(ep1, RouterConfig{NumWorkers: 4, RespDepth: 8, ReqDepth: 8, CtrlDepth: 8})
+	pool := NewPool(8, 1024)
+
+	send := func(typ MsgType, worker uint8) {
+		buf := pool.Acquire()
+		buf.Reset(Header{Type: typ, Worker: worker, Src: 0})
+		if err := ep0.Send(1, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(MsgReadReq, 0)
+	send(MsgWriteReq, 1)
+	send(MsgRMIReq, 2)
+	send(MsgReadResp, 2)
+	send(MsgRMIResp, 3)
+	send(MsgReadResp, CtrlWorker)
+	send(MsgCtrl, 0)
+
+	for i := 0; i < 3; i++ {
+		buf := <-router.ReqQueue()
+		typ := buf.Header().Type
+		if typ != MsgReadReq && typ != MsgWriteReq && typ != MsgRMIReq {
+			t.Errorf("req queue got %v", typ)
+		}
+		buf.Release()
+	}
+	if buf := <-router.WorkerResp(2); buf.Header().Type != MsgReadResp {
+		t.Error("worker 2 queue got wrong frame")
+	} else {
+		buf.Release()
+	}
+	if buf := <-router.WorkerResp(3); buf.Header().Type != MsgRMIResp {
+		t.Error("worker 3 queue got wrong frame")
+	} else {
+		buf.Release()
+	}
+	for i := 0; i < 2; i++ {
+		buf := <-router.Ctrl()
+		h := buf.Header()
+		if h.Type != MsgCtrl && !(h.Type == MsgReadResp && h.Worker == CtrlWorker) {
+			t.Errorf("ctrl queue got %+v", h)
+		}
+		buf.Release()
+	}
+	router.Shutdown()
+	ep0.Close()
+	if pool.Outstanding() != 0 {
+		t.Errorf("outstanding buffers: %d", pool.Outstanding())
+	}
+}
+
+func TestRouterShutdownDrains(t *testing.T) {
+	f := NewInProcFabric(2, 64)
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	router := NewRouter(ep1, RouterConfig{NumWorkers: 1, RespDepth: 32, ReqDepth: 32, CtrlDepth: 32})
+	pool := NewPool(16, 1024)
+	for i := 0; i < 10; i++ {
+		buf := pool.Acquire()
+		buf.Reset(Header{Type: MsgWriteReq, Src: 0})
+		if err := ep0.Send(1, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the poller a chance to route some frames; Shutdown must release
+	// everything regardless.
+	router.Shutdown()
+	ep0.Close()
+	if pool.Outstanding() != 0 {
+		t.Errorf("outstanding buffers after shutdown: %d", pool.Outstanding())
+	}
+}
+
+func TestRMIRegistry(t *testing.T) {
+	var reg RMIRegistry
+	double := reg.Register(func(src int, payload []byte) []byte {
+		out := make([]byte, len(payload))
+		for i, b := range payload {
+			out[i] = b * 2
+		}
+		return out
+	})
+	oneWay := reg.Register(func(src int, payload []byte) []byte { return nil })
+	if reg.NumMethods() != 2 {
+		t.Fatalf("NumMethods = %d", reg.NumMethods())
+	}
+	out, err := reg.Dispatch(double, 1, []byte{1, 2, 3})
+	if err != nil || len(out) != 3 || out[2] != 6 {
+		t.Errorf("dispatch double: %v %v", out, err)
+	}
+	out, err = reg.Dispatch(oneWay, 0, nil)
+	if err != nil || out != nil {
+		t.Errorf("dispatch one-way: %v %v", out, err)
+	}
+	if _, err := reg.Dispatch(99, 0, nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler accepted")
+		}
+	}()
+	reg.Register(nil)
+}

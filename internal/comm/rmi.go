@@ -1,0 +1,53 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RMIHandler serves one remote method. It receives the calling machine's id
+// and the request payload, and returns the response payload (nil for
+// one-way methods). Handlers run on copier goroutines and must be safe for
+// concurrent invocation.
+type RMIHandler func(src int, payload []byte) []byte
+
+// RMIRegistry maps method ids to handlers, mirroring the paper §3.4: "At
+// setup time, the PGX.D application registers its RMI methods and gets
+// unique identifiers. At runtime, RMI request messages are encoded with this
+// identifier, out of which the copier executes the appropriate method and
+// generates response messages."
+//
+// Registration happens at setup (before traffic); Dispatch is concurrent.
+type RMIRegistry struct {
+	mu       sync.RWMutex
+	handlers []RMIHandler
+}
+
+// Register adds a handler and returns its method id. All machines must
+// register the same methods in the same order so ids agree cluster-wide.
+func (r *RMIRegistry) Register(h RMIHandler) uint32 {
+	if h == nil {
+		panic("comm: nil RMI handler")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers = append(r.handlers, h)
+	return uint32(len(r.handlers) - 1)
+}
+
+// Dispatch invokes method id with the given source machine and payload.
+func (r *RMIRegistry) Dispatch(id uint32, src int, payload []byte) ([]byte, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if int(id) >= len(r.handlers) {
+		return nil, fmt.Errorf("comm: unknown RMI method %d", id)
+	}
+	return r.handlers[id](src, payload), nil
+}
+
+// NumMethods returns how many methods are registered.
+func (r *RMIRegistry) NumMethods() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.handlers)
+}

@@ -1,0 +1,142 @@
+package comm
+
+import (
+	"sync"
+)
+
+// Router is the paper's poller thread (§3.4): a dedicated goroutine per
+// machine that "polls across various queues between each workers and
+// copiers and puts/gets message buffers to/from the networking device
+// driver". Inbound frames are routed by type: requests to the copier queue,
+// responses to the response queue of the worker that issued them, control
+// frames to the control channel. Outbound frames go directly through
+// Endpoint.Send, which is thread-safe; the Go scheduler plays the role of
+// the paper's outbound polling.
+type Router struct {
+	ep         Endpoint
+	workerResp []chan *Buffer
+	reqQueue   chan *Buffer
+	ctrl       chan *Buffer
+	rmiResp    chan *Buffer
+	done       sync.WaitGroup
+}
+
+// RouterConfig sizes the router's queues. Queue capacities must exceed the
+// number of frames that can be in flight toward them or the poller stalls;
+// the engine sizes them from its buffer-pool counts so routing never blocks
+// (that bound is what makes the back-pressure scheme deadlock-free).
+type RouterConfig struct {
+	// NumWorkers is how many worker response queues to maintain.
+	NumWorkers int
+	// RespDepth is each worker response queue's capacity.
+	RespDepth int
+	// ReqDepth is the shared copier request queue's capacity.
+	ReqDepth int
+	// CtrlDepth is the control channel's capacity.
+	CtrlDepth int
+}
+
+// NewRouter creates a router over ep and starts its poller goroutine.
+func NewRouter(ep Endpoint, cfg RouterConfig) *Router {
+	if cfg.NumWorkers < 1 {
+		cfg.NumWorkers = 1
+	}
+	if cfg.RespDepth < 1 {
+		cfg.RespDepth = 64
+	}
+	if cfg.ReqDepth < 1 {
+		cfg.ReqDepth = 256
+	}
+	if cfg.CtrlDepth < 1 {
+		cfg.CtrlDepth = 64
+	}
+	r := &Router{
+		ep:         ep,
+		workerResp: make([]chan *Buffer, cfg.NumWorkers),
+		reqQueue:   make(chan *Buffer, cfg.ReqDepth),
+		ctrl:       make(chan *Buffer, cfg.CtrlDepth),
+		rmiResp:    make(chan *Buffer, cfg.CtrlDepth),
+	}
+	for i := range r.workerResp {
+		r.workerResp[i] = make(chan *Buffer, cfg.RespDepth)
+	}
+	r.done.Add(1)
+	go r.poll()
+	return r
+}
+
+func (r *Router) poll() {
+	defer r.done.Done()
+	for {
+		buf, ok := r.ep.Recv()
+		if !ok {
+			// Endpoint closed: propagate closure downstream so workers,
+			// copiers, and collectives observe shutdown.
+			for _, ch := range r.workerResp {
+				close(ch)
+			}
+			close(r.reqQueue)
+			close(r.ctrl)
+			close(r.rmiResp)
+			return
+		}
+		switch MsgType(buf.Data[0]) {
+		case MsgReadResp, MsgRMIResp:
+			w := buf.Data[1]
+			if w == CtrlWorker {
+				// Responses addressed to the machine's main goroutine: RMI
+				// results go to the dedicated RMI channel so they cannot be
+				// confused with collective traffic.
+				if MsgType(buf.Data[0]) == MsgRMIResp {
+					r.rmiResp <- buf
+				} else {
+					r.ctrl <- buf
+				}
+			} else if int(w) < len(r.workerResp) {
+				r.workerResp[w] <- buf
+			} else {
+				buf.Release() // misaddressed; drop rather than wedge
+			}
+		case MsgReadReq, MsgWriteReq, MsgRMIReq:
+			r.reqQueue <- buf
+		case MsgCtrl:
+			r.ctrl <- buf
+		default:
+			buf.Release()
+		}
+	}
+}
+
+// WorkerResp returns worker w's response queue.
+func (r *Router) WorkerResp(w int) <-chan *Buffer { return r.workerResp[w] }
+
+// ReqQueue returns the shared copier request queue.
+func (r *Router) ReqQueue() <-chan *Buffer { return r.reqQueue }
+
+// Ctrl returns the control channel consumed by collectives.
+func (r *Router) Ctrl() <-chan *Buffer { return r.ctrl }
+
+// RMIResp returns the channel carrying RMI responses addressed to the
+// machine's main goroutine (Worker == CtrlWorker).
+func (r *Router) RMIResp() <-chan *Buffer { return r.rmiResp }
+
+// Shutdown closes the endpoint and waits for the poller to drain and close
+// all downstream channels. Remaining queued frames are released.
+func (r *Router) Shutdown() {
+	r.ep.Close()
+	r.done.Wait()
+	for _, ch := range r.workerResp {
+		for buf := range ch {
+			buf.Release()
+		}
+	}
+	for buf := range r.reqQueue {
+		buf.Release()
+	}
+	for buf := range r.ctrl {
+		buf.Release()
+	}
+	for buf := range r.rmiResp {
+		buf.Release()
+	}
+}

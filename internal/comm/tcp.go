@@ -1,0 +1,249 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPFabric connects the simulated machines over loopback TCP sockets with
+// length-prefixed frames. It exists to exercise the engine over a real wire:
+// serialization, framing, kernel socket buffering, and flow control all
+// apply, unlike the in-process fabric. One ordered connection carries each
+// (src → dst) direction.
+//
+// Wire format per frame: uint32 little-endian length, then that many bytes
+// of frame (header + payload).
+type TCPFabric struct {
+	p         int
+	bufSize   int
+	poolCount int
+	listeners []net.Listener
+	addrs     []string
+
+	mu    sync.Mutex
+	taken []bool
+}
+
+// NewTCPFabric creates listeners for p machines on ephemeral loopback ports.
+// Each endpoint maintains a receive pool of poolCount buffers of bufSize
+// bytes; a drained receive pool blocks that machine's socket readers, which
+// propagates back-pressure to senders through TCP flow control.
+func NewTCPFabric(p, poolCount, bufSize int) (*TCPFabric, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("comm: fabric needs at least one machine")
+	}
+	f := &TCPFabric{
+		p:         p,
+		bufSize:   bufSize,
+		poolCount: poolCount,
+		listeners: make([]net.Listener, p),
+		addrs:     make([]string, p),
+		taken:     make([]bool, p),
+	}
+	for m := 0; m < p; m++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("comm: listen for machine %d: %w", m, err)
+		}
+		f.listeners[m] = l
+		f.addrs[m] = l.Addr().String()
+	}
+	return f, nil
+}
+
+// Endpoint implements Fabric: it dials every peer, starts the accept loop,
+// and returns once the send side is fully connected.
+func (f *TCPFabric) Endpoint(m int) (Endpoint, error) {
+	f.mu.Lock()
+	if m < 0 || m >= f.p {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("comm: machine %d out of range [0,%d)", m, f.p)
+	}
+	if f.taken[m] {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("comm: endpoint %d already taken", m)
+	}
+	f.taken[m] = true
+	f.mu.Unlock()
+
+	e := &tcpEndpoint{
+		fabric:  f,
+		machine: m,
+		conns:   make([]*lockedConn, f.p),
+		inbox:   make(chan *Buffer, 4*f.p),
+		recvGas: NewPool(f.poolCount, f.bufSize),
+		done:    make(chan struct{}),
+	}
+	for d := 0; d < f.p; d++ {
+		if d == m {
+			continue
+		}
+		c, err := net.Dial("tcp", f.addrs[d])
+		if err != nil {
+			e.Close()
+			return nil, fmt.Errorf("comm: machine %d dialing %d: %w", m, d, err)
+		}
+		var hello [2]byte
+		binary.LittleEndian.PutUint16(hello[:], uint16(m))
+		if _, err := c.Write(hello[:]); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("comm: machine %d hello to %d: %w", m, d, err)
+		}
+		e.conns[d] = &lockedConn{c: c}
+	}
+	go e.acceptLoop(f.listeners[m])
+	return e, nil
+}
+
+// Close shuts the listeners down.
+func (f *TCPFabric) Close() error {
+	var first error
+	for _, l := range f.listeners {
+		if l != nil {
+			if err := l.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+type lockedConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+type tcpEndpoint struct {
+	fabric  *TCPFabric
+	machine int
+	conns   []*lockedConn
+	inbox   chan *Buffer
+	recvGas *Pool // receive-side buffer pool
+	metrics Metrics
+
+	closeOnce sync.Once
+	done      chan struct{}
+	readers   sync.WaitGroup
+}
+
+func (e *tcpEndpoint) Machine() int      { return e.machine }
+func (e *tcpEndpoint) NumMachines() int  { return e.fabric.p }
+func (e *tcpEndpoint) Metrics() *Metrics { return &e.metrics }
+
+func (e *tcpEndpoint) acceptLoop(l net.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.readers.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer e.readers.Done()
+	defer c.Close()
+	var hello [2]byte
+	if _, err := io.ReadFull(c, hello[:]); err != nil {
+		return
+	}
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return // peer closed or shutdown
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n < HeaderSize || int(n) > e.recvGas.BufSize() {
+			return // corrupt frame; drop the connection
+		}
+		buf := e.recvGas.Acquire()
+		buf.Data = buf.Data[:n]
+		if _, err := io.ReadFull(c, buf.Data); err != nil {
+			buf.Release()
+			return
+		}
+		select {
+		case e.inbox <- buf:
+		case <-e.done:
+			buf.Release()
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Send(dst int, buf *Buffer) error {
+	if dst < 0 || dst >= e.fabric.p {
+		buf.Release()
+		return fmt.Errorf("comm: send to machine %d out of range", dst)
+	}
+	if dst == e.machine {
+		select {
+		case <-e.done:
+			buf.Release()
+			return fmt.Errorf("comm: endpoint %d closed", e.machine)
+		default:
+		}
+		n, t := len(buf.Data), MsgType(buf.Data[0])
+		select {
+		case e.inbox <- buf:
+			e.metrics.recordRaw(n, t, dirSent)
+			return nil
+		case <-e.done:
+			buf.Release()
+			return fmt.Errorf("comm: endpoint %d closed", e.machine)
+		}
+	}
+	lc := e.conns[dst]
+	if lc == nil {
+		buf.Release()
+		return fmt.Errorf("comm: no connection %d -> %d", e.machine, dst)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(buf.Data)))
+	lc.mu.Lock()
+	_, err := lc.c.Write(lenBuf[:])
+	if err == nil {
+		_, err = lc.c.Write(buf.Data)
+	}
+	lc.mu.Unlock()
+	e.metrics.record(buf, dirSent)
+	buf.Release()
+	if err != nil {
+		return fmt.Errorf("comm: send %d -> %d: %w", e.machine, dst, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv() (*Buffer, bool) {
+	select {
+	case buf := <-e.inbox:
+		e.metrics.record(buf, dirRecv)
+		return buf, true
+	case <-e.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case buf := <-e.inbox:
+			e.metrics.record(buf, dirRecv)
+			return buf, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		for _, lc := range e.conns {
+			if lc != nil {
+				lc.c.Close()
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,234 @@
+package comm
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/reduce"
+)
+
+func bootTCP(t *testing.T, p int) ([]Endpoint, *TCPFabric) {
+	t.Helper()
+	f, err := NewTCPFabric(p, 64, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]Endpoint, p)
+	for m := 0; m < p; m++ {
+		ep, err := f.Endpoint(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[m] = ep
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+		f.Close()
+	})
+	return eps, f
+}
+
+func TestTCPCollectives(t *testing.T) {
+	const p = 3
+	eps, _ := bootTCP(t, p)
+	var wg sync.WaitGroup
+	for m := 0; m < p; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			router := NewRouter(eps[m], RouterConfig{NumWorkers: 1})
+			defer router.Shutdown()
+			pool := NewPool(8, 8192)
+			col := NewCollectives(eps[m], router.Ctrl(), pool)
+			for i := 0; i < 5; i++ {
+				if err := col.Barrier(); err != nil {
+					t.Errorf("machine %d barrier: %v", m, err)
+					return
+				}
+				sum, err := col.AllReduceSumI64(int64(m + 1))
+				if err != nil || sum != 6 {
+					t.Errorf("machine %d allreduce: %d (%v)", m, sum, err)
+					return
+				}
+				out, err := col.Broadcast([]byte{byte(i)})
+				if err != nil || len(out) != 1 || out[0] != byte(i) {
+					t.Errorf("machine %d bcast: %v (%v)", m, out, err)
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+// TestTCPGarbageConnectionDropped: a rogue client that sends garbage to a
+// machine's listen port must not crash or wedge the endpoint.
+func TestTCPGarbageConnectionDropped(t *testing.T) {
+	f, err := NewTCPFabric(2, 16, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, err := f.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := f.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep0.Close()
+	defer ep1.Close()
+
+	// Rogue connection: valid hello, then an oversized frame length.
+	rogue, err := net.Dial("tcp", f.addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [2]byte
+	binary.LittleEndian.PutUint16(hello[:], 0)
+	rogue.Write(hello[:])
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], 1<<30) // exceeds buffer size
+	rogue.Write(lenBuf[:])
+	rogue.Close()
+
+	// Rogue connection two: truncated hello.
+	rogue2, err := net.Dial("tcp", f.addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue2.Write([]byte{0x01})
+	rogue2.Close()
+
+	// Legitimate traffic still flows.
+	pool := NewPool(4, 32<<10)
+	buf := pool.Acquire()
+	buf.Reset(Header{Type: MsgWriteReq, Src: 0, Count: 1})
+	buf.AppendU64(42)
+	if err := ep0.Send(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ep1.Recv()
+	if !ok {
+		t.Fatal("legitimate frame lost after rogue connections")
+	}
+	if got.Header().Count != 1 {
+		t.Errorf("header corrupted: %+v", got.Header())
+	}
+	got.Release()
+}
+
+// TestTCPUndersizedFrameRejected: frames below the header size drop the
+// connection without delivering.
+func TestTCPUndersizedFrameRejected(t *testing.T) {
+	f, err := NewTCPFabric(2, 16, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	defer ep0.Close()
+	defer ep1.Close()
+
+	rogue, err := net.Dial("tcp", f.addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [2]byte
+	rogue.Write(hello[:])
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], 4) // < HeaderSize
+	rogue.Write(lenBuf[:])
+	rogue.Write([]byte{1, 2, 3, 4})
+	time.Sleep(20 * time.Millisecond)
+	rogue.Close()
+
+	// The endpoint must not have delivered anything: Recv would block, so
+	// probe with a legitimate frame instead.
+	pool := NewPool(2, 32<<10)
+	buf := pool.Acquire()
+	buf.Reset(Header{Type: MsgCtrl, Src: 0, Aux: 7})
+	if err := ep0.Send(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ep1.Recv()
+	if !ok || got.Header().Aux != 7 {
+		t.Fatalf("expected the legitimate frame, got ok=%v", ok)
+	}
+	got.Release()
+}
+
+func TestTCPEndpointErrors(t *testing.T) {
+	f, err := NewTCPFabric(2, 8, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, _ := f.Endpoint(0)
+	defer ep0.Close()
+	if _, err := f.Endpoint(0); err == nil {
+		t.Error("duplicate endpoint accepted")
+	}
+	if _, err := f.Endpoint(7); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	pool := NewPool(2, 16<<10)
+	buf := pool.Acquire()
+	if err := ep0.Send(9, buf); err == nil {
+		t.Error("out-of-range send accepted")
+	}
+	if pool.Outstanding() != 0 {
+		t.Errorf("buffer leaked on failed send: %d", pool.Outstanding())
+	}
+}
+
+func TestTCPSelfSendAfterClose(t *testing.T) {
+	f, err := NewTCPFabric(1, 4, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep, _ := f.Endpoint(0)
+	ep.Close()
+	pool := NewPool(1, 16<<10)
+	buf := pool.Acquire()
+	buf.Reset(Header{Type: MsgCtrl})
+	if err := ep.Send(0, buf); err == nil {
+		t.Error("self-send after close succeeded")
+	}
+	if pool.Outstanding() != 0 {
+		t.Errorf("buffer leaked: %d", pool.Outstanding())
+	}
+}
+
+func TestReduceImportKeepsCollectiveTyped(t *testing.T) {
+	// Guards the wire encoding of typed allreduce: a Min over negative
+	// int64s must not be treated as unsigned.
+	eps, _ := bootTCP(t, 2)
+	var wg sync.WaitGroup
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			router := NewRouter(eps[m], RouterConfig{NumWorkers: 1})
+			defer router.Shutdown()
+			col := NewCollectives(eps[m], router.Ctrl(), NewPool(4, 4096))
+			vals := []int64{int64(-10 * (m + 1))}
+			if err := col.AllReduceI64(vals, reduce.Min); err != nil {
+				t.Errorf("machine %d: %v", m, err)
+				return
+			}
+			if vals[0] != -20 {
+				t.Errorf("machine %d: min = %d, want -20", m, vals[0])
+			}
+		}(m)
+	}
+	wg.Wait()
+}

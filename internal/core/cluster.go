@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/reduce"
+)
+
+// Cluster assembles and drives the simulated machines. Execution is SPMD
+// underneath — every collective operation runs with all machine main
+// goroutines participating over the fabric — but the Cluster presents a
+// driver-style API so algorithms read top-down like the paper's Figure 2
+// application skeleton.
+type Cluster struct {
+	cfg       Config
+	fabric    comm.Fabric
+	ownFabric bool
+	machines  []*Machine
+	meta      []propMeta
+	layout    partition.Layout
+	ghosts    *partition.GhostSet
+	numNodes  int
+	numEdges  int64
+	freeProps []PropID
+	loaded    bool
+	shut      bool
+}
+
+// NewCluster boots a cluster per cfg. Call Load before registering
+// properties or running jobs, and Shutdown when done.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, fabric: cfg.Fabric}
+	if c.fabric == nil {
+		// Inbox must hold every pooled buffer in the cluster so channel
+		// sends never block (see the deadlock-freedom argument in comm).
+		perMachine := cfg.ReqBuffers + cfg.RespBuffers + 4*cfg.NumMachines + 8
+		c.fabric = comm.NewInProcFabric(cfg.NumMachines, cfg.NumMachines*perMachine+16)
+		c.ownFabric = true
+	}
+	c.machines = make([]*Machine, cfg.NumMachines)
+	for m := 0; m < cfg.NumMachines; m++ {
+		ep, err := c.fabric.Endpoint(m)
+		if err != nil {
+			return nil, fmt.Errorf("core: machine %d endpoint: %w", m, err)
+		}
+		c.machines[m] = newMachine(&c.cfg, m, ep)
+	}
+	return c, nil
+}
+
+// Config returns the cluster's (normalized) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Load partitions g across the machines per the configured strategy,
+// selects ghosts, and builds each machine's local store. Properties
+// registered before Load are discarded; register them after.
+func (c *Cluster) Load(g *graph.Graph) error {
+	layout, err := partition.Compute(g, c.cfg.NumMachines, c.cfg.Partitioning)
+	if err != nil {
+		return err
+	}
+	var ghosts *partition.GhostSet
+	switch {
+	case c.cfg.GhostCount > 0:
+		ghosts = partition.SelectTopGhosts(g, c.cfg.GhostCount)
+	case c.cfg.GhostThreshold == GhostAuto:
+		avg := int64(0)
+		if g.NumNodes() > 0 {
+			avg = 2 * g.NumEdges() / int64(g.NumNodes())
+		}
+		threshold := 4 * avg
+		if threshold < 8 {
+			threshold = 8
+		}
+		ghosts = partition.SelectGhosts(g, threshold)
+	case c.cfg.GhostThreshold >= 0:
+		ghosts = partition.SelectGhosts(g, c.cfg.GhostThreshold)
+	default:
+		ghosts = partition.SelectTopGhosts(g, 0) // ghosting disabled
+	}
+	c.layout = layout
+	c.ghosts = ghosts
+	c.numNodes = g.NumNodes()
+	c.numEdges = g.NumEdges()
+	c.meta = nil
+	c.freeProps = nil
+	err = c.parallel(func(m *Machine) error {
+		m.load(g, layout, ghosts)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c.loaded = true
+	return nil
+}
+
+// NumNodes returns the loaded graph's node count.
+func (c *Cluster) NumNodes() int { return c.numNodes }
+
+// NumEdges returns the loaded graph's directed edge count.
+func (c *Cluster) NumEdges() int64 { return c.numEdges }
+
+// NumGhosts returns how many vertices are ghosted cluster-wide.
+func (c *Cluster) NumGhosts() int { return c.ghosts.Len() }
+
+// Layout returns the vertex partitioning.
+func (c *Cluster) Layout() partition.Layout { return c.layout }
+
+// Machines returns the number of machines.
+func (c *Cluster) Machines() int { return c.cfg.NumMachines }
+
+// parallel runs fn concurrently on every machine's main goroutine and
+// returns the first error. All collective operations must happen inside
+// such a section, on all machines.
+func (c *Cluster) parallel(fn func(m *Machine) error) error {
+	errs := make([]error, len(c.machines))
+	var wg sync.WaitGroup
+	for i, m := range c.machines {
+		wg.Add(1)
+		go func(i int, m *Machine) {
+			defer wg.Done()
+			errs[i] = fn(m)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddPropF64 registers a float64 node property on every machine and returns
+// its id. Registration must happen after Load and outside jobs.
+func (c *Cluster) AddPropF64(name string) (PropID, error) {
+	return c.addProp(propMeta{name: name, kind: KindF64})
+}
+
+// AddPropI64 registers an int64 node property (bools are 0/1).
+func (c *Cluster) AddPropI64(name string) (PropID, error) {
+	return c.addProp(propMeta{name: name, kind: KindI64})
+}
+
+func (c *Cluster) addProp(meta propMeta) (PropID, error) {
+	if !c.loaded {
+		return 0, fmt.Errorf("core: AddProp %q before Load", meta.name)
+	}
+	if n := len(c.freeProps); n > 0 {
+		id := c.freeProps[n-1]
+		c.freeProps = c.freeProps[:n-1]
+		c.meta[id] = meta
+		for _, m := range c.machines {
+			m.cols[id] = newColumn(meta.kind, m.store.numLocal, m.store.ghosts.Len(), c.cfg.Workers)
+		}
+		return id, nil
+	}
+	if len(c.meta) >= 1<<16 {
+		return 0, fmt.Errorf("core: property id space exhausted")
+	}
+	id := PropID(len(c.meta))
+	c.meta = append(c.meta, meta)
+	for _, m := range c.machines {
+		m.addProp(meta)
+	}
+	return id, nil
+}
+
+// DropProps releases temporary properties so their storage can be reclaimed
+// and their ids reused — the paper: "it is trivial to create or delete
+// temporary properties". Dropped ids must not be used afterwards.
+func (c *Cluster) DropProps(ids ...PropID) {
+	for _, id := range ids {
+		if int(id) >= len(c.meta) {
+			continue
+		}
+		c.meta[id] = propMeta{name: "(dropped)", kind: PropKind(0xff)}
+		for _, m := range c.machines {
+			m.cols[id] = nil
+		}
+		c.freeProps = append(c.freeProps, id)
+	}
+}
+
+// RegisterRMI registers one remote method on every machine; build receives
+// the machine so handlers can close over local state. Returns the method id
+// (identical cluster-wide).
+func (c *Cluster) RegisterRMI(build func(m *Machine) comm.RMIHandler) uint32 {
+	var id uint32
+	for _, m := range c.machines {
+		id = m.rmi.Register(build(m))
+	}
+	return id
+}
+
+// RunJob executes one parallel region cluster-wide and returns its stats.
+func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
+	if !c.loaded {
+		return JobStats{}, fmt.Errorf("core: RunJob %q before Load", spec.Name)
+	}
+	if err := spec.validate(c.meta); err != nil {
+		return JobStats{}, err
+	}
+	before := c.TrafficSnapshot()
+	results := make([]machineJobStats, len(c.machines))
+	start := time.Now()
+	err := c.parallel(func(m *Machine) error {
+		st, err := m.runJob(&spec)
+		results[m.id] = st
+		return err
+	})
+	if err != nil {
+		return JobStats{}, fmt.Errorf("core: job %q: %w", spec.Name, err)
+	}
+	stats := JobStats{
+		Duration:  time.Since(start),
+		Traffic:   c.TrafficSnapshot().Sub(before),
+		Breakdown: results[0].breakdown,
+	}
+	// The driver-side duration includes goroutine fan-out; prefer the
+	// engine-measured duration plus its share of the difference as Sync.
+	stats.Breakdown.Sync += stats.Duration - results[0].duration
+	return stats, nil
+}
+
+// TrafficSnapshot sums the transport counters over all endpoints.
+func (c *Cluster) TrafficSnapshot() comm.Snapshot {
+	var s comm.Snapshot
+	for _, m := range c.machines {
+		s = s.Add(m.ep.Metrics().Snapshot())
+	}
+	return s
+}
+
+// Barrier synchronizes all machines; exposed for benchmarks (Figure 5b
+// measures barrier latency directly).
+func (c *Cluster) Barrier() error {
+	return c.parallel(func(m *Machine) error { return m.col.Barrier() })
+}
+
+// Shutdown stops all machines and tears down an internally created fabric.
+// Idempotent.
+func (c *Cluster) Shutdown() {
+	if c.shut {
+		return
+	}
+	c.shut = true
+	for _, m := range c.machines {
+		m.shutdown()
+	}
+	if c.ownFabric {
+		c.fabric.Close()
+	}
+}
+
+// --- driver-side property access -------------------------------------------
+//
+// These helpers run at sequential-region time (no job in flight). Gather and
+// Set access machine memory directly — they are result extraction and
+// initialization, not part of the timed execution model.
+
+func (c *Cluster) checkProp(p PropID, kind PropKind) {
+	if int(p) >= len(c.meta) || c.meta[p].kind != kind {
+		panic(fmt.Sprintf("core: property %d is not a registered %v property", p, kind))
+	}
+}
+
+// GatherF64 assembles property p's full O(N) array in global node order.
+func (c *Cluster) GatherF64(p PropID) []float64 {
+	c.checkProp(p, KindF64)
+	out := make([]float64, c.numNodes)
+	c.mustParallel(func(m *Machine) {
+		col := m.cols[p]
+		base := int(c.layout.Starts[m.id])
+		for i := 0; i < m.store.numLocal; i++ {
+			out[base+i] = col.getF64(i)
+		}
+	})
+	return out
+}
+
+// GatherI64 assembles integer property p's full array in global node order.
+func (c *Cluster) GatherI64(p PropID) []int64 {
+	c.checkProp(p, KindI64)
+	out := make([]int64, c.numNodes)
+	c.mustParallel(func(m *Machine) {
+		col := m.cols[p]
+		base := int(c.layout.Starts[m.id])
+		for i := 0; i < m.store.numLocal; i++ {
+			out[base+i] = col.getI64(i)
+		}
+	})
+	return out
+}
+
+// FillF64 sets property p to v on every node.
+func (c *Cluster) FillF64(p PropID, v float64) {
+	c.checkProp(p, KindF64)
+	c.mustParallel(func(m *Machine) {
+		col := m.cols[p]
+		for i := 0; i < m.store.numLocal; i++ {
+			col.setF64(i, v)
+		}
+	})
+}
+
+// FillI64 sets integer property p to v on every node.
+func (c *Cluster) FillI64(p PropID, v int64) {
+	c.checkProp(p, KindI64)
+	c.mustParallel(func(m *Machine) {
+		col := m.cols[p]
+		for i := 0; i < m.store.numLocal; i++ {
+			col.setI64(i, v)
+		}
+	})
+}
+
+// FillByNodeF64 sets property p per node from fn(global id). fn must be safe
+// for concurrent calls.
+func (c *Cluster) FillByNodeF64(p PropID, fn func(graph.NodeID) float64) {
+	c.checkProp(p, KindF64)
+	c.mustParallel(func(m *Machine) {
+		col := m.cols[p]
+		for i := 0; i < m.store.numLocal; i++ {
+			col.setF64(i, fn(m.store.globalOf(uint32(i))))
+		}
+	})
+}
+
+// FillByNodeI64 sets integer property p per node from fn(global id).
+func (c *Cluster) FillByNodeI64(p PropID, fn func(graph.NodeID) int64) {
+	c.checkProp(p, KindI64)
+	c.mustParallel(func(m *Machine) {
+		col := m.cols[p]
+		for i := 0; i < m.store.numLocal; i++ {
+			col.setI64(i, fn(m.store.globalOf(uint32(i))))
+		}
+	})
+}
+
+// SetNodeF64 writes one node's value of property p.
+func (c *Cluster) SetNodeF64(v graph.NodeID, p PropID, val float64) {
+	c.checkProp(p, KindF64)
+	owner := c.layout.Owner(v)
+	c.machines[owner].cols[p].setF64(int(c.layout.LocalOffset(v)), val)
+}
+
+// SetNodeI64 writes one node's value of integer property p.
+func (c *Cluster) SetNodeI64(v graph.NodeID, p PropID, val int64) {
+	c.checkProp(p, KindI64)
+	owner := c.layout.Owner(v)
+	c.machines[owner].cols[p].setI64(int(c.layout.LocalOffset(v)), val)
+}
+
+// GetNodeF64 reads one node's value of property p.
+func (c *Cluster) GetNodeF64(v graph.NodeID, p PropID) float64 {
+	c.checkProp(p, KindF64)
+	owner := c.layout.Owner(v)
+	return c.machines[owner].cols[p].getF64(int(c.layout.LocalOffset(v)))
+}
+
+// GetNodeI64 reads one node's value of integer property p.
+func (c *Cluster) GetNodeI64(v graph.NodeID, p PropID) int64 {
+	c.checkProp(p, KindI64)
+	owner := c.layout.Owner(v)
+	return c.machines[owner].cols[p].getI64(int(c.layout.LocalOffset(v)))
+}
+
+// ReduceF64 folds property p over all nodes with op, using local folds plus
+// one collective — the engine-level sequential-region reduction behind
+// convergence tests and normalizations.
+func (c *Cluster) ReduceF64(p PropID, op reduce.Op) (float64, error) {
+	c.checkProp(p, KindF64)
+	results := make([]float64, len(c.machines))
+	err := c.parallel(func(m *Machine) error {
+		col := m.cols[p]
+		acc := reduce.BottomF64(op)
+		for i := 0; i < m.store.numLocal; i++ {
+			acc = reduce.ApplyF64(op, acc, col.getF64(i))
+		}
+		vals := []float64{acc}
+		if err := m.col.AllReduceF64(vals, op); err != nil {
+			return err
+		}
+		results[m.id] = vals[0]
+		return nil
+	})
+	return results[0], err
+}
+
+// ReduceMappedF64 folds fn(value) of property p over all nodes with op —
+// e.g. a sum of squares for L2 normalization without materializing a
+// temporary property.
+func (c *Cluster) ReduceMappedF64(p PropID, op reduce.Op, fn func(float64) float64) (float64, error) {
+	c.checkProp(p, KindF64)
+	results := make([]float64, len(c.machines))
+	err := c.parallel(func(m *Machine) error {
+		col := m.cols[p]
+		acc := reduce.BottomF64(op)
+		for i := 0; i < m.store.numLocal; i++ {
+			acc = reduce.ApplyF64(op, acc, fn(col.getF64(i)))
+		}
+		vals := []float64{acc}
+		if err := m.col.AllReduceF64(vals, op); err != nil {
+			return err
+		}
+		results[m.id] = vals[0]
+		return nil
+	})
+	return results[0], err
+}
+
+// ReduceI64 folds integer property p over all nodes with op.
+func (c *Cluster) ReduceI64(p PropID, op reduce.Op) (int64, error) {
+	c.checkProp(p, KindI64)
+	results := make([]int64, len(c.machines))
+	err := c.parallel(func(m *Machine) error {
+		col := m.cols[p]
+		acc := reduce.BottomI64(op)
+		for i := 0; i < m.store.numLocal; i++ {
+			acc = reduce.ApplyI64(op, acc, col.getI64(i))
+		}
+		vals := []int64{acc}
+		if err := m.col.AllReduceI64(vals, op); err != nil {
+			return err
+		}
+		results[m.id] = vals[0]
+		return nil
+	})
+	return results[0], err
+}
+
+// PoolsQuiescent reports whether every buffer pool has all buffers returned;
+// tests assert it between jobs (leak detection).
+func (c *Cluster) PoolsQuiescent() bool {
+	for _, m := range c.machines {
+		if m.reqPool.Outstanding() != 0 || m.respPool.Outstanding() != 0 || m.ctrlPool.Outstanding() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cluster) mustParallel(fn func(m *Machine)) {
+	if err := c.parallel(func(m *Machine) error { fn(m); return nil }); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package core implements the PGX.D engine itself (paper §3): a cluster of
+// simulated machines, each composed of a Task Manager (run-to-complete
+// worker goroutines consuming edge-balanced chunks), a Data Manager
+// (partitioned CSR with ghost replicas and column-oriented properties), and
+// a Communication Manager (buffered request/response messaging with copier
+// goroutines and a poller), plus the relaxed-consistency job execution model
+// with semi-automatic ghost synchronization.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+)
+
+// Config describes a PGX.D cluster. The zero value is not usable; call
+// DefaultConfig and adjust.
+type Config struct {
+	// NumMachines is the simulated cluster size P.
+	NumMachines int
+	// Workers is the number of worker goroutines per machine (the paper's
+	// worker threads; Figure 7 sweeps this against Copiers).
+	Workers int
+	// Copiers is the number of copier goroutines per machine serving
+	// inbound requests.
+	Copiers int
+	// BufferSize is the message buffer size in bytes, header included. The
+	// paper settles on 256 KiB from Figure 8b; the laptop-scale default here
+	// is smaller so per-step latency stays reasonable at bench graph sizes.
+	BufferSize int
+	// ReqBuffers is the per-machine request buffer pool size (buffers used
+	// by workers for outbound read/write request messages). Back-pressure:
+	// workers stall when the pool drains.
+	ReqBuffers int
+	// RespBuffers is the per-machine response buffer pool size (buffers
+	// used by copiers for read responses and RMI replies).
+	RespBuffers int
+	// Partitioning selects vertex- or edge-balanced machine assignment.
+	Partitioning partition.Strategy
+	// GhostThreshold ghosts every vertex with in- or out-degree above it.
+	// GhostDisabled turns ghosting off; GhostAuto derives a threshold of
+	// four times the average total degree at load time, ghosting the heavy
+	// tail of skewed graphs without manual tuning. Ignored when
+	// GhostCount > 0.
+	GhostThreshold int64
+	// GhostCount, when positive, ghosts exactly the top-GhostCount vertices
+	// by max(in,out) degree (Figure 6a sweeps ghost counts directly).
+	GhostCount int
+	// ChunkTargetEdges is the edge count per scheduling chunk. Zero derives
+	// a target yielding about 8 chunks per worker.
+	ChunkTargetEdges int64
+	// NodeChunking disables edge chunking and cuts chunks by node count —
+	// the Figure 6c baseline.
+	NodeChunking bool
+	// NodeChunkSize is the nodes-per-chunk when NodeChunking is set (zero
+	// derives one from the local node count).
+	NodeChunkSize int
+	// DisableGhostPrivatization makes workers reduce into the shared
+	// machine-level ghost copies with atomics instead of thread-private
+	// copies — the ablation for §3.3's ghost privatization.
+	DisableGhostPrivatization bool
+	// Fabric supplies the transport. Nil creates an in-process fabric.
+	Fabric comm.Fabric
+}
+
+// DefaultConfig returns a laptop-scale configuration for p machines,
+// mirroring the paper's production setting of 16 workers and 8 copiers in
+// miniature.
+func DefaultConfig(p int) Config {
+	return Config{
+		NumMachines:    p,
+		Workers:        4,
+		Copiers:        2,
+		BufferSize:     32 << 10,
+		ReqBuffers:     0, // derived in validate
+		RespBuffers:    0,
+		Partitioning:   partition.EdgeBalanced,
+		GhostThreshold: GhostAuto,
+	}
+}
+
+// Sentinel GhostThreshold values.
+const (
+	// GhostDisabled turns selective ghosting off entirely.
+	GhostDisabled int64 = -1
+	// GhostAuto derives the threshold from the loaded graph: 4x the
+	// average total degree, which ghosts only the heavy tail.
+	GhostAuto int64 = -2
+)
+
+// validate normalizes cfg and reports configuration errors.
+func (c *Config) validate() error {
+	if c.NumMachines < 1 {
+		return fmt.Errorf("core: NumMachines %d must be >= 1", c.NumMachines)
+	}
+	if c.NumMachines > 1<<15 {
+		return fmt.Errorf("core: NumMachines %d exceeds the 2^15 machine-id space", c.NumMachines)
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("core: Workers %d must be >= 1", c.Workers)
+	}
+	if c.Workers > comm.CtrlWorker-1 {
+		return fmt.Errorf("core: Workers %d exceeds the %d worker-id space", c.Workers, comm.CtrlWorker-1)
+	}
+	if c.Copiers < 1 {
+		return fmt.Errorf("core: Copiers %d must be >= 1", c.Copiers)
+	}
+	if c.BufferSize < comm.HeaderSize+16 {
+		return fmt.Errorf("core: BufferSize %d too small", c.BufferSize)
+	}
+	if c.ReqBuffers == 0 {
+		// Enough for every worker to have a frame in flight toward every
+		// machine plus slack, so back-pressure engages only under real load.
+		c.ReqBuffers = 2*c.Workers*c.NumMachines + 4
+	}
+	if c.RespBuffers == 0 {
+		c.RespBuffers = 2*c.Copiers*c.NumMachines + 4
+	}
+	if c.ReqBuffers < c.Workers {
+		return fmt.Errorf("core: ReqBuffers %d must be at least Workers (%d)", c.ReqBuffers, c.Workers)
+	}
+	if c.RespBuffers < c.Copiers {
+		return fmt.Errorf("core: RespBuffers %d must be at least Copiers (%d)", c.RespBuffers, c.Copiers)
+	}
+	if c.GhostCount < 0 {
+		return fmt.Errorf("core: GhostCount %d must be >= 0", c.GhostCount)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/reduce"
+)
+
+// copierLoop is one copier goroutine (paper §3.1/§3.4): it consumes inbound
+// request frames from the router's shared queue and serves them — write
+// records apply directly with atomic instructions, read requests produce a
+// response message in request order, RMI requests dispatch through the
+// registry. Copiers run for the life of the machine, independent of job
+// phases, so remote machines always make progress against this one.
+func (m *Machine) copierLoop() {
+	defer m.copierWG.Done()
+	for buf := range m.router.ReqQueue() {
+		h := buf.Header()
+		switch h.Type {
+		case comm.MsgWriteReq:
+			m.applyWrites(buf.Payload(), int(h.Count))
+			m.writesApplied.Add(int64(h.Count))
+			buf.Release()
+		case comm.MsgReadReq:
+			m.serveReads(h, buf.Payload())
+			buf.Release()
+		case comm.MsgRMIReq:
+			m.serveRMI(h, buf.Payload())
+			buf.Release()
+		default:
+			buf.Release()
+			panic(fmt.Sprintf("core: copier got unexpected frame type %v", h.Type))
+		}
+	}
+}
+
+// applyWrites decodes and applies count write records:
+// meta word (prop<<48 | op<<40 | offset) followed by the value word.
+func (m *Machine) applyWrites(payload []byte, count int) {
+	for i := 0; i < count; i++ {
+		meta := leU64(payload[writeRecSize*i:])
+		word := leU64(payload[writeRecSize*i+8:])
+		prop := PropID(meta >> 48)
+		op := reduce.Op(meta >> 40)
+		offset := uint32(meta)
+		m.cols[prop].applyWord(int(offset), op, word)
+	}
+}
+
+// serveReads builds the response for a read-request frame: one value word
+// per 8-byte address record, in request order, echoing the worker id and
+// sequence number so the requester can match its side structure.
+func (m *Machine) serveReads(h comm.Header, payload []byte) {
+	resp := m.respPool.Acquire()
+	resp.Reset(comm.Header{
+		Type:   comm.MsgReadResp,
+		Worker: h.Worker,
+		Src:    uint16(m.id),
+		Count:  h.Count,
+		Aux:    h.Aux,
+	})
+	for i := 0; i < int(h.Count); i++ {
+		rec := leU64(payload[readRecSize*i:])
+		prop := PropID(rec >> 48)
+		offset := uint32(rec)
+		resp.AppendU64(m.cols[prop].load(int(offset)))
+	}
+	if err := m.ep.Send(int(h.Src), resp); err != nil {
+		panic(fmt.Sprintf("core: machine %d copier responding to %d: %v", m.id, h.Src, err))
+	}
+}
+
+// serveRMI dispatches a remote method invocation and sends its response.
+// Every RMI gets a response (possibly empty) so callers can await
+// completion; the method id travels in the aux high bits, the sequence
+// number in the low bits.
+func (m *Machine) serveRMI(h comm.Header, payload []byte) {
+	method := uint32(h.Aux >> 32)
+	out, err := m.rmi.Dispatch(method, int(h.Src), payload)
+	if err != nil {
+		panic(fmt.Sprintf("core: machine %d: %v", m.id, err))
+	}
+	resp := m.respPool.Acquire()
+	if len(out) > resp.Room() {
+		resp.Release()
+		panic(fmt.Sprintf("core: RMI response of %d bytes exceeds buffer size", len(out)))
+	}
+	resp.Reset(comm.Header{
+		Type:   comm.MsgRMIResp,
+		Worker: h.Worker,
+		Src:    uint16(m.id),
+		Count:  1,
+		Aux:    h.Aux,
+	})
+	resp.AppendBytes(out)
+	if err := m.ep.Send(int(h.Src), resp); err != nil {
+		panic(fmt.Sprintf("core: machine %d copier RMI response to %d: %v", m.id, h.Src, err))
+	}
+}

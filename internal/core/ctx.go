@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/reduce"
+)
+
+// Ctx is the execution context handed to Task callbacks. One Ctx exists per
+// worker and is reused across invocations; a task must never retain it.
+//
+// During Run on an edge iterator, Node is the local node index, the neighbor
+// accessors target the current edge's other endpoint, and EdgeWeight is the
+// current edge's weight. During ReadDone/RMIDone, only Node, Aux, and the
+// local property accessors are valid — continuations that need the neighbor
+// must stash NbrRef() in Aux before reading, mirroring the paper's rule that
+// continuation state lives in the task object's explicit fields.
+type Ctx struct {
+	w *worker
+
+	// Node is the current local node index.
+	Node uint32
+	// Aux is task-defined continuation state, preserved across the
+	// Run → ReadDone boundary for the request that carried it. The engine
+	// resets it to zero once per node; kernels that use it must set it in
+	// Run before issuing the read it describes.
+	Aux uint64
+
+	nbr     int64
+	edge    int64
+	weights []float64 // weights of the orientation currently iterated
+}
+
+// F64Word converts a raw 8-byte value (as delivered to ReadDone) to float64.
+func F64Word(v uint64) float64 { return math.Float64frombits(v) }
+
+// I64Word converts a raw 8-byte value to int64.
+func I64Word(v uint64) int64 { return int64(v) }
+
+// WordF64 converts a float64 to the raw 8-byte wire form.
+func WordF64(v float64) uint64 { return math.Float64bits(v) }
+
+// WordI64 converts an int64 to the raw 8-byte wire form.
+func WordI64(v int64) uint64 { return uint64(v) }
+
+// Machine returns the executing machine's id.
+func (c *Ctx) Machine() int { return c.w.m.id }
+
+// NumMachines returns the cluster size.
+func (c *Ctx) NumMachines() int { return c.w.m.cfg.NumMachines }
+
+// NodeGlobal returns the current node's global id.
+func (c *Ctx) NodeGlobal() graph.NodeID { return c.w.m.store.globalOf(c.Node) }
+
+// OutDegree returns the current node's full out-degree.
+func (c *Ctx) OutDegree() int64 { return int64(c.w.m.store.outDeg[c.Node]) }
+
+// InDegree returns the current node's full in-degree.
+func (c *Ctx) InDegree() int64 { return int64(c.w.m.store.inDeg[c.Node]) }
+
+// NbrRef returns the current edge's neighbor reference. Valid only in Run of
+// an edge-iterator job. The ref is stable for the lifetime of the loaded
+// graph and may be stored (e.g. in Aux) and used later with ReadRef/WriteRef.
+func (c *Ctx) NbrRef() int64 { return c.nbr }
+
+// NbrIsRemote reports whether the current neighbor lives on another machine
+// and is not ghosted here.
+func (c *Ctx) NbrIsRemote() bool { return c.nbr < 0 }
+
+// RefGlobal resolves any node ref — local index, ghost slot, or remote —
+// back to its global node id.
+func (c *Ctx) RefGlobal(ref int64) graph.NodeID {
+	st := c.w.m.store
+	if ref >= 0 {
+		if int(ref) < st.numLocal {
+			return st.globalOf(uint32(ref))
+		}
+		return st.ghosts.Node(int32(ref) - int32(st.numLocal))
+	}
+	mach, off := unpackRemote(ref)
+	return st.layout.GlobalOf(mach, off)
+}
+
+// EdgeWeight returns the current edge's weight (0 for unweighted graphs).
+// Valid only in Run of an edge-iterator job.
+func (c *Ctx) EdgeWeight() float64 {
+	if c.weights == nil {
+		return 0
+	}
+	return c.weights[c.edge]
+}
+
+// --- local property access (own node) --------------------------------------
+
+// GetF64 reads property p of the current node.
+func (c *Ctx) GetF64(p PropID) float64 { return c.w.cols[p].getF64(int(c.Node)) }
+
+// SetF64 writes property p of the current node. Plain store: the engine
+// guarantees all callbacks for one node run on one worker, so no reduction
+// is needed for own-node updates (the pull pattern's advantage).
+func (c *Ctx) SetF64(p PropID, v float64) { c.w.cols[p].setF64(int(c.Node), v) }
+
+// GetI64 reads integer property p of the current node.
+func (c *Ctx) GetI64(p PropID) int64 { return c.w.cols[p].getI64(int(c.Node)) }
+
+// SetI64 writes integer property p of the current node.
+func (c *Ctx) SetI64(p PropID, v int64) { c.w.cols[p].setI64(int(c.Node), v) }
+
+// --- neighbor access --------------------------------------------------------
+
+// NbrWriteF64 reduces v into property p of the current neighbor with op —
+// the paper's write_remote<OP>. Local and ghost targets apply immediately
+// (relaxed consistency); remote targets are buffered into the per-worker
+// request message toward the owner.
+func (c *Ctx) NbrWriteF64(p PropID, op reduce.Op, v float64) {
+	c.WriteRef(c.nbr, p, op, math.Float64bits(v))
+}
+
+// NbrWriteI64 reduces v into integer property p of the current neighbor.
+func (c *Ctx) NbrWriteI64(p PropID, op reduce.Op, v int64) {
+	c.WriteRef(c.nbr, p, op, uint64(v))
+}
+
+// NbrRead requests property p of the current neighbor — the paper's
+// read_remote. If the neighbor is local or ghosted, ReadDone is invoked
+// synchronously before NbrRead returns; otherwise the request is buffered
+// and ReadDone runs later on this same worker with Node and Aux restored.
+func (c *Ctx) NbrRead(p PropID) {
+	c.ReadRef(c.nbr, p)
+}
+
+// WriteRef reduces the raw word into property p of the node identified by
+// ref (a value previously obtained from NbrRef).
+func (c *Ctx) WriteRef(ref int64, p PropID, op reduce.Op, word uint64) {
+	w := c.w
+	if ref >= 0 {
+		if int(ref) >= w.m.store.numLocal {
+			if seg := w.privSeg[p]; seg != nil {
+				// Ghost privatization: reduce into this worker's private
+				// copy without atomics (paper §3.3).
+				w.cols[p].applyPlain(&seg[int(ref)-w.m.store.numLocal], op, word)
+				return
+			}
+		}
+		w.cols[p].applyWord(int(ref), op, word)
+		return
+	}
+	mach, off := unpackRemote(ref)
+	w.bufferWrite(mach, p, op, off, word)
+}
+
+// ReadRef requests property p of the node identified by ref; see NbrRead.
+func (c *Ctx) ReadRef(ref int64, p PropID) {
+	w := c.w
+	if ref >= 0 {
+		w.job.spec.Task.ReadDone(c, w.cols[p].load(int(ref)))
+		return
+	}
+	mach, off := unpackRemote(ref)
+	w.bufferRead(mach, p, off, c.Node, c.Aux)
+}
+
+// CallRMI invokes registered method id on machine dst with the given
+// payload. The response is delivered to the task's RMIDone on this worker,
+// with Node and Aux restored. The payload is copied into the request
+// message; it must fit one message buffer.
+func (c *Ctx) CallRMI(dst int, method uint32, payload []byte) {
+	c.w.bufferRMI(dst, method, payload, c.Node, c.Aux)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/reduce"
+)
+
+// IterKind selects a job's built-in iterator (paper §4.1.2: "PGX.D provides
+// two iterators for implementing neighborhood iterating algorithms: the node
+// iterator and the edge iterator (with incoming and outgoing variants)").
+type IterKind uint8
+
+const (
+	// IterNodes runs the task once per owned node.
+	IterNodes IterKind = iota
+	// IterOutEdges runs the task once per out-edge of each owned node; all
+	// edges of one node are handled by the same worker.
+	IterOutEdges
+	// IterInEdges runs the task once per in-edge of each owned node — the
+	// pull-friendly orientation.
+	IterInEdges
+	// IterBothEdges runs the task over each owned node's out-edges and then
+	// its in-edges in one region — the undirected view. Algorithms that
+	// touch both orientations per step (WCC, k-core, MIS) use it to halve
+	// their barrier and ghost-sync count.
+	IterBothEdges
+)
+
+// String implements fmt.Stringer.
+func (k IterKind) String() string {
+	switch k {
+	case IterNodes:
+		return "nodes"
+	case IterOutEdges:
+		return "out-edges"
+	case IterInEdges:
+		return "in-edges"
+	case IterBothEdges:
+		return "both-edges"
+	default:
+		return fmt.Sprintf("IterKind(%d)", uint8(k))
+	}
+}
+
+// Task is the paper's RTC user context (§4.1.2). Run is invoked per node or
+// per edge depending on the job's iterator; it must complete without
+// blocking ("the invocation of the run() method completes no matter what").
+// If Run (or ReadDone) issued a remote read, ReadDone is the continuation,
+// invoked by the same worker when the value arrives — so task-local state
+// needs no locks. All cross-invocation state must live in properties or in
+// Ctx.Aux, exactly as the paper requires ("all the information which is
+// needed after continuation should be explicitly stored").
+type Task interface {
+	Run(c *Ctx)
+	ReadDone(c *Ctx, val uint64)
+}
+
+// RMITask is implemented additionally by tasks that invoke Ctx.CallRMI;
+// RMIDone is the continuation receiving the response payload.
+type RMITask interface {
+	Task
+	RMIDone(c *Ctx, payload []byte)
+}
+
+// NoReads is a mixin for push-only tasks: its ReadDone panics, catching
+// kernels that issue reads they never declared handling for.
+type NoReads struct{}
+
+// ReadDone implements Task for kernels that never issue remote reads.
+func (NoReads) ReadDone(c *Ctx, val uint64) {
+	panic("core: ReadDone invoked on a task that declared NoReads")
+}
+
+// WriteSpec declares one property a job reduces into, with its operator —
+// the information ghost synchronization needs ("for each parallel region,
+// the program needs to define what properties are used in the region as
+// well as how they are used").
+type WriteSpec struct {
+	Prop PropID
+	Op   reduce.Op
+}
+
+// JobSpec describes one parallel region.
+type JobSpec struct {
+	// Name appears in stats and error messages.
+	Name string
+	// Iter selects the built-in iterator driving Task.Run.
+	Iter IterKind
+	// Task is the kernel. One instance is shared by all workers on a
+	// machine; per-invocation state must live in Ctx or properties.
+	Task Task
+	// Filter, when non-nil, is the vertex-deactivation predicate evaluated
+	// once per node before its edges ("a custom filter method which is
+	// evaluated for each vertex prior to its execution").
+	Filter func(c *Ctx) bool
+	// ReadProps lists properties read through neighbors; their ghost copies
+	// are refreshed from owners before the region starts.
+	ReadProps []PropID
+	// WriteProps lists properties reduced into through neighbors; ghost
+	// copies start at the operator's bottom and partials merge back to
+	// owners after the region.
+	WriteProps []WriteSpec
+}
+
+// JobStats reports one job execution.
+type JobStats struct {
+	// Duration is the wall time of the parallel region including ghost
+	// synchronization and termination detection.
+	Duration time.Duration
+	// Traffic is the cluster-wide transport delta during the job.
+	Traffic comm.Snapshot
+	// Breakdown decomposes Duration as in Figure 6c.
+	Breakdown Breakdown
+}
+
+// Breakdown splits a job's wall time into the paper's Figure 6c components:
+// FullyParallel "accounts for the time when all workers are busy", InterMachine
+// "for the time when at least one machine is idle", and IntraMachine for
+// "when some workers are waiting for others in the same machine". The three
+// parts plus Sync (ghost merge + termination) sum to the job duration.
+type Breakdown struct {
+	FullyParallel time.Duration
+	IntraMachine  time.Duration
+	InterMachine  time.Duration
+	Sync          time.Duration
+}
+
+// Add accumulates o into b, for aggregating per-iteration breakdowns.
+func (b *Breakdown) Add(o Breakdown) {
+	b.FullyParallel += o.FullyParallel
+	b.IntraMachine += o.IntraMachine
+	b.InterMachine += o.InterMachine
+	b.Sync += o.Sync
+}
+
+// validate checks a spec against the registered properties.
+func (spec *JobSpec) validate(props []propMeta) error {
+	if spec.Task == nil {
+		return fmt.Errorf("core: job %q has no task", spec.Name)
+	}
+	if spec.Iter > IterBothEdges {
+		return fmt.Errorf("core: job %q has unknown iterator %d", spec.Name, spec.Iter)
+	}
+	seen := make(map[PropID]bool)
+	for _, p := range spec.ReadProps {
+		if int(p) >= len(props) {
+			return fmt.Errorf("core: job %q reads unregistered property %d", spec.Name, p)
+		}
+		seen[p] = true
+	}
+	for _, w := range spec.WriteProps {
+		if int(w.Prop) >= len(props) {
+			return fmt.Errorf("core: job %q writes unregistered property %d", spec.Name, w.Prop)
+		}
+		if !w.Op.Valid() || w.Op == reduce.Overwrite {
+			return fmt.Errorf("core: job %q writes property %d with unsupported op %v (ghost merging needs a commutative reduction)", spec.Name, w.Prop, w.Op)
+		}
+		if seen[w.Prop] {
+			// The paper leaves read+write of one property non-deterministic
+			// and tells users to make temporary copies; this engine rejects
+			// it outright so the hazard cannot be hit silently.
+			return fmt.Errorf("core: job %q both reads and writes property %d; use a temporary copy", spec.Name, w.Prop)
+		}
+	}
+	return nil
+}

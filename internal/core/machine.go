@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/reduce"
+)
+
+// Machine is one simulated PGX.D process (Figure 1: "the same program is
+// instantiated on each machine in the cluster"): a Task Manager (the worker
+// goroutines and chunk scheduler), a Data Manager (localStore + property
+// columns + ghost synchronization), and a Communication Manager (router,
+// copiers, buffer pools, collectives).
+type Machine struct {
+	id  int
+	cfg *Config
+
+	ep       comm.Endpoint
+	router   *comm.Router
+	col      *comm.Collectives
+	reqPool  *comm.Pool
+	respPool *comm.Pool
+	ctrlPool *comm.Pool
+	rmi      comm.RMIRegistry
+
+	store      *localStore
+	ghostOwned []int64
+	cols       []*column
+
+	chunksOut  []partition.Chunk
+	chunksIn   []partition.Chunk
+	chunksBoth []partition.Chunk
+	chunksNode []partition.Chunk
+
+	workers  []*worker
+	copierWG sync.WaitGroup
+
+	// Cumulative counts of remote write records sent and applied; their
+	// cluster-wide equality is the termination condition for jobs with
+	// remote pushes ("a particular job completes when the task list is
+	// empty and there are no unfinished remote requests").
+	writesSent    atomic.Int64
+	writesApplied atomic.Int64
+
+	// scratch vectors for ghost-sync collectives, reused across jobs.
+	scratchF64 []float64
+	scratchI64 []int64
+}
+
+// ID returns this machine's id in [0, NumMachines).
+func (m *Machine) ID() int { return m.id }
+
+// newMachine boots machine id over its endpoint: router (poller), pools,
+// collectives, copier pool, and the persistent worker goroutines.
+func newMachine(cfg *Config, id int, ep comm.Endpoint) *Machine {
+	m := &Machine{id: id, cfg: cfg, ep: ep}
+	m.reqPool = comm.NewPool(cfg.ReqBuffers, cfg.BufferSize)
+	m.respPool = comm.NewPool(cfg.RespBuffers, cfg.BufferSize)
+	m.ctrlPool = comm.NewPool(4*cfg.NumMachines+8, cfg.BufferSize)
+	m.router = comm.NewRouter(ep, comm.RouterConfig{
+		NumWorkers: cfg.Workers,
+		// A worker's in-flight responses are bounded by the request pool, so
+		// this depth guarantees the poller never blocks on a worker queue.
+		RespDepth: cfg.ReqBuffers + 2,
+		// Inbound requests are bounded by the senders' request pools.
+		ReqDepth:  cfg.NumMachines*cfg.ReqBuffers + 4,
+		CtrlDepth: 4*cfg.NumMachines + 8,
+	})
+	m.col = comm.NewCollectives(ep, m.router.Ctrl(), m.ctrlPool)
+	m.workers = make([]*worker, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		m.workers[w] = newWorker(m, w)
+		go m.workers[w].loop()
+	}
+	m.copierWG.Add(cfg.Copiers)
+	for cp := 0; cp < cfg.Copiers; cp++ {
+		go m.copierLoop()
+	}
+	return m
+}
+
+// load installs machine id's partition of g and precomputes scheduling
+// chunks for each iterator orientation.
+func (m *Machine) load(g *graph.Graph, layout partition.Layout, ghosts *partition.GhostSet) {
+	m.store = buildLocalStore(g, layout, ghosts, m.id)
+	m.ghostOwned = m.store.ghostOwnership()
+	m.cols = nil
+	m.rebuildChunks()
+}
+
+// rebuildChunks recomputes chunk lists under the current chunking config.
+func (m *Machine) rebuildChunks() {
+	n := m.store.numLocal
+	if m.cfg.NodeChunking {
+		size := m.cfg.NodeChunkSize
+		if size <= 0 {
+			size = n/(8*m.cfg.Workers) + 1
+		}
+		m.chunksOut = partition.NodeChunks(n, size)
+		m.chunksIn = m.chunksOut
+		m.chunksBoth = m.chunksOut
+		m.chunksNode = m.chunksOut
+		return
+	}
+	target := m.cfg.ChunkTargetEdges
+	outTarget, inTarget, bothTarget := target, target, target
+	if target <= 0 {
+		outTarget = m.store.outRows[n]/int64(8*m.cfg.Workers) + 1
+		inTarget = m.store.inRows[n]/int64(8*m.cfg.Workers) + 1
+		bothTarget = m.store.bothRows[n]/int64(8*m.cfg.Workers) + 1
+	}
+	m.chunksOut = partition.EdgeChunks(m.store.outRows, outTarget)
+	m.chunksIn = partition.EdgeChunks(m.store.inRows, inTarget)
+	m.chunksBoth = partition.EdgeChunks(m.store.bothRows, bothTarget)
+	m.chunksNode = partition.NodeChunks(n, n/(8*m.cfg.Workers)+1)
+}
+
+// addProp allocates this machine's column for a newly registered property.
+func (m *Machine) addProp(meta propMeta) {
+	m.cols = append(m.cols, newColumn(meta.kind, m.store.numLocal, m.store.ghosts.Len(), m.cfg.Workers))
+}
+
+// machineJobStats is runJob's per-machine result; the cluster reports
+// machine 0's (the collectives make the global fields identical everywhere).
+type machineJobStats struct {
+	duration  time.Duration
+	breakdown Breakdown
+}
+
+// runJob executes one parallel region on this machine. Every machine's main
+// goroutine runs this concurrently (SPMD); the collectives inside keep them
+// in lockstep. The sequence implements §3 end to end:
+//
+//  1. ghost read-sync: owners' values propagate to every ghost copy
+//  2. ghost write-props reset to the reduction's bottom value
+//  3. start barrier, then the workers drain the chunked task list,
+//     buffering remote requests and running continuations (RTC)
+//  4. barrier: all machines' task lists empty, all reads answered
+//  5. write-drain: allreduce (sent, applied) until every buffered remote
+//     write has been applied by a copier somewhere
+//  6. ghost write merge: worker-private → machine (stage one), then
+//     machine partials → owner via an op-allreduce (stage two)
+func (m *Machine) runJob(spec *JobSpec) (machineJobStats, error) {
+	jr := &jobRuntime{spec: spec}
+	switch spec.Iter {
+	case IterNodes:
+		jr.chunks = m.chunksNode
+	case IterOutEdges:
+		jr.chunks = m.chunksOut
+		jr.rows, jr.refs, jr.weights = m.store.outRows, m.store.outRefs, m.store.outWeights
+	case IterInEdges:
+		jr.chunks = m.chunksIn
+		jr.rows, jr.refs, jr.weights = m.store.inRows, m.store.inRefs, m.store.inWeights
+	case IterBothEdges:
+		jr.chunks = m.chunksBoth
+		jr.rows, jr.refs, jr.weights = m.store.outRows, m.store.outRefs, m.store.outWeights
+		jr.rows2, jr.refs2, jr.weights2 = m.store.inRows, m.store.inRefs, m.store.inWeights
+	}
+
+	numGhost := m.store.ghosts.Len()
+	if numGhost > 0 {
+		for _, p := range spec.ReadProps {
+			if err := m.syncGhostRead(p); err != nil {
+				return machineJobStats{}, err
+			}
+		}
+		for _, ws := range spec.WriteProps {
+			col := m.cols[ws.Prop]
+			bottom := col.bottomWord(ws.Op)
+			for s := 0; s < numGhost; s++ {
+				col.store(col.numLocal+s, bottom)
+			}
+		}
+		if !m.cfg.DisableGhostPrivatization {
+			jr.privProps = spec.WriteProps
+		}
+	}
+
+	if err := m.col.Barrier(); err != nil {
+		return machineJobStats{}, err
+	}
+	t0 := time.Now()
+
+	jr.wg.Add(len(m.workers))
+	for _, w := range m.workers {
+		w.jobCh <- jr
+	}
+	jr.wg.Wait()
+
+	if err := m.col.Barrier(); err != nil {
+		return machineJobStats{}, err
+	}
+
+	// Termination detection for buffered remote writes: cumulative sent
+	// counts are final once every machine passed the barrier above, so loop
+	// until the cluster-wide applied count catches up.
+	for {
+		vals := []int64{m.writesSent.Load(), m.writesApplied.Load()}
+		if err := m.col.AllReduceI64(vals, reduce.Sum); err != nil {
+			return machineJobStats{}, err
+		}
+		if vals[0] == vals[1] {
+			break
+		}
+		runtime.Gosched()
+	}
+
+	if numGhost > 0 && len(spec.WriteProps) > 0 {
+		if err := m.mergeGhostWrites(jr); err != nil {
+			return machineJobStats{}, err
+		}
+	}
+	total := time.Since(t0)
+
+	// Breakdown (Figure 6c) from per-worker end times, folded into a single
+	// Min-allreduce: min worker end (fully-parallel boundary), min machine
+	// end (inter-machine boundary), and -max machine end (job end).
+	eMin, eMax := int64(1<<62), int64(0)
+	for _, w := range m.workers {
+		d := w.endTime.Sub(t0).Nanoseconds()
+		if d < eMin {
+			eMin = d
+		}
+		if d > eMax {
+			eMax = d
+		}
+	}
+	tv := []int64{eMin, eMax, -eMax}
+	if err := m.col.AllReduceI64(tv, reduce.Min); err != nil {
+		return machineJobStats{}, err
+	}
+	fully, minMachineEnd, jobEnd := tv[0], tv[1], -tv[2]
+	st := machineJobStats{duration: total}
+	st.breakdown = Breakdown{
+		FullyParallel: time.Duration(fully),
+		IntraMachine:  time.Duration(minMachineEnd - fully),
+		InterMachine:  time.Duration(jobEnd - minMachineEnd),
+		Sync:          total - time.Duration(jobEnd),
+	}
+	return st, nil
+}
+
+// syncGhostRead refreshes every ghost copy of property p from its owner
+// (paper §3.3: "for properties that are to be read in the parallel region,
+// PGX.D copies the original values into the ghost nodes prior to the
+// execution step"). Implemented as a chunked sum-allreduce in which only the
+// owner contributes a non-identity value.
+func (m *Machine) syncGhostRead(p PropID) error {
+	col := m.cols[p]
+	ng := m.store.ghosts.Len()
+	maxVals := (m.cfg.BufferSize - comm.HeaderSize) / 8
+	for base := 0; base < ng; base += maxVals {
+		n := ng - base
+		if n > maxVals {
+			n = maxVals
+		}
+		switch col.kind {
+		case KindF64:
+			vals := m.scratchF64[:0]
+			for i := 0; i < n; i++ {
+				v := 0.0
+				if own := m.ghostOwned[base+i]; own >= 0 {
+					v = col.getF64(int(own))
+				}
+				vals = append(vals, v)
+			}
+			m.scratchF64 = vals
+			if err := m.col.AllReduceF64(vals, reduce.Sum); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				col.setF64(col.numLocal+base+i, vals[i])
+			}
+		case KindI64:
+			vals := m.scratchI64[:0]
+			for i := 0; i < n; i++ {
+				v := int64(0)
+				if own := m.ghostOwned[base+i]; own >= 0 {
+					v = col.getI64(int(own))
+				}
+				vals = append(vals, v)
+			}
+			m.scratchI64 = vals
+			if err := m.col.AllReduceI64(vals, reduce.Sum); err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				col.setI64(col.numLocal+base+i, vals[i])
+			}
+		}
+	}
+	return nil
+}
+
+// mergeGhostWrites performs the two-stage ghost reduction of §3.3: "first
+// between cores and then between machines". Stage one folds each worker's
+// private ghost segment into the machine-level ghost copy; stage two
+// combines machine partials with an op-allreduce and lets each owner reduce
+// the combined partial into the original node's value.
+func (m *Machine) mergeGhostWrites(jr *jobRuntime) error {
+	ng := m.store.ghosts.Len()
+	maxVals := (m.cfg.BufferSize - comm.HeaderSize) / 8
+	for _, ws := range jr.spec.WriteProps {
+		col := m.cols[ws.Prop]
+		if len(jr.privProps) > 0 {
+			for _, w := range m.workers {
+				seg := w.privSeg[ws.Prop]
+				if seg == nil {
+					continue
+				}
+				for s := 0; s < ng; s++ {
+					col.store(col.numLocal+s, col.mergeWords(ws.Op, col.load(col.numLocal+s), seg[s]))
+				}
+			}
+		}
+		for base := 0; base < ng; base += maxVals {
+			n := ng - base
+			if n > maxVals {
+				n = maxVals
+			}
+			switch col.kind {
+			case KindF64:
+				vals := m.scratchF64[:0]
+				for i := 0; i < n; i++ {
+					vals = append(vals, col.getF64(col.numLocal+base+i))
+				}
+				m.scratchF64 = vals
+				if err := m.col.AllReduceF64(vals, ws.Op); err != nil {
+					return err
+				}
+				for i := 0; i < n; i++ {
+					if own := m.ghostOwned[base+i]; own >= 0 {
+						col.applyWord(int(own), ws.Op, WordF64(vals[i]))
+					}
+				}
+			case KindI64:
+				vals := m.scratchI64[:0]
+				for i := 0; i < n; i++ {
+					vals = append(vals, col.getI64(col.numLocal+base+i))
+				}
+				m.scratchI64 = vals
+				if err := m.col.AllReduceI64(vals, ws.Op); err != nil {
+					return err
+				}
+				for i := 0; i < n; i++ {
+					if own := m.ghostOwned[base+i]; own >= 0 {
+						col.applyWord(int(own), ws.Op, WordI64(vals[i]))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Call invokes registered RMI method on machine dst from this machine's
+// main goroutine (sequential region) and returns the response payload.
+func (m *Machine) Call(dst int, method uint32, payload []byte) ([]byte, error) {
+	buf := m.ctrlPool.Acquire()
+	if len(payload) > buf.Room() {
+		buf.Release()
+		return nil, fmt.Errorf("core: RMI payload of %d bytes exceeds buffer size", len(payload))
+	}
+	buf.Reset(comm.Header{
+		Type:   comm.MsgRMIReq,
+		Worker: comm.CtrlWorker,
+		Src:    uint16(m.id),
+		Count:  1,
+		Aux:    uint64(method) << 32,
+	})
+	buf.AppendBytes(payload)
+	if err := m.ep.Send(dst, buf); err != nil {
+		return nil, err
+	}
+	resp, ok := <-m.router.RMIResp()
+	if !ok {
+		return nil, fmt.Errorf("core: machine %d shut down during RMI", m.id)
+	}
+	out := make([]byte, len(resp.Payload()))
+	copy(out, resp.Payload())
+	resp.Release()
+	return out, nil
+}
+
+// shutdown stops the workers, copiers, and poller. Outstanding frames are
+// drained and returned to their pools.
+func (m *Machine) shutdown() {
+	for _, w := range m.workers {
+		close(w.jobCh)
+	}
+	m.router.Shutdown()
+	m.copierWG.Wait()
+}

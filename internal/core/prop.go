@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/reduce"
+)
+
+// PropID names a registered node property cluster-wide. Properties are
+// column-oriented O(N) arrays partitioned like the vertices (paper §3.3),
+// with ghost slots appended after the local slots.
+type PropID uint16
+
+// PropKind is a property's element type. The engine moves all values as
+// 8-byte words on the wire; the kind selects interpretation and reduction
+// arithmetic.
+type PropKind uint8
+
+const (
+	// KindF64 is a float64-valued property.
+	KindF64 PropKind = iota
+	// KindI64 is an int64-valued property (bools are 0/1 int64s).
+	KindI64
+)
+
+// String implements fmt.Stringer.
+func (k PropKind) String() string {
+	switch k {
+	case KindF64:
+		return "f64"
+	case KindI64:
+		return "i64"
+	default:
+		return fmt.Sprintf("PropKind(%d)", uint8(k))
+	}
+}
+
+// propMeta is the cluster-wide registration record for a property.
+type propMeta struct {
+	name string
+	kind PropKind
+}
+
+// column is one machine's storage for one property: numLocal owned slots
+// followed by numGhost ghost slots. All shared slots are atomic 8-byte
+// words because copiers apply remote reductions concurrently with worker
+// reads (the paper's relaxed consistency: "local and remote write requests
+// [apply] immediately"). priv holds the per-worker private ghost segments of
+// ghost privatization; they are plain slices since each is single-owner.
+type column struct {
+	kind     PropKind
+	numLocal int
+	vals     []atomic.Uint64 // numLocal + numGhost
+	priv     [][]uint64      // [workers][numGhost], lazily allocated
+}
+
+func newColumn(kind PropKind, numLocal, numGhost, workers int) *column {
+	return &column{
+		kind:     kind,
+		numLocal: numLocal,
+		vals:     make([]atomic.Uint64, numLocal+numGhost),
+		priv:     make([][]uint64, workers),
+	}
+}
+
+func (c *column) numGhost() int { return len(c.vals) - c.numLocal }
+
+// --- raw word access -------------------------------------------------------
+
+func (c *column) load(i int) uint64     { return c.vals[i].Load() }
+func (c *column) store(i int, v uint64) { c.vals[i].Store(v) }
+
+// getF64/getI64 interpret slot i.
+func (c *column) getF64(i int) float64 { return math.Float64frombits(c.vals[i].Load()) }
+func (c *column) getI64(i int) int64   { return int64(c.vals[i].Load()) }
+
+func (c *column) setF64(i int, v float64) { c.vals[i].Store(math.Float64bits(v)) }
+func (c *column) setI64(i int, v int64)   { c.vals[i].Store(uint64(v)) }
+
+// applyWord reduces the raw word w into slot i with op, using the kind's
+// arithmetic. This is the copier-side write application ("the copier applies
+// them directly with atomic instructions") and also serves local immediate
+// writes.
+func (c *column) applyWord(i int, op reduce.Op, w uint64) {
+	switch c.kind {
+	case KindF64:
+		reduce.AtomicApplyF64(&c.vals[i], op, math.Float64frombits(w))
+	case KindI64:
+		// Reuse the uint64 cell as an int64 via CAS on the same word.
+		for {
+			old := c.vals[i].Load()
+			next := uint64(reduce.ApplyI64(op, int64(old), int64(w)))
+			if next == old && op != reduce.Overwrite {
+				return
+			}
+			if c.vals[i].CompareAndSwap(old, next) {
+				return
+			}
+		}
+	}
+}
+
+// bottomWord returns op's identity element encoded for this column's kind.
+func (c *column) bottomWord(op reduce.Op) uint64 {
+	switch c.kind {
+	case KindF64:
+		return math.Float64bits(reduce.BottomF64(op))
+	default:
+		return uint64(reduce.BottomI64(op))
+	}
+}
+
+// applyPlain reduces w into the plain word at *slot (private ghost segments).
+func (c *column) applyPlain(slot *uint64, op reduce.Op, w uint64) {
+	switch c.kind {
+	case KindF64:
+		*slot = math.Float64bits(reduce.ApplyF64(op, math.Float64frombits(*slot), math.Float64frombits(w)))
+	default:
+		*slot = uint64(reduce.ApplyI64(op, int64(*slot), int64(w)))
+	}
+}
+
+// mergeWords reduces b into a and returns the result, using kind arithmetic.
+func (c *column) mergeWords(op reduce.Op, a, b uint64) uint64 {
+	switch c.kind {
+	case KindF64:
+		return math.Float64bits(reduce.ApplyF64(op, math.Float64frombits(a), math.Float64frombits(b)))
+	default:
+		return uint64(reduce.ApplyI64(op, int64(a), int64(b)))
+	}
+}
+
+// ensurePriv returns worker w's private ghost segment, allocating or
+// re-bottoming it for op.
+func (c *column) ensurePriv(w int, op reduce.Op) []uint64 {
+	ng := c.numGhost()
+	if c.priv[w] == nil {
+		c.priv[w] = make([]uint64, ng)
+	}
+	bottom := c.bottomWord(op)
+	seg := c.priv[w]
+	for i := range seg {
+		seg[i] = bottom
+	}
+	return seg
+}

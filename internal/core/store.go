@@ -1,0 +1,152 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Node references inside a machine's local CSR are pre-resolved at load time
+// into an int64 encoding so the per-edge dispatch (local / ghost / remote)
+// is a sign test plus a compare, with no hash lookups on the hot path:
+//
+//	ref >= 0                 local slot: < numLocal → owned node,
+//	                         otherwise ghost slot (ref - numLocal)
+//	ref <  0                 remote: packed := ^ref,
+//	                         machine = packed >> 32, offset = uint32(packed)
+//
+// This realizes the paper's 64-bit global id ("concatenates the machine
+// number and the local offset") with the additional local/ghost fast path.
+
+func packRemote(machine int, offset uint32) int64 {
+	return ^(int64(machine)<<32 | int64(offset))
+}
+
+// RemoteRef builds a node ref addressing (machine, local offset) directly.
+// Kernels normally receive refs from the engine (NbrRef); this constructor
+// exists for microbenchmarks and tests that target arbitrary remote slots,
+// like the paper's remote random-read bandwidth study (Figure 8a).
+func RemoteRef(machine int, offset uint32) int64 { return packRemote(machine, offset) }
+
+// SplitRemoteRef decodes a remote ref (NbrRef with NbrIsRemote true) into
+// its owner machine and local offset — the hook kernels use to address RMI
+// calls at a neighbor's owner ("moving computation instead of data").
+func SplitRemoteRef(ref int64) (machine int, offset uint32) { return unpackRemote(ref) }
+
+func unpackRemote(ref int64) (machine int, offset uint32) {
+	packed := ^ref
+	return int(packed >> 32), uint32(packed)
+}
+
+// localStore is one machine's slice of the distributed graph: the local CSR
+// in both orientations with pre-resolved refs, full degrees of owned nodes,
+// and the shared partitioning/ghost metadata (paper §3.3: "the partitioning
+// information [is] shared across all machines").
+type localStore struct {
+	me       int
+	layout   partition.Layout
+	ghosts   *partition.GhostSet
+	numLocal int
+
+	// Out-orientation: outRows has numLocal+1 entries; the out-edges of
+	// local node u are outRefs[outRows[u]:outRows[u+1]].
+	outRows    []int64
+	outRefs    []int64
+	outWeights []float64 // nil when unweighted
+
+	// In-orientation (the transpose restricted to locally-owned heads).
+	inRows    []int64
+	inRefs    []int64
+	inWeights []float64
+
+	// bothRows is the prefix-sum of out+in degree per local node — the
+	// chunking weight array for IterBothEdges jobs.
+	bothRows []int64
+
+	// Full (cluster-wide) degrees of each local node. Because vertex
+	// ownership is total — every edge of u lives on u's owner — these equal
+	// the local CSR row lengths, but they are kept separately so kernels can
+	// ask for degrees in O(1) without touching row arrays.
+	outDeg []int32
+	inDeg  []int32
+}
+
+// buildLocalStore extracts machine me's partition from the global graph.
+func buildLocalStore(g *graph.Graph, layout partition.Layout, ghosts *partition.GhostSet, me int) *localStore {
+	lo, hi := layout.Range(me)
+	numLocal := int(hi - lo)
+	s := &localStore{
+		me:       me,
+		layout:   layout,
+		ghosts:   ghosts,
+		numLocal: numLocal,
+		outDeg:   make([]int32, numLocal),
+		inDeg:    make([]int32, numLocal),
+	}
+	s.outRows, s.outRefs, s.outWeights = buildLocalCSR(&g.Out, layout, ghosts, me, lo, hi)
+	s.inRows, s.inRefs, s.inWeights = buildLocalCSR(&g.In, layout, ghosts, me, lo, hi)
+	s.bothRows = make([]int64, numLocal+1)
+	for u := 0; u < numLocal; u++ {
+		s.outDeg[u] = int32(s.outRows[u+1] - s.outRows[u])
+		s.inDeg[u] = int32(s.inRows[u+1] - s.inRows[u])
+		s.bothRows[u+1] = s.bothRows[u] + int64(s.outDeg[u]) + int64(s.inDeg[u])
+	}
+	return s
+}
+
+// buildLocalCSR rebases csr rows [lo, hi) to local indexing and rewrites
+// every neighbor into the ref encoding: owned → local index, ghosted →
+// ghost slot, otherwise remote (machine, offset). "Each ghost node only
+// keeps local edges that do not cross machine boundaries" falls out of the
+// rewrite: an edge whose endpoint is ghosted never leaves the machine.
+func buildLocalCSR(csr *graph.CSR, layout partition.Layout, ghosts *partition.GhostSet, me int, lo, hi graph.NodeID) ([]int64, []int64, []float64) {
+	numLocal := int(hi - lo)
+	rows := make([]int64, numLocal+1)
+	base := csr.Rows[lo]
+	for u := 0; u <= numLocal; u++ {
+		rows[u] = csr.Rows[int(lo)+u] - base
+	}
+	m := rows[numLocal]
+	refs := make([]int64, m)
+	var weights []float64
+	if csr.Weights != nil {
+		weights = make([]float64, m)
+		copy(weights, csr.Weights[base:base+m])
+	}
+	numGhostBase := int64(numLocal)
+	for i := int64(0); i < m; i++ {
+		v := csr.Cols[base+i]
+		if v >= lo && v < hi {
+			refs[i] = int64(v - lo)
+			continue
+		}
+		if slot, ok := ghosts.Slot(v); ok {
+			refs[i] = numGhostBase + int64(slot)
+			continue
+		}
+		owner := layout.Owner(v)
+		refs[i] = packRemote(owner, v-layout.Starts[owner])
+	}
+	return rows, refs, weights
+}
+
+// globalOf converts a local node index to its global id.
+func (s *localStore) globalOf(local uint32) graph.NodeID {
+	return s.layout.GlobalOf(s.me, local)
+}
+
+// ghostSlots holds per-ghost ownership, precomputed once: ownedGhost[slot]
+// is the owner machine's local index of the ghost's original node, or -1
+// when this machine does not own it. Ghost synchronization uses it to
+// scatter/gather owner values.
+func (s *localStore) ghostOwnership() []int64 {
+	owned := make([]int64, s.ghosts.Len())
+	lo, hi := s.layout.Range(s.me)
+	for slot, v := range s.ghosts.Nodes {
+		if v >= lo && v < hi {
+			owned[slot] = int64(v - lo)
+		} else {
+			owned[slot] = -1
+		}
+	}
+	return owned
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/partition"
+	"repro/internal/reduce"
+)
+
+// worker is one RTC worker goroutine (paper §3.2). It claims edge-balanced
+// chunks of nodes from the job's shared cursor, drives Task.Run over them,
+// buffers remote reads/writes per destination machine, and — when responses
+// arrive on its response queue — continues the originating tasks via
+// ReadDone, always on this same goroutine ("a task is always executed by
+// the same single thread, [so] there is no need to protect private fields
+// of a task object with locks").
+type worker struct {
+	m  *Machine
+	id int
+
+	jobCh  chan *jobRuntime
+	respCh <-chan *comm.Buffer
+
+	// Per-destination partially filled request messages, lazily acquired.
+	readBufs  []*comm.Buffer
+	writeBufs []*comm.Buffer
+
+	// The paper's side data structures (§3.2): for each in-flight read
+	// message, the ordered log of (node, aux) records matching the payload;
+	// keyed by the message's sequence number because copiers on the remote
+	// machine may answer out of order.
+	sides   map[uint32][]sideRec
+	curSide [][]sideRec
+	seq     uint32
+
+	// outstanding counts in-flight request frames awaiting a response.
+	outstanding int
+
+	// sideFree recycles side-structure slices. Sides always return to the
+	// worker that created them (responses route back to the same worker), so
+	// no synchronization is needed.
+	sideFree [][]sideRec
+
+	// payloadFree recycles payload scratch buffers (see processResponse).
+	payloadFree [][]byte
+
+	// privSeg[p] is this worker's private ghost segment for property p in
+	// the current job, or nil when p is not privatized.
+	privSeg [][]uint64
+
+	// cols caches the machine's property columns for the duration of a job,
+	// shortening the per-edge access path.
+	cols []*column
+
+	ctx Ctx
+	job *jobRuntime
+
+	// endTime is when this worker finished its last task of the current job
+	// (including continuations) — the raw data behind Figure 6c.
+	endTime time.Time
+}
+
+// sideRec is one entry of the side structure: enough to restore the task
+// context when its value arrives.
+type sideRec struct {
+	node uint32
+	aux  uint64
+}
+
+const (
+	readRecSize  = 8  // prop(16) | offset(32) packed into a u64
+	writeRecSize = 16 // prop(16)|op(8)|offset(32) word + value word
+)
+
+func newWorker(m *Machine, id int) *worker {
+	w := &worker{
+		m:         m,
+		id:        id,
+		jobCh:     make(chan *jobRuntime, 1),
+		respCh:    m.router.WorkerResp(id),
+		readBufs:  make([]*comm.Buffer, m.cfg.NumMachines),
+		writeBufs: make([]*comm.Buffer, m.cfg.NumMachines),
+		sides:     make(map[uint32][]sideRec),
+		curSide:   make([][]sideRec, m.cfg.NumMachines),
+	}
+	w.ctx.w = w
+	return w
+}
+
+// loop is the persistent worker goroutine body: workers are created once at
+// startup (paper: "a set of worker threads is initialized by the Task
+// Manager at system start up") and receive one jobRuntime per parallel
+// region.
+func (w *worker) loop() {
+	for jr := range w.jobCh {
+		w.runJob(jr)
+		jr.wg.Done()
+	}
+}
+
+func (w *worker) runJob(jr *jobRuntime) {
+	w.job = jr
+	w.cols = w.m.cols
+	w.ctx.weights = jr.weights
+	if cap(w.privSeg) < len(w.m.cols) {
+		w.privSeg = make([][]uint64, len(w.m.cols))
+	} else {
+		w.privSeg = w.privSeg[:len(w.m.cols)]
+		for i := range w.privSeg {
+			w.privSeg[i] = nil
+		}
+	}
+	for _, ws := range jr.privProps {
+		w.privSeg[ws.Prop] = w.m.cols[ws.Prop].ensurePriv(w.id, ws.Op)
+	}
+
+	spec := jr.spec
+	ctx := &w.ctx
+	for {
+		chunkIdx := int(jr.cursor.Add(1)) - 1
+		if chunkIdx >= len(jr.chunks) {
+			break
+		}
+		ch := jr.chunks[chunkIdx]
+		for node := ch.Begin; node < ch.End; node++ {
+			ctx.Node = node
+			ctx.Aux = 0
+			if spec.Filter != nil && !spec.Filter(ctx) {
+				continue
+			}
+			switch spec.Iter {
+			case IterNodes:
+				ctx.nbr = 0
+				ctx.edge = -1
+				spec.Task.Run(ctx)
+			case IterBothEdges:
+				ctx.weights = jr.weights
+				for e := jr.rows[node]; e < jr.rows[node+1]; e++ {
+					ctx.nbr = jr.refs[e]
+					ctx.edge = e
+					spec.Task.Run(ctx)
+				}
+				ctx.weights = jr.weights2
+				for e := jr.rows2[node]; e < jr.rows2[node+1]; e++ {
+					ctx.nbr = jr.refs2[e]
+					ctx.edge = e
+					spec.Task.Run(ctx)
+				}
+				ctx.weights = jr.weights
+			default: // IterOutEdges / IterInEdges: jr carries the orientation
+				for e := jr.rows[node]; e < jr.rows[node+1]; e++ {
+					ctx.nbr = jr.refs[e]
+					ctx.edge = e
+					spec.Task.Run(ctx)
+				}
+			}
+		}
+		// Opportunistically run continuations between chunks so response
+		// queues and buffer pools keep draining while we still have tasks.
+		w.drainResponsesSafe()
+	}
+
+	// Task list exhausted: flush partial messages, then wait for and run all
+	// continuations. Continuations may buffer further requests, so flushing
+	// repeats before every blocking wait.
+	w.flushAll()
+	for w.outstanding > 0 {
+		buf, ok := <-w.respCh
+		if !ok {
+			break // shutdown
+		}
+		w.processResponse(buf)
+		w.drainResponses()
+		w.flushAll()
+	}
+	if len(w.sides) != 0 {
+		panic(fmt.Sprintf("core: machine %d worker %d finished job with %d dangling side structures", w.m.id, w.id, len(w.sides)))
+	}
+	w.endTime = time.Now()
+	w.job = nil
+}
+
+// drainResponses runs all currently queued continuations without blocking.
+func (w *worker) drainResponses() {
+	for {
+		select {
+		case buf, ok := <-w.respCh:
+			if !ok {
+				return
+			}
+			w.processResponse(buf)
+		default:
+			return
+		}
+	}
+}
+
+// drainResponsesSafe is drainResponses with the context saved and restored:
+// continuations run through the worker's single shared Ctx, and callers that
+// are mid-task (between chunks, or stalled acquiring a buffer inside a task
+// callback) must not observe their Node/Aux/nbr clobbered.
+func (w *worker) drainResponsesSafe() {
+	saved := w.ctx
+	w.drainResponses()
+	w.ctx = saved
+}
+
+// processResponse matches a response frame to its side structure and invokes
+// the continuation for each record, in request order (paper §3.2 step 4).
+//
+// The payload is copied out and the frame released BEFORE any continuation
+// runs. This ordering is load-bearing for deadlock freedom: continuations
+// can block on request-buffer back-pressure (nested acquireReq), and a
+// worker must never hold a response buffer while blocked — copiers waiting
+// on the response pool are the very thing that recycles the request buffers
+// the worker is waiting for.
+func (w *worker) processResponse(buf *comm.Buffer) {
+	h := buf.Header()
+	seq := uint32(h.Aux)
+	side, ok := w.sides[seq]
+	if !ok {
+		buf.Release()
+		panic(fmt.Sprintf("core: machine %d worker %d: response with unknown seq %d", w.m.id, w.id, seq))
+	}
+	delete(w.sides, seq)
+	w.outstanding--
+	payload := w.payloadNew(len(buf.Payload()))
+	copy(payload, buf.Payload())
+	typ := h.Type
+	buf.Release()
+
+	ctx := &w.ctx
+	switch typ {
+	case comm.MsgReadResp:
+		for i := 0; i < int(h.Count); i++ {
+			ctx.Node = side[i].node
+			ctx.Aux = side[i].aux
+			ctx.nbr = 0
+			ctx.edge = -1
+			w.job.spec.Task.ReadDone(ctx, leU64(payload[8*i:]))
+		}
+	case comm.MsgRMIResp:
+		ctx.Node = side[0].node
+		ctx.Aux = side[0].aux
+		ctx.nbr = 0
+		ctx.edge = -1
+		rt, ok := w.job.spec.Task.(RMITask)
+		if !ok {
+			panic("core: RMI response for a task without RMIDone")
+		}
+		rt.RMIDone(ctx, payload)
+	default:
+		panic(fmt.Sprintf("core: worker got unexpected frame type %v", typ))
+	}
+	w.sideRecycle(side)
+	w.payloadRecycle(payload)
+}
+
+// payloadNew returns an n-byte scratch slice. A freelist (not a single
+// reusable buffer) because processResponse nests: a continuation stalled on
+// back-pressure drains further responses re-entrantly.
+func (w *worker) payloadNew(n int) []byte {
+	if l := len(w.payloadFree); l > 0 {
+		s := w.payloadFree[l-1]
+		w.payloadFree = w.payloadFree[:l-1]
+		if cap(s) >= n {
+			return s[:n]
+		}
+	}
+	if n < 256 {
+		n = 256
+	}
+	return make([]byte, n)
+}
+
+func (w *worker) payloadRecycle(p []byte) {
+	w.payloadFree = append(w.payloadFree, p)
+}
+
+// sideRecycle keeps side slices for reuse to avoid per-message allocation.
+func (w *worker) sideRecycle(side []sideRec) {
+	w.sideFree = append(w.sideFree, side[:0])
+}
+
+// sideNew returns an empty side slice, reusing a recycled one if available.
+func (w *worker) sideNew() []sideRec {
+	if n := len(w.sideFree); n > 0 {
+		s := w.sideFree[n-1]
+		w.sideFree = w.sideFree[:n-1]
+		return s
+	}
+	return make([]sideRec, 0, 128)
+}
+
+// acquireReq obtains a request buffer, draining responses while stalled.
+// Draining here is what makes back-pressure deadlock-free: if this worker
+// blocked hard, its response queue would fill, the poller would stall, the
+// inbox would fill, remote copiers would block sending to us and stop
+// processing (and releasing) the very request frames we are waiting for.
+//
+// Because continuations run here, the caller must treat acquireReq as a
+// re-entrancy point: the worker Ctx is saved/restored, and any per-
+// destination buffer slot read before calling must be re-checked after.
+func (w *worker) acquireReq() *comm.Buffer {
+	pool := w.m.reqPool
+	if buf, ok := pool.TryAcquire(); ok {
+		return buf
+	}
+	saved := w.ctx
+	defer func() { w.ctx = saved }()
+	for {
+		// Under back-pressure a stalled worker must not sit on buffers, or
+		// all workers could hold every pooled buffer as partials while each
+		// waits for one more. Flushing inside the loop matters: the
+		// continuations run below can install fresh partials after any
+		// earlier flush. Flushed frames return to the pool once remote
+		// copiers process them, so the cycle always drains.
+		w.flushAll()
+		select {
+		case buf := <-pool.C():
+			pool.NoteAcquired()
+			return buf
+		case resp, ok := <-w.respCh:
+			if !ok {
+				panic("core: shutdown while acquiring request buffer")
+			}
+			w.processResponse(resp)
+			if buf, ok := pool.TryAcquire(); ok {
+				return buf
+			}
+		}
+	}
+}
+
+// bufferRead appends a read request toward machine dst (paper §3.2 steps
+// 1-3): the 8-byte address record goes into the message, the (node, aux)
+// record into the side structure, and a full message is sent immediately.
+func (w *worker) bufferRead(dst int, p PropID, offset uint32, node uint32, aux uint64) {
+	buf := w.readBufs[dst]
+	if buf == nil {
+		nb := w.acquireReq()
+		// Re-check: a continuation running inside acquireReq may itself have
+		// buffered a read toward dst and installed a message already.
+		if w.readBufs[dst] != nil {
+			nb.Release()
+			buf = w.readBufs[dst]
+		} else {
+			nb.Reset(comm.Header{Type: comm.MsgReadReq, Worker: uint8(w.id), Src: uint16(w.m.id)})
+			w.readBufs[dst] = nb
+			buf = nb
+		}
+	}
+	buf.AppendU64(uint64(p)<<48 | uint64(offset))
+	side := w.curSide[dst]
+	if side == nil {
+		side = w.sideNew()
+	}
+	w.curSide[dst] = append(side, sideRec{node: node, aux: aux})
+	if buf.Room() < readRecSize {
+		w.flushRead(dst)
+	}
+}
+
+// bufferWrite appends a write (reduction) record toward machine dst.
+func (w *worker) bufferWrite(dst int, p PropID, op reduce.Op, offset uint32, word uint64) {
+	buf := w.writeBufs[dst]
+	if buf == nil {
+		nb := w.acquireReq()
+		// Re-check as in bufferRead: acquireReq is a re-entrancy point.
+		if w.writeBufs[dst] != nil {
+			nb.Release()
+			buf = w.writeBufs[dst]
+		} else {
+			nb.Reset(comm.Header{Type: comm.MsgWriteReq, Worker: uint8(w.id), Src: uint16(w.m.id)})
+			w.writeBufs[dst] = nb
+			buf = nb
+		}
+	}
+	buf.AppendU64(uint64(p)<<48 | uint64(op)<<40 | uint64(offset))
+	buf.AppendU64(word)
+	if buf.Room() < writeRecSize {
+		w.flushWrite(dst)
+	}
+}
+
+// bufferRMI sends one RMI request frame toward machine dst.
+func (w *worker) bufferRMI(dst int, method uint32, payload []byte, node uint32, aux uint64) {
+	buf := w.acquireReq()
+	if len(payload) > buf.Room() {
+		buf.Release()
+		panic(fmt.Sprintf("core: RMI payload of %d bytes exceeds buffer size", len(payload)))
+	}
+	w.seq++
+	buf.Reset(comm.Header{
+		Type:   comm.MsgRMIReq,
+		Worker: uint8(w.id),
+		Src:    uint16(w.m.id),
+		Count:  1,
+		Aux:    uint64(method)<<32 | uint64(w.seq),
+	})
+	buf.AppendBytes(payload)
+	w.sides[w.seq] = append(w.sideNew(), sideRec{node: node, aux: aux})
+	w.outstanding++
+	w.mustSend(dst, buf)
+}
+
+func (w *worker) flushRead(dst int) {
+	buf := w.readBufs[dst]
+	if buf == nil {
+		return
+	}
+	w.readBufs[dst] = nil
+	n := len(w.curSide[dst])
+	buf.SetCount(uint32(n))
+	w.seq++
+	buf.SetAux(uint64(w.seq))
+	w.sides[w.seq] = w.curSide[dst]
+	w.curSide[dst] = nil
+	w.outstanding++
+	w.mustSend(dst, buf)
+}
+
+func (w *worker) flushWrite(dst int) {
+	buf := w.writeBufs[dst]
+	if buf == nil {
+		return
+	}
+	w.writeBufs[dst] = nil
+	n := len(buf.Payload()) / writeRecSize
+	buf.SetCount(uint32(n))
+	w.m.writesSent.Add(int64(n))
+	w.mustSend(dst, buf)
+}
+
+// flushAll sends every partially filled message (paper §3.2 step 3: "when
+// ... the worker thread has completed all tasks, the message is sent").
+func (w *worker) flushAll() {
+	for d := range w.readBufs {
+		w.flushWrite(d)
+		w.flushRead(d)
+	}
+}
+
+func (w *worker) mustSend(dst int, buf *comm.Buffer) {
+	if err := w.m.ep.Send(dst, buf); err != nil {
+		panic(fmt.Sprintf("core: machine %d worker %d send to %d: %v", w.m.id, w.id, dst, err))
+	}
+}
+
+// jobRuntime is the per-machine execution state of one job.
+type jobRuntime struct {
+	spec    *JobSpec
+	chunks  []partition.Chunk
+	rows    []int64
+	refs    []int64
+	weights []float64
+	// privProps lists the write-specs whose ghost reductions are privatized
+	// per worker this job.
+	privProps []WriteSpec
+	// rows2/refs2/weights2 hold the second orientation for IterBothEdges.
+	rows2    []int64
+	refs2    []int64
+	weights2 []float64
+	cursor   atomic.Int64
+	wg       sync.WaitGroup
+}
+
+// leU64 decodes a little-endian uint64 at the start of p.
+func leU64(p []byte) uint64 {
+	return binary.LittleEndian.Uint64(p)
+}

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dynamic is a mutable multigraph supporting the paper's §6 dynamic-graph
+// outlook: "keeping its ability to perform classical computational
+// analytics by using snapshots of these graphs for algorithms which do not
+// support graph updates." Mutations accumulate under a lock; Snapshot
+// produces an immutable CSR Graph the engine can load.
+//
+// Storage is an edge multiset keyed by (src, dst) with a weight list per
+// key, so multi-edges and per-edge weights survive update/remove cycles.
+type Dynamic struct {
+	mu       sync.RWMutex
+	n        int
+	edges    map[[2]NodeID][]float64
+	numEdges int64
+	weighted bool
+	version  uint64
+}
+
+// NewDynamic creates an empty dynamic graph with n nodes.
+func NewDynamic(n int) (*Dynamic, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	return &Dynamic{n: n, edges: make(map[[2]NodeID][]float64)}, nil
+}
+
+// DynamicFrom seeds a dynamic graph with an existing immutable graph.
+func DynamicFrom(g *Graph) *Dynamic {
+	d := &Dynamic{
+		n:        g.NumNodes(),
+		edges:    make(map[[2]NodeID][]float64, g.NumNodes()),
+		weighted: g.Weighted(),
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		nbrs := g.Out.Neighbors(NodeID(u))
+		ws := g.Out.EdgeWeights(NodeID(u))
+		for i, v := range nbrs {
+			w := 0.0
+			if ws != nil {
+				w = ws[i]
+			}
+			key := [2]NodeID{NodeID(u), v}
+			d.edges[key] = append(d.edges[key], w)
+		}
+	}
+	d.numEdges = g.NumEdges()
+	return d
+}
+
+// NumNodes returns the current node count.
+func (d *Dynamic) NumNodes() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.n
+}
+
+// NumEdges returns the current edge count.
+func (d *Dynamic) NumEdges() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.numEdges
+}
+
+// Version increases with every successful mutation batch; snapshot
+// consumers use it to detect staleness.
+func (d *Dynamic) Version() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.version
+}
+
+// AddNodes grows the node id space by k (new nodes start isolated).
+func (d *Dynamic) AddNodes(k int) error {
+	if k < 0 {
+		return fmt.Errorf("graph: cannot add %d nodes", k)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n += k
+	d.version++
+	return nil
+}
+
+// AddEdge inserts one directed edge (weight 0).
+func (d *Dynamic) AddEdge(src, dst NodeID) error {
+	return d.AddWeightedEdge(src, dst, 0, false)
+}
+
+// AddWeightedEdge inserts one directed edge; weighted marks the graph as
+// carrying weights from now on.
+func (d *Dynamic) AddWeightedEdge(src, dst NodeID, w float64, weighted bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(src) >= d.n || int(dst) >= d.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", src, dst, d.n)
+	}
+	key := [2]NodeID{src, dst}
+	d.edges[key] = append(d.edges[key], w)
+	d.numEdges++
+	if weighted {
+		d.weighted = true
+	}
+	d.version++
+	return nil
+}
+
+// RemoveEdge deletes one instance of (src, dst); with multi-edges the
+// highest-weight instance goes first (deterministic). Reports whether an
+// edge existed.
+func (d *Dynamic) RemoveEdge(src, dst NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	key := [2]NodeID{src, dst}
+	ws := d.edges[key]
+	if len(ws) == 0 {
+		return false
+	}
+	// Remove the max-weight instance for determinism.
+	maxI := 0
+	for i, w := range ws {
+		if w > ws[maxI] {
+			maxI = i
+		}
+	}
+	ws[maxI] = ws[len(ws)-1]
+	ws = ws[:len(ws)-1]
+	if len(ws) == 0 {
+		delete(d.edges, key)
+	} else {
+		d.edges[key] = ws
+	}
+	d.numEdges--
+	d.version++
+	return true
+}
+
+// Apply performs a batch of additions then removals atomically (all-or-
+// nothing validation of the additions; removals of absent edges are counted
+// but not errors). Returns how many removals matched.
+func (d *Dynamic) Apply(add []Edge, remove []Edge, weighted bool) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range add {
+		if int(e.Src) >= d.n || int(e.Dst) >= d.n {
+			return 0, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.Src, e.Dst, d.n)
+		}
+	}
+	for _, e := range add {
+		key := [2]NodeID{e.Src, e.Dst}
+		d.edges[key] = append(d.edges[key], e.Weight)
+		d.numEdges++
+	}
+	if weighted {
+		d.weighted = true
+	}
+	matched := 0
+	for _, e := range remove {
+		key := [2]NodeID{e.Src, e.Dst}
+		ws := d.edges[key]
+		if len(ws) == 0 {
+			continue
+		}
+		maxI := 0
+		for i, w := range ws {
+			if w > ws[maxI] {
+				maxI = i
+			}
+		}
+		ws[maxI] = ws[len(ws)-1]
+		ws = ws[:len(ws)-1]
+		if len(ws) == 0 {
+			delete(d.edges, key)
+		} else {
+			d.edges[key] = ws
+		}
+		d.numEdges--
+		matched++
+	}
+	d.version++
+	return matched, nil
+}
+
+// Snapshot materializes the current state as an immutable Graph, suitable
+// for loading into an engine cluster.
+func (d *Dynamic) Snapshot() (*Graph, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	b := NewBuilder(d.n)
+	for key, ws := range d.edges {
+		for _, w := range ws {
+			if d.weighted {
+				b.AddWeightedEdge(key[0], key[1], w)
+			} else {
+				b.AddEdge(key[0], key[1])
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDynamicBasics(t *testing.T) {
+	d, err := NewDynamic(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDynamic(0); err == nil {
+		t.Error("0-node dynamic accepted")
+	}
+	mustAdd := func(u, v NodeID) {
+		t.Helper()
+		if err := d.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(0, 1)
+	mustAdd(1, 2)
+	mustAdd(1, 2) // multi-edge
+	mustAdd(3, 0)
+	if d.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d", d.NumEdges())
+	}
+	if err := d.AddEdge(9, 0); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+
+	g, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 || g.NumNodes() != 4 {
+		t.Fatalf("snapshot %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.OutDegree(1) != 2 {
+		t.Errorf("multi-edge lost: deg=%d", g.OutDegree(1))
+	}
+
+	// Remove one of the two multi-edges.
+	if !d.RemoveEdge(1, 2) {
+		t.Fatal("remove failed")
+	}
+	if d.RemoveEdge(2, 3) {
+		t.Error("removed nonexistent edge")
+	}
+	g2, _ := d.Snapshot()
+	if g2.OutDegree(1) != 1 {
+		t.Errorf("after removal deg = %d", g2.OutDegree(1))
+	}
+	// The first snapshot is unaffected (immutability).
+	if g.OutDegree(1) != 2 {
+		t.Error("old snapshot mutated")
+	}
+}
+
+func TestDynamicVersioning(t *testing.T) {
+	d, _ := NewDynamic(3)
+	v0 := d.Version()
+	d.AddEdge(0, 1)
+	if d.Version() == v0 {
+		t.Error("version did not advance on add")
+	}
+	v1 := d.Version()
+	d.RemoveEdge(0, 1)
+	if d.Version() == v1 {
+		t.Error("version did not advance on remove")
+	}
+	d.AddNodes(2)
+	if d.NumNodes() != 5 {
+		t.Errorf("NumNodes = %d", d.NumNodes())
+	}
+	if err := d.AddNodes(-1); err == nil {
+		t.Error("negative AddNodes accepted")
+	}
+}
+
+func TestDynamicFromRoundTrip(t *testing.T) {
+	g, err := RMAT(8, 6, TwitterLike(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg := g.WithUniformWeights(1, 5, 17)
+	d := DynamicFrom(wg)
+	if d.NumNodes() != wg.NumNodes() || d.NumEdges() != wg.NumEdges() {
+		t.Fatalf("size %d/%d", d.NumNodes(), d.NumEdges())
+	}
+	back, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := wg.EdgeList(), back.EdgeList()
+	sortEdges(a)
+	sortEdges(b)
+	if len(a) != len(b) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDynamicApplyBatch(t *testing.T) {
+	d, _ := NewDynamic(5)
+	matched, err := d.Apply(
+		[]Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}},
+		[]Edge{{Src: 4, Dst: 0}}, // absent: counted as unmatched
+		false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matched != 0 || d.NumEdges() != 3 {
+		t.Fatalf("matched=%d edges=%d", matched, d.NumEdges())
+	}
+	matched, err = d.Apply(nil, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false)
+	if err != nil || matched != 2 || d.NumEdges() != 1 {
+		t.Fatalf("matched=%d edges=%d err=%v", matched, d.NumEdges(), err)
+	}
+	// Out-of-range addition rejects the whole batch.
+	if _, err := d.Apply([]Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 99}}, nil, false); err == nil {
+		t.Error("batch with invalid edge accepted")
+	}
+	if d.NumEdges() != 1 {
+		t.Errorf("failed batch mutated graph: %d edges", d.NumEdges())
+	}
+}
+
+// Property: after any mutation sequence, the snapshot's edge multiset
+// matches a model map.
+func TestDynamicMatchesModelProperty(t *testing.T) {
+	f := func(ops []uint16, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		d, err := NewDynamic(n)
+		if err != nil {
+			return false
+		}
+		model := map[[2]NodeID]int{}
+		for _, op := range ops {
+			u := NodeID(int(op>>8) % n)
+			v := NodeID(int(op&0xff) % n)
+			if op%3 == 0 {
+				if d.RemoveEdge(u, v) != (model[[2]NodeID{u, v}] > 0) {
+					return false
+				}
+				if model[[2]NodeID{u, v}] > 0 {
+					model[[2]NodeID{u, v}]--
+				}
+			} else {
+				if d.AddEdge(u, v) != nil {
+					return false
+				}
+				model[[2]NodeID{u, v}]++
+			}
+		}
+		g, err := d.Snapshot()
+		if err != nil {
+			return false
+		}
+		got := map[[2]NodeID]int{}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out.Neighbors(NodeID(u)) {
+				got[[2]NodeID{NodeID(u), v}]++
+			}
+		}
+		if len(got) > len(model) {
+			return false
+		}
+		for key, cnt := range model {
+			if cnt != got[key] {
+				return false
+			}
+		}
+		for key, cnt := range got {
+			if cnt != model[key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicWeightedRemoveOrder(t *testing.T) {
+	d, _ := NewDynamic(2)
+	d.AddWeightedEdge(0, 1, 5, true)
+	d.AddWeightedEdge(0, 1, 1, true)
+	d.AddWeightedEdge(0, 1, 3, true)
+	d.RemoveEdge(0, 1) // removes weight 5
+	g, _ := d.Snapshot()
+	ws := append([]float64(nil), g.Out.EdgeWeights(0)...)
+	if len(ws) != 2 {
+		t.Fatalf("weights = %v", ws)
+	}
+	sum := ws[0] + ws[1]
+	if sum != 4 {
+		t.Errorf("remaining weights %v, want sum 4", ws)
+	}
+}

@@ -1,0 +1,149 @@
+// Package graph provides the in-memory graph substrate used by the PGX.D
+// reproduction: a Compressed Sparse Row (CSR) representation with its
+// transpose, a bulk builder, synthetic graph generators matching the shapes
+// of the paper's datasets, and simple text/binary loaders.
+//
+// Node identifiers are dense uint32 values in [0, NumNodes). Edge positions
+// are int64 so graphs with more than 2^31 edges are representable. All types
+// in this package are immutable after construction and safe for concurrent
+// readers.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a vertex. Vertices are densely numbered from 0 to
+// NumNodes-1, matching the paper's assumption that "vertices are numbered
+// from 0 to N-1 by a preprocessing step".
+type NodeID = uint32
+
+// Edge is one directed edge with an optional weight. Weight is meaningful
+// only for weighted algorithms (SSSP); other algorithms ignore it.
+type Edge struct {
+	Src    NodeID
+	Dst    NodeID
+	Weight float64
+}
+
+// CSR is a compressed sparse row adjacency structure. Rows has length N+1;
+// the neighbors of node u are Cols[Rows[u]:Rows[u+1]]. When the CSR carries
+// weights, Weights is parallel to Cols; otherwise it is nil.
+type CSR struct {
+	N       int
+	Rows    []int64
+	Cols    []NodeID
+	Weights []float64
+}
+
+// NumEdges returns the number of directed edges stored in the CSR.
+func (c *CSR) NumEdges() int64 {
+	if c.N == 0 {
+		return 0
+	}
+	return c.Rows[c.N]
+}
+
+// Degree returns the number of neighbors of node u.
+func (c *CSR) Degree(u NodeID) int64 {
+	return c.Rows[u+1] - c.Rows[u]
+}
+
+// Neighbors returns the neighbor slice of node u. The returned slice aliases
+// the CSR's internal storage and must not be modified.
+func (c *CSR) Neighbors(u NodeID) []NodeID {
+	return c.Cols[c.Rows[u]:c.Rows[u+1]]
+}
+
+// EdgeWeights returns the weight slice parallel to Neighbors(u), or nil when
+// the CSR is unweighted.
+func (c *CSR) EdgeWeights(u NodeID) []float64 {
+	if c.Weights == nil {
+		return nil
+	}
+	return c.Weights[c.Rows[u]:c.Rows[u+1]]
+}
+
+// Graph is a directed graph held in both out-edge (Out) and in-edge (In)
+// orientation. In is the exact transpose of Out: it contains one entry
+// (v, u) for every out-edge (u, v), with the same weight. Keeping both
+// orientations is what lets the engine schedule pull-mode kernels (iterate
+// in-neighbors) as cheaply as push-mode kernels (iterate out-neighbors).
+type Graph struct {
+	Out CSR
+	In  CSR
+}
+
+// NumNodes returns the number of vertices.
+func (g *Graph) NumNodes() int { return g.Out.N }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int64 { return g.Out.NumEdges() }
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u NodeID) int64 { return g.Out.Degree(u) }
+
+// InDegree returns the in-degree of u.
+func (g *Graph) InDegree(u NodeID) int64 { return g.In.Degree(u) }
+
+// TotalDegree returns in-degree + out-degree of u; this is the per-vertex
+// workload weight the paper's edge partitioning balances ("the total sum of
+// in-degrees and out-degrees for all vertices").
+func (g *Graph) TotalDegree(u NodeID) int64 {
+	return g.Out.Degree(u) + g.In.Degree(u)
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.Out.Weights != nil }
+
+// Validate performs structural sanity checks and returns a descriptive error
+// on the first violation. It is O(N+M) and intended for tests and loaders,
+// not hot paths.
+func (g *Graph) Validate() error {
+	if err := validateCSR(&g.Out, "out"); err != nil {
+		return err
+	}
+	if err := validateCSR(&g.In, "in"); err != nil {
+		return err
+	}
+	if g.Out.N != g.In.N {
+		return fmt.Errorf("graph: out has %d nodes, in has %d", g.Out.N, g.In.N)
+	}
+	if g.Out.NumEdges() != g.In.NumEdges() {
+		return fmt.Errorf("graph: out has %d edges, in has %d", g.Out.NumEdges(), g.In.NumEdges())
+	}
+	return nil
+}
+
+func validateCSR(c *CSR, name string) error {
+	if c.N < 0 {
+		return fmt.Errorf("graph: %s CSR has negative node count %d", name, c.N)
+	}
+	if len(c.Rows) != c.N+1 {
+		return fmt.Errorf("graph: %s CSR Rows has length %d, want %d", name, len(c.Rows), c.N+1)
+	}
+	if c.N > 0 && c.Rows[0] != 0 {
+		return fmt.Errorf("graph: %s CSR Rows[0] = %d, want 0", name, c.Rows[0])
+	}
+	for i := 0; i < c.N; i++ {
+		if c.Rows[i] > c.Rows[i+1] {
+			return fmt.Errorf("graph: %s CSR Rows not monotone at %d: %d > %d", name, i, c.Rows[i], c.Rows[i+1])
+		}
+	}
+	if c.N > 0 && c.Rows[c.N] != int64(len(c.Cols)) {
+		return fmt.Errorf("graph: %s CSR Rows[N] = %d, want len(Cols) = %d", name, c.Rows[c.N], len(c.Cols))
+	}
+	for i, v := range c.Cols {
+		if int(v) >= c.N {
+			return fmt.Errorf("graph: %s CSR Cols[%d] = %d out of range [0,%d)", name, i, v, c.N)
+		}
+	}
+	if c.Weights != nil && len(c.Weights) != len(c.Cols) {
+		return fmt.Errorf("graph: %s CSR has %d weights for %d edges", name, len(c.Weights), len(c.Cols))
+	}
+	return nil
+}
+
+// ErrEmptyGraph is returned by builders and loaders when no nodes are present.
+var ErrEmptyGraph = errors.New("graph: empty graph")

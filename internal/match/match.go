@@ -1,0 +1,249 @@
+// Package match implements a distributed path-pattern matcher — the paper's
+// §6 "Solving pattern matching queries" outlook: "identifying all sub-graph
+// instances in a large data graph that match the given (small) query graph."
+// The paper warns that "pattern matching algorithms tend to generate a
+// potentially exponential number of partial solutions, or match contexts;
+// careless implementation could result in either too much communication or
+// too much memory consumption" — so this matcher makes both explicit: partial
+// matches are batched per destination machine (bandwidth-efficient, like the
+// engine's request messages), and a hard cap bounds resident match contexts,
+// with a typed error when a query exceeds it.
+//
+// Supported patterns are vertex paths: a sequence of vertex predicates
+// connected by directed edges, e.g. (high-degree) -[out]-> (any) -[out]->
+// (high-degree), optionally with all pattern vertices distinct.
+package match
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Predicate tests whether a data vertex can bind a pattern position.
+// Implementations must be safe for concurrent calls.
+type Predicate func(g *graph.Graph, v graph.NodeID) bool
+
+// Any matches every vertex.
+func Any() Predicate { return func(*graph.Graph, graph.NodeID) bool { return true } }
+
+// MinOutDegree matches vertices with at least k out-edges.
+func MinOutDegree(k int64) Predicate {
+	return func(g *graph.Graph, v graph.NodeID) bool { return g.OutDegree(v) >= k }
+}
+
+// MinInDegree matches vertices with at least k in-edges.
+func MinInDegree(k int64) Predicate {
+	return func(g *graph.Graph, v graph.NodeID) bool { return g.InDegree(v) >= k }
+}
+
+// Pattern is a directed path query: Steps[0] binds the first vertex; each
+// following step extends along one out-edge.
+type Pattern struct {
+	// Steps are the vertex predicates along the path, in order. At least
+	// two steps (one edge) are required.
+	Steps []Predicate
+	// Distinct requires all bound vertices to differ (no revisits).
+	Distinct bool
+}
+
+// Match is one bound path: Vertices[i] satisfied Steps[i].
+type Match struct {
+	Vertices []graph.NodeID
+}
+
+// ErrTooManyPartials reports that a query exceeded the resident partial-
+// match budget — the failure mode the paper says must be handled, surfaced
+// instead of exhausting memory.
+var ErrTooManyPartials = errors.New("match: partial-match budget exceeded")
+
+// Options bounds a query's resource usage.
+type Options struct {
+	// Machines is the simulated cluster size (vertex-partitioned).
+	Machines int
+	// MaxPartials caps the partial matches resident across the cluster at
+	// any round boundary. Zero means 1<<20.
+	MaxPartials int
+	// MaxMatches caps the result size (0 = unlimited). Queries exceeding it
+	// are truncated, with Truncated set in Stats.
+	MaxMatches int
+}
+
+// Stats reports a query execution.
+type Stats struct {
+	Rounds       int
+	PartialsSent int64 // partial matches shipped across machine boundaries
+	PeakPartials int
+	Truncated    bool
+}
+
+// Find runs the pattern against g with a simulated distributed execution:
+// vertices are partitioned over opts.Machines; each round extends the
+// frontier of partial matches by one pattern step, shipping matches whose
+// next vertex is remote to its owner in per-destination batches.
+func Find(g *graph.Graph, p Pattern, opts Options) ([]Match, Stats, error) {
+	var st Stats
+	if len(p.Steps) < 2 {
+		return nil, st, fmt.Errorf("match: pattern needs at least two steps, got %d", len(p.Steps))
+	}
+	if opts.Machines < 1 {
+		opts.Machines = 1
+	}
+	if opts.MaxPartials <= 0 {
+		opts.MaxPartials = 1 << 20
+	}
+	layout, err := partition.Compute(g, opts.Machines, partition.VertexBalanced)
+	if err != nil {
+		return nil, st, err
+	}
+
+	// partials[m] holds partial matches whose last vertex machine m owns.
+	partials := make([][][]graph.NodeID, opts.Machines)
+
+	// Round 0: bind the first pattern vertex.
+	total := 0
+	for m := 0; m < opts.Machines; m++ {
+		lo, hi := layout.Range(m)
+		for v := lo; v < hi; v++ {
+			if p.Steps[0](g, v) {
+				partials[m] = append(partials[m], []graph.NodeID{v})
+				total++
+			}
+		}
+	}
+	if total > opts.MaxPartials {
+		return nil, st, fmt.Errorf("%w: %d seeds > budget %d", ErrTooManyPartials, total, opts.MaxPartials)
+	}
+	st.PeakPartials = total
+
+	var results []Match
+	var resultsMu sync.Mutex
+	var truncated bool
+
+	for step := 1; step < len(p.Steps); step++ {
+		st.Rounds++
+		last := step == len(p.Steps)-1
+		// Each machine extends its partials in parallel, producing per-
+		// destination outboxes (complete matches go straight to results).
+		outboxes := make([][][][]graph.NodeID, opts.Machines) // [src][dst][]match
+		var wg sync.WaitGroup
+		var sentCount, keptCount int64
+		var countMu sync.Mutex
+		for m := 0; m < opts.Machines; m++ {
+			wg.Add(1)
+			go func(m int) {
+				defer wg.Done()
+				out := make([][][]graph.NodeID, opts.Machines)
+				var localSent, localKept int64
+				var localResults []Match
+				for _, pm := range partials[m] {
+					lastV := pm[len(pm)-1]
+					for _, next := range g.Out.Neighbors(lastV) {
+						if !p.Steps[step](g, next) {
+							continue
+						}
+						if p.Distinct && contains(pm, next) {
+							continue
+						}
+						ext := make([]graph.NodeID, len(pm)+1)
+						copy(ext, pm)
+						ext[len(pm)] = next
+						if last {
+							localResults = append(localResults, Match{Vertices: ext})
+							continue
+						}
+						d := layout.Owner(next)
+						out[d] = append(out[d], ext)
+						localKept++
+						if d != m {
+							localSent++
+						}
+					}
+				}
+				outboxes[m] = out
+				countMu.Lock()
+				sentCount += localSent
+				keptCount += localKept
+				countMu.Unlock()
+				if len(localResults) > 0 {
+					resultsMu.Lock()
+					results = append(results, localResults...)
+					resultsMu.Unlock()
+				}
+			}(m)
+		}
+		wg.Wait()
+		st.PartialsSent += sentCount
+		if int(keptCount) > opts.MaxPartials {
+			return nil, st, fmt.Errorf("%w: %d partials at round %d > budget %d",
+				ErrTooManyPartials, keptCount, st.Rounds, opts.MaxPartials)
+		}
+		if int(keptCount) > st.PeakPartials {
+			st.PeakPartials = int(keptCount)
+		}
+		// Deliver: machine d's next frontier is everything addressed to it.
+		next := make([][][]graph.NodeID, opts.Machines)
+		for d := 0; d < opts.Machines; d++ {
+			for s := 0; s < opts.Machines; s++ {
+				next[d] = append(next[d], outboxes[s][d]...)
+			}
+		}
+		partials = next
+		if opts.MaxMatches > 0 && len(results) >= opts.MaxMatches {
+			truncated = true
+			break
+		}
+	}
+	if opts.MaxMatches > 0 && len(results) > opts.MaxMatches {
+		results = results[:opts.MaxMatches]
+		truncated = true
+	}
+	st.Truncated = truncated
+	return results, st, nil
+}
+
+func contains(pm []graph.NodeID, v graph.NodeID) bool {
+	for _, u := range pm {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// FindReference enumerates matches by sequential depth-first search — the
+// correctness oracle for Find.
+func FindReference(g *graph.Graph, p Pattern) []Match {
+	if len(p.Steps) < 2 {
+		return nil
+	}
+	var results []Match
+	var dfs func(pm []graph.NodeID)
+	dfs = func(pm []graph.NodeID) {
+		step := len(pm)
+		if step == len(p.Steps) {
+			m := make([]graph.NodeID, len(pm))
+			copy(m, pm)
+			results = append(results, Match{Vertices: m})
+			return
+		}
+		for _, next := range g.Out.Neighbors(pm[len(pm)-1]) {
+			if !p.Steps[step](g, next) {
+				continue
+			}
+			if p.Distinct && contains(pm, next) {
+				continue
+			}
+			dfs(append(pm, next))
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if p.Steps[0](g, graph.NodeID(v)) {
+			dfs([]graph.NodeID{graph.NodeID(v)})
+		}
+	}
+	return results
+}

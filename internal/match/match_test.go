@@ -1,0 +1,158 @@
+package match
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.RMAT(8, 6, graph.TwitterLike(), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func canon(ms []Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		parts := make([]string, len(m.Vertices))
+		for j, v := range m.Vertices {
+			parts[j] = fmt.Sprint(v)
+		}
+		out[i] = strings.Join(parts, ">")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSameMatches(t *testing.T, got, want []Match) {
+	t.Helper()
+	a, b := canon(got), canon(want)
+	if len(a) != len(b) {
+		t.Fatalf("got %d matches, want %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("match %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFindMatchesReference(t *testing.T) {
+	g := testGraph(t)
+	// Paths hub -> any -> hub: selective enough to stay small.
+	p := Pattern{Steps: []Predicate{MinOutDegree(50), Any(), MinInDegree(50)}, Distinct: true}
+	want := FindReference(g, p)
+	if len(want) == 0 {
+		t.Fatal("reference found no matches; loosen the pattern")
+	}
+	for _, machines := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("p=%d", machines), func(t *testing.T) {
+			got, st, err := Find(g, p, Options{Machines: machines, MaxPartials: 1 << 22})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameMatches(t, got, want)
+			if st.Rounds != 2 {
+				t.Errorf("rounds = %d", st.Rounds)
+			}
+			if machines > 1 && st.PartialsSent == 0 {
+				t.Error("no cross-machine partials on a multi-machine run")
+			}
+		})
+	}
+}
+
+func TestFindTinyGraphExact(t *testing.T) {
+	// 0->1->2, 0->2, 2->0: enumerate 2-edge paths with Any predicates.
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}, {Src: 2, Dst: 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pattern{Steps: []Predicate{Any(), Any(), Any()}}
+	got, _, err := Find(g, p, Options{Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths: 0>1>2, 0>2>0, 1>2>0, 2>0>1, 2>0>2.
+	want := []string{"0>1>2", "0>2>0", "1>2>0", "2>0>1", "2>0>2"}
+	if gotC := canon(got); fmt.Sprint(gotC) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", gotC, want)
+	}
+
+	// Distinct removes the revisiting paths.
+	p.Distinct = true
+	got, _, err = Find(g, p, Options{Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"0>1>2", "1>2>0", "2>0>1"}
+	if gotC := canon(got); fmt.Sprint(gotC) != fmt.Sprint(want) {
+		t.Errorf("distinct: got %v, want %v", gotC, want)
+	}
+}
+
+func TestFindPartialBudget(t *testing.T) {
+	g := testGraph(t)
+	// An unselective 4-step pattern explodes; the budget must trip with the
+	// typed error rather than exhaust memory.
+	p := Pattern{Steps: []Predicate{Any(), Any(), Any(), Any()}}
+	_, _, err := Find(g, p, Options{Machines: 2, MaxPartials: 1000})
+	if !errors.Is(err, ErrTooManyPartials) {
+		t.Fatalf("err = %v, want ErrTooManyPartials", err)
+	}
+}
+
+func TestFindMaxMatchesTruncates(t *testing.T) {
+	g := testGraph(t)
+	p := Pattern{Steps: []Predicate{Any(), Any()}}
+	got, st, err := Find(g, p, Options{Machines: 2, MaxMatches: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || !st.Truncated {
+		t.Errorf("len=%d truncated=%v", len(got), st.Truncated)
+	}
+}
+
+func TestFindValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, _, err := Find(g, Pattern{Steps: []Predicate{Any()}}, Options{}); err == nil {
+		t.Error("single-step pattern accepted")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MinOutDegree(2)(g, 0) || MinOutDegree(2)(g, 1) {
+		t.Error("MinOutDegree wrong")
+	}
+	if !MinInDegree(1)(g, 1) || MinInDegree(2)(g, 2) {
+		t.Error("MinInDegree wrong")
+	}
+	if !Any()(g, 2) {
+		t.Error("Any wrong")
+	}
+}
+
+func TestFindStatsPeak(t *testing.T) {
+	g := testGraph(t)
+	p := Pattern{Steps: []Predicate{MinOutDegree(20), Any(), Any()}}
+	_, st, err := Find(g, p, Options{Machines: 3, MaxPartials: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakPartials <= 0 {
+		t.Error("no peak recorded")
+	}
+}

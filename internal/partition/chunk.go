@@ -1,0 +1,79 @@
+package partition
+
+// Chunk is a half-open range [Begin, End) of local node indices handed to a
+// worker as one unit of RTC task scheduling (paper §3.2/§3.3: "tasks are
+// grouped into chunks, which in return are allocated to worker threads").
+type Chunk struct {
+	Begin, End uint32
+}
+
+// Len returns the number of nodes in the chunk.
+func (c Chunk) Len() int { return int(c.End - c.Begin) }
+
+// NodeChunks cuts [0, n) into chunks of at most chunkSize nodes each — the
+// naive baseline ("node-based task chunking" in Figure 6c) in which a chunk
+// covering a few huge-degree vertices carries far more work than its peers.
+func NodeChunks(n int, chunkSize int) []Chunk {
+	if n <= 0 {
+		return nil
+	}
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	chunks := make([]Chunk, 0, (n+chunkSize-1)/chunkSize)
+	for lo := 0; lo < n; lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		chunks = append(chunks, Chunk{Begin: uint32(lo), End: uint32(hi)})
+	}
+	return chunks
+}
+
+// EdgeChunks cuts [0, n) into chunks each covering approximately
+// targetEdges edges, using the CSR row-offset array rows (length n+1) of the
+// orientation the job iterates. This is the paper's edge chunking: "The Task
+// Manager creates chunks by edge count, thereby ensuring that each chunk
+// will contain a similar number of edges instead of similar number of
+// nodes." A single vertex whose degree exceeds targetEdges becomes its own
+// chunk; chunks are never empty.
+func EdgeChunks(rows []int64, targetEdges int64) []Chunk {
+	n := len(rows) - 1
+	if n <= 0 {
+		return nil
+	}
+	if targetEdges < 1 {
+		targetEdges = 1
+	}
+	var chunks []Chunk
+	lo := 0
+	for lo < n {
+		hi := lo + 1
+		// Extend while the chunk stays under target. The first node always
+		// joins, so over-degree vertices form singleton chunks.
+		for hi < n && rows[hi+1]-rows[lo] <= targetEdges {
+			hi++
+		}
+		chunks = append(chunks, Chunk{Begin: uint32(lo), End: uint32(hi)})
+		lo = hi
+	}
+	return chunks
+}
+
+// ChunkEdgeWeight returns the number of edges a chunk covers under rows.
+func ChunkEdgeWeight(rows []int64, c Chunk) int64 {
+	return rows[c.End] - rows[c.Begin]
+}
+
+// MaxChunkEdgeWeight returns the largest edge weight across chunks — the
+// quantity edge chunking minimizes relative to node chunking.
+func MaxChunkEdgeWeight(rows []int64, chunks []Chunk) int64 {
+	var max int64
+	for _, c := range chunks {
+		if w := ChunkEdgeWeight(rows, c); w > max {
+			max = w
+		}
+	}
+	return max
+}

@@ -1,0 +1,156 @@
+// Package partition implements the data placement policies of PGX.D
+// (paper §3.3): partitioning consecutive vertex ranges across machines by
+// node count (vertex partitioning) or by in+out degree sums (edge
+// partitioning), selecting high-degree vertices as ghosts, and cutting local
+// node ranges into edge-balanced chunks for intra-machine scheduling.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Strategy selects how vertex ranges are assigned to machines.
+type Strategy int
+
+const (
+	// VertexBalanced gives each machine a roughly equal number of vertices —
+	// the "naive" baseline the paper compares against in Figure 6b.
+	VertexBalanced Strategy = iota
+	// EdgeBalanced gives each machine a roughly equal total of in+out
+	// degrees, the paper's edge partitioning: "it first computes the total
+	// sum of in-degrees and out-degrees for all vertices. It then chooses
+	// the pivot vertices that result in a balanced sum".
+	EdgeBalanced
+)
+
+// String implements fmt.Stringer for harness output.
+func (s Strategy) String() string {
+	switch s {
+	case VertexBalanced:
+		return "vertex"
+	case EdgeBalanced:
+		return "edge"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Layout records which consecutive vertex range each machine owns. As in the
+// paper, a partitioning of N vertices over P machines is fully described by
+// P-1 pivots; we store the equivalent P+1 range starts. Layout is immutable
+// and shared (by value) across all machines.
+type Layout struct {
+	NumMachines int
+	// Starts has length NumMachines+1: machine m owns global vertices
+	// [Starts[m], Starts[m+1]). Starts[0] == 0, Starts[P] == N.
+	Starts []uint32
+}
+
+// Compute builds a Layout for g over p machines under the given strategy.
+func Compute(g *graph.Graph, p int, strategy Strategy) (Layout, error) {
+	n := g.NumNodes()
+	if p < 1 {
+		return Layout{}, fmt.Errorf("partition: machine count %d must be >= 1", p)
+	}
+	if n == 0 {
+		return Layout{}, graph.ErrEmptyGraph
+	}
+	starts := make([]uint32, p+1)
+	starts[p] = uint32(n)
+	switch strategy {
+	case VertexBalanced:
+		for m := 1; m < p; m++ {
+			starts[m] = uint32(m * n / p)
+		}
+	case EdgeBalanced:
+		// Walk the vertices accumulating in+out degree; cut when the running
+		// sum crosses the next equal-share boundary.
+		var total int64
+		for u := 0; u < n; u++ {
+			total += g.TotalDegree(graph.NodeID(u))
+		}
+		if total == 0 {
+			// Degenerate: no edges — fall back to vertex balancing.
+			for m := 1; m < p; m++ {
+				starts[m] = uint32(m * n / p)
+			}
+			break
+		}
+		var acc int64
+		next := 1
+		for u := 0; u < n && next < p; u++ {
+			acc += g.TotalDegree(graph.NodeID(u))
+			for next < p && acc >= int64(next)*total/int64(p) {
+				starts[next] = uint32(u + 1)
+				next++
+			}
+		}
+		for ; next < p; next++ {
+			starts[next] = uint32(n)
+		}
+	default:
+		return Layout{}, fmt.Errorf("partition: unknown strategy %d", strategy)
+	}
+	// Enforce monotonicity (degenerate heavy vertices can make cuts collide;
+	// empty partitions are legal but starts must stay sorted).
+	for m := 1; m <= p; m++ {
+		if starts[m] < starts[m-1] {
+			starts[m] = starts[m-1]
+		}
+	}
+	return Layout{NumMachines: p, Starts: starts}, nil
+}
+
+// Owner returns the machine owning global vertex v. Binary search over at
+// most NumMachines+1 entries; with P <= 64 this is a handful of compares and
+// is the hot-path location lookup the paper does with shared pivots.
+func (l Layout) Owner(v graph.NodeID) int {
+	// sort.Search returns the first m with Starts[m] > v; owner is m-1.
+	m := sort.Search(l.NumMachines, func(m int) bool { return l.Starts[m+1] > v })
+	return m
+}
+
+// LocalOffset converts global vertex v to its offset within its owner's range.
+func (l Layout) LocalOffset(v graph.NodeID) uint32 {
+	return v - l.Starts[l.Owner(v)]
+}
+
+// GlobalOf converts (machine, local offset) back to the global vertex id.
+func (l Layout) GlobalOf(machine int, offset uint32) graph.NodeID {
+	return l.Starts[machine] + offset
+}
+
+// NumLocal returns how many vertices machine m owns.
+func (l Layout) NumLocal(m int) int {
+	return int(l.Starts[m+1] - l.Starts[m])
+}
+
+// Range returns the half-open global vertex range of machine m.
+func (l Layout) Range(m int) (graph.NodeID, graph.NodeID) {
+	return l.Starts[m], l.Starts[m+1]
+}
+
+// EdgeImbalance returns max/mean of the per-machine in+out degree sums, the
+// load-balance figure of merit behind Figure 6b. 1.0 is perfect balance.
+func (l Layout) EdgeImbalance(g *graph.Graph) float64 {
+	var maxW, totalW int64
+	for m := 0; m < l.NumMachines; m++ {
+		var w int64
+		lo, hi := l.Range(m)
+		for u := lo; u < hi; u++ {
+			w += g.TotalDegree(u)
+		}
+		totalW += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if totalW == 0 {
+		return 1
+	}
+	mean := float64(totalW) / float64(l.NumMachines)
+	return float64(maxW) / mean
+}

@@ -1,0 +1,269 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func skewedGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.RMAT(11, 8, graph.TwitterLike(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestComputeVertexBalanced(t *testing.T) {
+	g := skewedGraph(t)
+	l, err := Compute(g, 4, VertexBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	for m := 0; m < 4; m++ {
+		got := l.NumLocal(m)
+		if got < n/4-1 || got > n/4+1 {
+			t.Errorf("machine %d owns %d vertices, want ~%d", m, got, n/4)
+		}
+	}
+}
+
+func TestComputeEdgeBalancedBeatsVertexOnSkew(t *testing.T) {
+	g := skewedGraph(t)
+	for _, p := range []int{2, 4, 8} {
+		lv, err := Compute(g, p, VertexBalanced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		le, err := Compute(g, p, EdgeBalanced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, ie := lv.EdgeImbalance(g), le.EdgeImbalance(g)
+		if ie > iv {
+			t.Errorf("p=%d: edge partitioning imbalance %.3f worse than vertex %.3f", p, ie, iv)
+		}
+		if ie > 1.5 {
+			t.Errorf("p=%d: edge partitioning imbalance %.3f, want <= 1.5", p, ie)
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	g := skewedGraph(t)
+	if _, err := Compute(g, 0, EdgeBalanced); err == nil {
+		t.Error("accepted 0 machines")
+	}
+	if _, err := Compute(g, 2, Strategy(99)); err == nil {
+		t.Error("accepted unknown strategy")
+	}
+}
+
+func TestComputeEdgelessFallsBack(t *testing.T) {
+	g, err := graph.FromEdges(100, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Compute(g, 4, EdgeBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 4; m++ {
+		if l.NumLocal(m) != 25 {
+			t.Errorf("machine %d owns %d, want 25", m, l.NumLocal(m))
+		}
+	}
+}
+
+// Property: every vertex is owned by exactly one machine, Owner/LocalOffset/
+// GlobalOf are mutually consistent, and starts are monotone.
+func TestLayoutOwnershipProperty(t *testing.T) {
+	g := skewedGraph(t)
+	f := func(pRaw uint8, strategyRaw bool) bool {
+		p := int(pRaw%16) + 1
+		strategy := VertexBalanced
+		if strategyRaw {
+			strategy = EdgeBalanced
+		}
+		l, err := Compute(g, p, strategy)
+		if err != nil {
+			return false
+		}
+		if l.Starts[0] != 0 || int(l.Starts[p]) != g.NumNodes() {
+			return false
+		}
+		for m := 1; m <= p; m++ {
+			if l.Starts[m] < l.Starts[m-1] {
+				return false
+			}
+		}
+		// Spot-check ownership across the range including boundaries.
+		for _, v := range boundaryProbes(l, g.NumNodes()) {
+			m := l.Owner(v)
+			lo, hi := l.Range(m)
+			if v < lo || v >= hi {
+				return false
+			}
+			if l.GlobalOf(m, l.LocalOffset(v)) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func boundaryProbes(l Layout, n int) []graph.NodeID {
+	var probes []graph.NodeID
+	for _, s := range l.Starts {
+		for d := -1; d <= 1; d++ {
+			v := int(s) + d
+			if v >= 0 && v < n {
+				probes = append(probes, graph.NodeID(v))
+			}
+		}
+	}
+	probes = append(probes, 0, graph.NodeID(n/2), graph.NodeID(n-1))
+	return probes
+}
+
+func TestSelectGhostsByThreshold(t *testing.T) {
+	g := skewedGraph(t)
+	gs := SelectGhosts(g, 100)
+	if gs.Len() == 0 {
+		t.Fatal("no ghosts on a skewed graph at threshold 100")
+	}
+	for _, v := range gs.Nodes {
+		if g.InDegree(v) <= 100 && g.OutDegree(v) <= 100 {
+			t.Errorf("node %d ghosted but both degrees <= 100", v)
+		}
+	}
+	// Every over-threshold node is present.
+	want := graph.NodesAboveDegree(g, 100)
+	if gs.Len() != want {
+		t.Errorf("ghost count %d, want %d", gs.Len(), want)
+	}
+	// Slot mapping is consistent and sorted.
+	prev := graph.NodeID(0)
+	for i, v := range gs.Nodes {
+		if i > 0 && v <= prev {
+			t.Fatal("ghost nodes not strictly ascending")
+		}
+		prev = v
+		s, ok := gs.Slot(v)
+		if !ok || int(s) != i || gs.Node(s) != v {
+			t.Fatalf("slot mapping broken at %d", v)
+		}
+	}
+	if _, ok := gs.Slot(graph.NodeID(g.NumNodes() + 5)); ok {
+		t.Error("nonexistent node reported as ghost")
+	}
+}
+
+func TestSelectTopGhosts(t *testing.T) {
+	g := skewedGraph(t)
+	for _, k := range []int{0, 1, 5, 50, 500} {
+		gs := SelectTopGhosts(g, k)
+		if gs.Len() > k {
+			t.Errorf("k=%d: got %d ghosts", k, gs.Len())
+		}
+		if k > 0 && k <= g.NumNodes() && gs.Len() != k {
+			t.Errorf("k=%d: got %d ghosts, want %d on a graph with no isolated top nodes", k, gs.Len(), k)
+		}
+	}
+	// The top-1 ghost must have the max degree in the graph.
+	gs := SelectTopGhosts(g, 1)
+	stats := graph.ComputeDegreeStats(g)
+	v := gs.Nodes[0]
+	d := g.InDegree(v)
+	if od := g.OutDegree(v); od > d {
+		d = od
+	}
+	if d != stats.MaxInDegree && d != stats.MaxOutDegree {
+		t.Errorf("top ghost degree %d is neither maxIn %d nor maxOut %d", d, stats.MaxInDegree, stats.MaxOutDegree)
+	}
+}
+
+func TestNodeChunks(t *testing.T) {
+	chunks := NodeChunks(10, 3)
+	if len(chunks) != 4 {
+		t.Fatalf("got %d chunks, want 4", len(chunks))
+	}
+	covered := 0
+	for i, c := range chunks {
+		if c.Len() == 0 {
+			t.Errorf("chunk %d empty", i)
+		}
+		covered += c.Len()
+	}
+	if covered != 10 {
+		t.Errorf("covered %d nodes, want 10", covered)
+	}
+	if NodeChunks(0, 3) != nil {
+		t.Error("expected nil for n=0")
+	}
+	// chunkSize < 1 clamps to 1.
+	if got := len(NodeChunks(5, 0)); got != 5 {
+		t.Errorf("chunkSize 0: got %d chunks, want 5", got)
+	}
+}
+
+// Property: edge chunks cover [0,n) exactly once, are never empty, and no
+// chunk with more than one node exceeds the target.
+func TestEdgeChunksProperty(t *testing.T) {
+	f := func(degrees []uint8, targetRaw uint16) bool {
+		n := len(degrees)
+		if n == 0 {
+			return EdgeChunks([]int64{0}, 10) == nil
+		}
+		rows := make([]int64, n+1)
+		for i, d := range degrees {
+			rows[i+1] = rows[i] + int64(d)
+		}
+		target := int64(targetRaw%500) + 1
+		chunks := EdgeChunks(rows, target)
+		var next uint32
+		for _, c := range chunks {
+			if c.Begin != next || c.End <= c.Begin {
+				return false
+			}
+			if c.Len() > 1 && ChunkEdgeWeight(rows, c) > target {
+				return false
+			}
+			next = c.End
+		}
+		return int(next) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeChunksBalanceBeatsNodeChunksOnSkew(t *testing.T) {
+	g := skewedGraph(t)
+	rows := g.Out.Rows
+	m := g.NumEdges()
+	nChunks := 64
+	target := m / int64(nChunks)
+	ec := EdgeChunks(rows, target)
+	nc := NodeChunks(g.NumNodes(), g.NumNodes()/nChunks)
+	maxE := MaxChunkEdgeWeight(rows, ec)
+	maxN := MaxChunkEdgeWeight(rows, nc)
+	if maxE >= maxN {
+		t.Errorf("edge chunk max weight %d not better than node chunk %d", maxE, maxN)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if VertexBalanced.String() != "vertex" || EdgeBalanced.String() != "edge" {
+		t.Error("Strategy.String mismatch")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+}

@@ -1,0 +1,280 @@
+// Package query implements the paper's §6.1 post-processing idea: "simple
+// SQL operators can be implemented directly on top of PGX.D for the
+// convenience of post processing — e.g., find the top-100 Pagerank nodes
+// that have less than 1000 neighbors."
+//
+// A Frame is a columnar view over per-node values (algorithm outputs,
+// degrees, labels). Operators — Where, OrderBy, Limit, Select — compose
+// lazily over row indices, so a filtered, sorted top-K never copies the
+// full columns.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Column is a named per-node value vector. Exactly one of F64 or I64 is
+// set; both have one entry per node.
+type Column struct {
+	Name string
+	F64  []float64
+	I64  []int64
+}
+
+func (c *Column) length() int {
+	if c.F64 != nil {
+		return len(c.F64)
+	}
+	return len(c.I64)
+}
+
+// value returns row i as float64 for ordering and predicates.
+func (c *Column) value(i int) float64 {
+	if c.F64 != nil {
+		return c.F64[i]
+	}
+	return float64(c.I64[i])
+}
+
+// F64Col builds a float64 column.
+func F64Col(name string, vals []float64) Column { return Column{Name: name, F64: vals} }
+
+// I64Col builds an int64 column.
+func I64Col(name string, vals []int64) Column { return Column{Name: name, I64: vals} }
+
+// DegreeColumns derives in/out/total degree columns from a graph.
+func DegreeColumns(g *graph.Graph) []Column {
+	n := g.NumNodes()
+	in := make([]int64, n)
+	out := make([]int64, n)
+	total := make([]int64, n)
+	for u := 0; u < n; u++ {
+		in[u] = g.InDegree(graph.NodeID(u))
+		out[u] = g.OutDegree(graph.NodeID(u))
+		total[u] = in[u] + out[u]
+	}
+	return []Column{
+		I64Col("in_degree", in),
+		I64Col("out_degree", out),
+		I64Col("degree", total),
+	}
+}
+
+// Frame is a queryable set of columns over the same node universe, plus a
+// row selection. The zero Frame is invalid; build with NewFrame.
+type Frame struct {
+	cols map[string]*Column
+	// rows is the current selection (node ids); nil means all nodes.
+	rows []int
+	n    int
+	err  error
+}
+
+// NewFrame builds a frame over n nodes with the given columns. Every column
+// must have exactly n entries.
+func NewFrame(n int, cols ...Column) (*Frame, error) {
+	f := &Frame{cols: make(map[string]*Column), n: n}
+	for i := range cols {
+		c := cols[i]
+		if (c.F64 == nil) == (c.I64 == nil) {
+			return nil, fmt.Errorf("query: column %q must have exactly one of F64/I64", c.Name)
+		}
+		if c.length() != n {
+			return nil, fmt.Errorf("query: column %q has %d rows, want %d", c.Name, c.length(), n)
+		}
+		if _, dup := f.cols[c.Name]; dup {
+			return nil, fmt.Errorf("query: duplicate column %q", c.Name)
+		}
+		f.cols[c.Name] = &c
+	}
+	return f, nil
+}
+
+// clone returns a shallow copy sharing columns but owning its row selection.
+func (f *Frame) clone(rows []int) *Frame {
+	return &Frame{cols: f.cols, rows: rows, n: f.n, err: f.err}
+}
+
+// fail marks the frame's pipeline as errored.
+func (f *Frame) fail(format string, args ...any) *Frame {
+	if f.err != nil {
+		return f
+	}
+	g := f.clone(f.rows)
+	g.err = fmt.Errorf(format, args...)
+	return g
+}
+
+// materialRows returns the current selection as a concrete slice.
+func (f *Frame) materialRows() []int {
+	if f.rows != nil {
+		return f.rows
+	}
+	rows := make([]int, f.n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+// Len returns the number of selected rows.
+func (f *Frame) Len() int {
+	if f.rows != nil {
+		return len(f.rows)
+	}
+	return f.n
+}
+
+// Err returns the first error of the pipeline, surfaced by terminal calls.
+func (f *Frame) Err() error { return f.err }
+
+// Predicate tests one row's value.
+type Predicate func(v float64) bool
+
+// Common predicates.
+func Lt(x float64) Predicate  { return func(v float64) bool { return v < x } }
+func Le(x float64) Predicate  { return func(v float64) bool { return v <= x } }
+func Gt(x float64) Predicate  { return func(v float64) bool { return v > x } }
+func Ge(x float64) Predicate  { return func(v float64) bool { return v >= x } }
+func Eq(x float64) Predicate  { return func(v float64) bool { return v == x } }
+func Neq(x float64) Predicate { return func(v float64) bool { return v != x } }
+
+// Where keeps rows whose column value satisfies pred.
+func (f *Frame) Where(column string, pred Predicate) *Frame {
+	if f.err != nil {
+		return f
+	}
+	col, ok := f.cols[column]
+	if !ok {
+		return f.fail("query: unknown column %q in Where", column)
+	}
+	in := f.materialRows()
+	out := make([]int, 0, len(in))
+	for _, r := range in {
+		if pred(col.value(r)) {
+			out = append(out, r)
+		}
+	}
+	return f.clone(out)
+}
+
+// OrderBy sorts the selection by a column; descending when desc. The sort
+// is stable so ties keep node order.
+func (f *Frame) OrderBy(column string, desc bool) *Frame {
+	if f.err != nil {
+		return f
+	}
+	col, ok := f.cols[column]
+	if !ok {
+		return f.fail("query: unknown column %q in OrderBy", column)
+	}
+	rows := append([]int(nil), f.materialRows()...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := col.value(rows[i]), col.value(rows[j])
+		if desc {
+			return a > b
+		}
+		return a < b
+	})
+	return f.clone(rows)
+}
+
+// Limit keeps the first k rows of the selection.
+func (f *Frame) Limit(k int) *Frame {
+	if f.err != nil {
+		return f
+	}
+	rows := f.materialRows()
+	if k < 0 {
+		k = 0
+	}
+	if k > len(rows) {
+		k = len(rows)
+	}
+	return f.clone(rows[:k])
+}
+
+// Row is one result row: the node id plus the selected column values in
+// Select order.
+type Row struct {
+	Node   graph.NodeID
+	Values []float64
+}
+
+// Select materializes the pipeline, returning the chosen columns per
+// selected row.
+func (f *Frame) Select(columns ...string) ([]Row, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	cols := make([]*Column, len(columns))
+	for i, name := range columns {
+		c, ok := f.cols[name]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown column %q in Select", name)
+		}
+		cols[i] = c
+	}
+	rows := f.materialRows()
+	out := make([]Row, len(rows))
+	for i, r := range rows {
+		vals := make([]float64, len(cols))
+		for j, c := range cols {
+			vals[j] = c.value(r)
+		}
+		out[i] = Row{Node: graph.NodeID(r), Values: vals}
+	}
+	return out, nil
+}
+
+// Nodes materializes just the selected node ids.
+func (f *Frame) Nodes() ([]graph.NodeID, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	rows := f.materialRows()
+	out := make([]graph.NodeID, len(rows))
+	for i, r := range rows {
+		out[i] = graph.NodeID(r)
+	}
+	return out, nil
+}
+
+// Aggregate computes an aggregate over one column of the selection.
+type Aggregate struct {
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+	Mean  float64
+}
+
+// Agg folds the selected rows of a column.
+func (f *Frame) Agg(column string) (Aggregate, error) {
+	if f.err != nil {
+		return Aggregate{}, f.err
+	}
+	col, ok := f.cols[column]
+	if !ok {
+		return Aggregate{}, fmt.Errorf("query: unknown column %q in Agg", column)
+	}
+	rows := f.materialRows()
+	agg := Aggregate{Count: len(rows)}
+	for i, r := range rows {
+		v := col.value(r)
+		agg.Sum += v
+		if i == 0 || v < agg.Min {
+			agg.Min = v
+		}
+		if i == 0 || v > agg.Max {
+			agg.Max = v
+		}
+	}
+	if agg.Count > 0 {
+		agg.Mean = agg.Sum / float64(agg.Count)
+	}
+	return agg, nil
+}

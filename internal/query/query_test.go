@@ -1,0 +1,179 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func frame(t *testing.T) *Frame {
+	t.Helper()
+	// 6 nodes with rank and degree columns.
+	f, err := NewFrame(6,
+		F64Col("rank", []float64{0.5, 0.1, 0.9, 0.3, 0.9, 0.2}),
+		I64Col("degree", []int64{10, 200, 30, 400, 5, 60}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestPaperExampleQuery(t *testing.T) {
+	// The paper's example: top-K rank among nodes with fewer than N
+	// neighbors.
+	rows, err := frame(t).
+		Where("degree", Lt(100)).
+		OrderBy("rank", true).
+		Limit(2).
+		Select("rank", "degree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Nodes 2 and 4 both rank 0.9 with degree < 100; stable sort keeps node
+	// order.
+	if rows[0].Node != 2 || rows[1].Node != 4 {
+		t.Errorf("rows = %+v", rows)
+	}
+	if rows[0].Values[0] != 0.9 || rows[0].Values[1] != 30 {
+		t.Errorf("values = %v", rows[0].Values)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		pred Predicate
+		v    float64
+		want bool
+	}{
+		{Lt(5), 4, true}, {Lt(5), 5, false},
+		{Le(5), 5, true}, {Le(5), 6, false},
+		{Gt(5), 6, true}, {Gt(5), 5, false},
+		{Ge(5), 5, true}, {Ge(5), 4, false},
+		{Eq(5), 5, true}, {Eq(5), 4, false},
+		{Neq(5), 4, true}, {Neq(5), 5, false},
+	}
+	for i, c := range cases {
+		if got := c.pred(c.v); got != c.want {
+			t.Errorf("case %d: got %v", i, got)
+		}
+	}
+}
+
+func TestWhereChaining(t *testing.T) {
+	nodes, err := frame(t).
+		Where("rank", Ge(0.2)).
+		Where("degree", Le(60)).
+		Nodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rank>=0.2: nodes 0,2,3,4,5; degree<=60 among them: 0,2,4,5.
+	want := []graph.NodeID{0, 2, 4, 5}
+	if len(nodes) != len(want) {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestOrderAscendingAndLimitBounds(t *testing.T) {
+	f := frame(t).OrderBy("degree", false)
+	nodes, err := f.Limit(100).Nodes() // beyond length clamps
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 6 || nodes[0] != 4 || nodes[5] != 3 {
+		t.Errorf("order = %v", nodes)
+	}
+	empty, err := f.Limit(-1).Nodes()
+	if err != nil || len(empty) != 0 {
+		t.Errorf("negative limit: %v %v", empty, err)
+	}
+}
+
+func TestAgg(t *testing.T) {
+	agg, err := frame(t).Where("rank", Gt(0.25)).Agg("degree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rank>0.25: nodes 0,2,3,4 with degrees 10,30,400,5.
+	if agg.Count != 4 || agg.Sum != 445 || agg.Min != 5 || agg.Max != 400 {
+		t.Errorf("agg = %+v", agg)
+	}
+	if agg.Mean != 445.0/4 {
+		t.Errorf("mean = %g", agg.Mean)
+	}
+	empty, err := frame(t).Where("rank", Gt(99)).Agg("degree")
+	if err != nil || empty.Count != 0 || empty.Mean != 0 {
+		t.Errorf("empty agg = %+v (%v)", empty, err)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	f := frame(t).Where("nope", Lt(1)).OrderBy("rank", true).Limit(3)
+	if f.Err() == nil {
+		t.Fatal("missing error")
+	}
+	if _, err := f.Select("rank"); err == nil {
+		t.Error("Select swallowed pipeline error")
+	}
+	if _, err := f.Nodes(); err == nil {
+		t.Error("Nodes swallowed pipeline error")
+	}
+	if _, err := f.Agg("rank"); err == nil {
+		t.Error("Agg swallowed pipeline error")
+	}
+	if _, err := frame(t).Select("nope"); err == nil {
+		t.Error("unknown Select column accepted")
+	}
+	if _, err := frame(t).OrderBy("nope", true).Nodes(); err == nil {
+		t.Error("unknown OrderBy column accepted")
+	}
+	if _, err := frame(t).Agg("nope"); err == nil {
+		t.Error("unknown Agg column accepted")
+	}
+}
+
+func TestNewFrameValidation(t *testing.T) {
+	if _, err := NewFrame(3, Column{Name: "both", F64: []float64{1, 2, 3}, I64: []int64{1, 2, 3}}); err == nil {
+		t.Error("column with both types accepted")
+	}
+	if _, err := NewFrame(3, Column{Name: "neither"}); err == nil {
+		t.Error("column with no values accepted")
+	}
+	if _, err := NewFrame(3, F64Col("short", []float64{1})); err == nil {
+		t.Error("wrong-length column accepted")
+	}
+	if _, err := NewFrame(2, F64Col("a", []float64{1, 2}), F64Col("a", []float64{3, 4})); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestDegreeColumns(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 0}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := DegreeColumns(g)
+	f, err := NewFrame(3, cols...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := f.Select("in_degree", "out_degree", "degree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Values[0] != 1 || rows[0].Values[1] != 2 || rows[0].Values[2] != 3 {
+		t.Errorf("node 0 degrees = %v", rows[0].Values)
+	}
+	if f.Len() != 3 {
+		t.Errorf("Len = %d", f.Len())
+	}
+}

@@ -1,0 +1,192 @@
+package reduce
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyF64(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b float64
+		want float64
+	}{
+		{Sum, 2, 3, 5},
+		{Min, 2, 3, 2},
+		{Min, 3, 2, 2},
+		{Max, 2, 3, 3},
+		{Or, 0, 0, 0},
+		{Or, 0, 7, 1},
+		{And, 1, 0, 0},
+		{And, 2, 3, 1},
+		{Overwrite, 9, 4, 4},
+	}
+	for _, c := range cases {
+		if got := ApplyF64(c.op, c.a, c.b); got != c.want {
+			t.Errorf("ApplyF64(%v, %g, %g) = %g, want %g", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestApplyI64(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, w int64
+	}{
+		{Sum, 2, 3, 5},
+		{Min, -2, 3, -2},
+		{Max, -2, 3, 3},
+		{Or, 0b0101, 0b0011, 0b0111},
+		{And, 0b0101, 0b0011, 0b0001},
+		{Overwrite, 9, 4, 4},
+	}
+	for _, c := range cases {
+		if got := ApplyI64(c.op, c.a, c.b); got != c.w {
+			t.Errorf("ApplyI64(%v, %d, %d) = %d, want %d", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+// Property: bottom is the identity element for every op and both types.
+func TestBottomIsIdentity(t *testing.T) {
+	ops := []Op{Sum, Min, Max, Or, And}
+	f := func(vRaw int32) bool {
+		for _, op := range ops {
+			fv := float64(vRaw)
+			if op == Or || op == And {
+				// Logical ops normalize to 0/1; test with canonical inputs.
+				fv = float64(vRaw & 1)
+			}
+			if ApplyF64(op, BottomF64(op), fv) != fv {
+				return false
+			}
+			iv := int64(vRaw)
+			if ApplyI64(op, BottomI64(op), iv) != iv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Min/Max/Or/And are idempotent and commutative.
+func TestIdempotentCommutative(t *testing.T) {
+	ops := []Op{Min, Max, Or, And}
+	f := func(a, b int64) bool {
+		for _, op := range ops {
+			if ApplyI64(op, a, a) != a && op != Or && op != And {
+				return false
+			}
+			if ApplyI64(op, a, b) != ApplyI64(op, b, a) {
+				return false
+			}
+			fa, fb := float64(a&1), float64(b&1)
+			if ApplyF64(op, fa, fb) != ApplyF64(op, fb, fa) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtomicApplyF64ConcurrentSum(t *testing.T) {
+	var bits atomic.Uint64
+	bits.Store(math.Float64bits(0))
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				AtomicApplyF64(&bits, Sum, 1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	got := math.Float64frombits(bits.Load())
+	want := 1.5 * goroutines * perG
+	if got != want {
+		t.Errorf("concurrent atomic sum = %g, want %g", got, want)
+	}
+}
+
+func TestAtomicApplyF64Min(t *testing.T) {
+	var bits atomic.Uint64
+	bits.Store(math.Float64bits(math.Inf(1)))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				AtomicApplyF64(&bits, Min, float64(g*1000+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := math.Float64frombits(bits.Load()); got != 0 {
+		t.Errorf("concurrent atomic min = %g, want 0", got)
+	}
+}
+
+func TestAtomicApplyI64(t *testing.T) {
+	var v atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				AtomicApplyI64(&v, Sum, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if v.Load() != 8*5000*2 {
+		t.Errorf("atomic int sum = %d", v.Load())
+	}
+
+	var mx atomic.Int64
+	mx.Store(BottomI64(Max))
+	for i := int64(0); i < 100; i++ {
+		AtomicApplyI64(&mx, Max, i)
+	}
+	if mx.Load() != 99 {
+		t.Errorf("atomic max = %d, want 99", mx.Load())
+	}
+}
+
+func TestOverwriteAtomic(t *testing.T) {
+	var v atomic.Int64
+	AtomicApplyI64(&v, Overwrite, 42)
+	if v.Load() != 42 {
+		t.Errorf("overwrite = %d", v.Load())
+	}
+	// Overwrite with the same value must still CAS (no early exit).
+	AtomicApplyI64(&v, Overwrite, 42)
+	if v.Load() != 42 {
+		t.Errorf("overwrite same = %d", v.Load())
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op := Sum; op <= Overwrite; op++ {
+		if op.String() == "" || !op.Valid() {
+			t.Errorf("op %d: bad String or Valid", op)
+		}
+	}
+	if Op(200).Valid() {
+		t.Error("Op(200) should be invalid")
+	}
+}

@@ -1,0 +1,123 @@
+// Package server implements the paper's §6.2 outlook as a working system:
+// "a long-running server system which allows multiple concurrent clients.
+// That is, each client can load up multiple graph instances and execute
+// different analysis algorithms on them in an interactive manner."
+//
+// The server keeps a registry of named graph instances, each backed by its
+// own engine cluster. Requests arrive as JSON lines over TCP; analyses on
+// different graphs run concurrently while analyses on one graph serialize
+// (one engine, one job stream). Admission control caps resident graph
+// memory and concurrent analyses — the resource-fairness questions the
+// paper raises, answered simply.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Request is one client command. Op selects the action; the remaining
+// fields are op-specific.
+type Request struct {
+	// Op is one of: load, generate, run, list, drop, stats.
+	Op string `json:"op"`
+
+	// Graph names the target instance (load, generate, run, drop).
+	Graph string `json:"graph,omitempty"`
+
+	// Path is a graph file to load (op=load); .bin selects binary format.
+	Path string `json:"path,omitempty"`
+
+	// Generator parameters (op=generate).
+	Kind       string  `json:"kind,omitempty"` // rmat, uniform, grid
+	Scale      int     `json:"scale,omitempty"`
+	EdgeFactor int     `json:"edge_factor,omitempty"`
+	Nodes      int     `json:"nodes,omitempty"`
+	Edges      int     `json:"edges,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	WeightLo   float64 `json:"weight_lo,omitempty"`
+	WeightHi   float64 `json:"weight_hi,omitempty"`
+
+	// Engine parameters (load/generate).
+	Machines int `json:"machines,omitempty"`
+
+	// Mutation batches (op=mutate): edges to add and remove. The server
+	// applies them to the instance's dynamic representation, snapshots, and
+	// reloads the engine — the paper's snapshot approach to dynamic graphs.
+	Add    []EdgeSpec `json:"add,omitempty"`
+	Remove []EdgeSpec `json:"remove,omitempty"`
+
+	// Analysis parameters (op=run).
+	Algo       string  `json:"algo,omitempty"`
+	Iterations int     `json:"iterations,omitempty"`
+	Damping    float64 `json:"damping,omitempty"`
+	Threshold  float64 `json:"threshold,omitempty"`
+	Source     uint32  `json:"source,omitempty"`
+	TopK       int     `json:"top_k,omitempty"`
+}
+
+// Response is the server's reply to one request.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+
+	// Graphs lists loaded instances (op=list, op=stats).
+	Graphs []GraphInfo `json:"graphs,omitempty"`
+
+	// Result carries an analysis outcome (op=run).
+	Result *RunResult `json:"result,omitempty"`
+
+	// Stats carries server-level counters (op=stats).
+	Stats *ServerStats `json:"stats,omitempty"`
+}
+
+// EdgeSpec is one edge in a mutation batch.
+type EdgeSpec struct {
+	Src    uint32  `json:"src"`
+	Dst    uint32  `json:"dst"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// GraphInfo describes one loaded graph instance.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Nodes    int    `json:"nodes"`
+	Edges    int64  `json:"edges"`
+	Weighted bool   `json:"weighted"`
+	Machines int    `json:"machines"`
+	Ghosts   int    `json:"ghosts"`
+}
+
+// RunResult summarizes one analysis.
+type RunResult struct {
+	Algo        string      `json:"algo"`
+	Iterations  int         `json:"iterations"`
+	Millis      float64     `json:"millis"`
+	Extra       string      `json:"extra,omitempty"`
+	TopVertices []TopVertex `json:"top,omitempty"`
+}
+
+// TopVertex is one entry of an analysis' top-K ranking.
+type TopVertex struct {
+	Node  uint32  `json:"node"`
+	Value float64 `json:"value"`
+}
+
+// ServerStats reports server-level accounting.
+type ServerStats struct {
+	LoadedGraphs   int   `json:"loaded_graphs"`
+	ResidentEdges  int64 `json:"resident_edges"`
+	MaxEdges       int64 `json:"max_edges"`
+	RunsServed     int64 `json:"runs_served"`
+	ActiveAnalyses int   `json:"active_analyses"`
+}
+
+// encode writes v as one JSON line.
+func encode(enc *json.Encoder, v any) error {
+	return enc.Encode(v)
+}
+
+// errResp builds an error response.
+func errResp(format string, args ...any) Response {
+	return Response{OK: false, Error: fmt.Sprintf(format, args...)}
+}

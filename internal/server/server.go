@@ -1,0 +1,530 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Config bounds the server's resource usage — the paper's open question
+// "how should the system assign memory and CPU resources between clients
+// while achieving overall fairness and efficiency?" answered with explicit
+// admission control: a cap on resident edges (memory proxy) and a cap on
+// concurrently running analyses (CPU proxy, FIFO-fair via semaphore).
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:7427". Empty picks
+	// an ephemeral loopback port (tests).
+	Addr string
+	// MaxResidentEdges caps the sum of edges across loaded graphs.
+	MaxResidentEdges int64
+	// MaxConcurrentAnalyses caps simultaneously running algorithms.
+	MaxConcurrentAnalyses int
+	// DefaultMachines is the simulated cluster size for graphs loaded
+	// without an explicit machine count.
+	DefaultMachines int
+}
+
+// DefaultServerConfig returns modest laptop limits.
+func DefaultServerConfig() Config {
+	return Config{
+		Addr:                  "127.0.0.1:0",
+		MaxResidentEdges:      64 << 20,
+		MaxConcurrentAnalyses: 2,
+		DefaultMachines:       4,
+	}
+}
+
+// instance is one loaded graph with its engine. mu serializes analyses on
+// this instance (one engine runs one job stream); different instances run
+// concurrently.
+type instance struct {
+	mu       sync.Mutex
+	name     string
+	g        *graph.Graph
+	dyn      *graph.Dynamic
+	cluster  *core.Cluster
+	machines int
+}
+
+// Server is the long-running multi-tenant engine host.
+type Server struct {
+	cfg      Config
+	listener net.Listener
+
+	mu        sync.Mutex
+	instances map[string]*instance
+	resident  int64
+	conns     map[net.Conn]struct{}
+
+	runSem     chan struct{}
+	runsServed atomic.Int64
+	active     atomic.Int64
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New starts a server listening per cfg. Call Close to stop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxConcurrentAnalyses < 1 {
+		cfg.MaxConcurrentAnalyses = 1
+	}
+	if cfg.DefaultMachines < 1 {
+		cfg.DefaultMachines = 1
+	}
+	l, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		listener:  l,
+		instances: make(map[string]*instance),
+		conns:     make(map[net.Conn]struct{}),
+		runSem:    make(chan struct{}, cfg.MaxConcurrentAnalyses),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting, shuts down all engines, and waits for handlers.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.listener.Close()
+	// Unblock handlers parked reading from idle clients.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, inst := range s.instances {
+		inst.mu.Lock()
+		inst.cluster.Shutdown()
+		inst.mu.Unlock()
+		delete(s.instances, name)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one client: a stream of JSON-line requests.
+func (s *Server) serveConn(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // disconnect or garbage; drop the session
+		}
+		resp := s.handle(&req)
+		if err := encode(enc, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) Response {
+	switch req.Op {
+	case "load":
+		return s.handleLoad(req)
+	case "generate":
+		return s.handleGenerate(req)
+	case "run":
+		return s.handleRun(req)
+	case "list":
+		return s.handleList()
+	case "mutate":
+		return s.handleMutate(req)
+	case "drop":
+		return s.handleDrop(req)
+	case "stats":
+		return s.handleStats()
+	default:
+		return errResp("unknown op %q", req.Op)
+	}
+}
+
+// admit installs a new instance under the resident-edge budget.
+func (s *Server) admit(name string, g *graph.Graph, machines int) (Response, bool) {
+	cfg := core.DefaultConfig(machines)
+	cluster, err := core.NewCluster(cfg)
+	if err != nil {
+		return errResp("boot cluster: %v", err), false
+	}
+	if err := cluster.Load(g); err != nil {
+		cluster.Shutdown()
+		return errResp("distribute graph: %v", err), false
+	}
+	inst := &instance{name: name, g: g, cluster: cluster, machines: machines}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.instances[name]; exists {
+		cluster.Shutdown()
+		return errResp("graph %q already loaded", name), false
+	}
+	if s.cfg.MaxResidentEdges > 0 && s.resident+g.NumEdges() > s.cfg.MaxResidentEdges {
+		cluster.Shutdown()
+		return errResp("resident edge budget exceeded: %d + %d > %d",
+			s.resident, g.NumEdges(), s.cfg.MaxResidentEdges), false
+	}
+	s.instances[name] = inst
+	s.resident += g.NumEdges()
+	return Response{OK: true, Graphs: []GraphInfo{s.info(inst)}}, true
+}
+
+func (s *Server) info(inst *instance) GraphInfo {
+	return GraphInfo{
+		Name:     inst.name,
+		Nodes:    inst.g.NumNodes(),
+		Edges:    inst.g.NumEdges(),
+		Weighted: inst.g.Weighted(),
+		Machines: inst.machines,
+		Ghosts:   inst.cluster.NumGhosts(),
+	}
+}
+
+func (s *Server) machinesFor(req *Request) int {
+	if req.Machines > 0 {
+		return req.Machines
+	}
+	return s.cfg.DefaultMachines
+}
+
+func (s *Server) handleLoad(req *Request) Response {
+	if req.Graph == "" || req.Path == "" {
+		return errResp("load needs graph and path")
+	}
+	f, err := os.Open(req.Path)
+	if err != nil {
+		return errResp("open %s: %v", req.Path, err)
+	}
+	defer f.Close()
+	var g *graph.Graph
+	if strings.HasSuffix(req.Path, ".bin") {
+		g, err = graph.ReadBinary(f)
+	} else {
+		g, err = graph.ReadEdgeList(f)
+	}
+	if err != nil {
+		return errResp("parse %s: %v", req.Path, err)
+	}
+	resp, _ := s.admit(req.Graph, g, s.machinesFor(req))
+	return resp
+}
+
+func (s *Server) handleGenerate(req *Request) Response {
+	if req.Graph == "" {
+		return errResp("generate needs graph")
+	}
+	var g *graph.Graph
+	var err error
+	switch req.Kind {
+	case "rmat", "":
+		scale, ef := req.Scale, req.EdgeFactor
+		if scale == 0 {
+			scale = 14
+		}
+		if ef == 0 {
+			ef = 16
+		}
+		g, err = graph.RMAT(scale, ef, graph.TwitterLike(), req.Seed)
+	case "uniform":
+		n, m := req.Nodes, req.Edges
+		if n == 0 {
+			n = 1 << 14
+		}
+		if m == 0 {
+			m = n * 16
+		}
+		g, err = graph.Uniform(n, m, req.Seed)
+	case "grid":
+		n := req.Nodes
+		if n == 0 {
+			n = 100
+		}
+		g, err = graph.Grid(n, n, n/2, req.Seed)
+	default:
+		return errResp("unknown generator %q", req.Kind)
+	}
+	if err != nil {
+		return errResp("generate: %v", err)
+	}
+	if req.WeightHi > req.WeightLo {
+		g = g.WithUniformWeights(req.WeightLo, req.WeightHi, req.Seed)
+	}
+	resp, _ := s.admit(req.Graph, g, s.machinesFor(req))
+	return resp
+}
+
+func (s *Server) handleRun(req *Request) Response {
+	s.mu.Lock()
+	inst, ok := s.instances[req.Graph]
+	s.mu.Unlock()
+	if !ok {
+		return errResp("graph %q not loaded", req.Graph)
+	}
+	// FIFO fairness across clients: a bounded semaphore admits analyses in
+	// arrival order.
+	s.runSem <- struct{}{}
+	s.active.Add(1)
+	defer func() {
+		s.active.Add(-1)
+		<-s.runSem
+	}()
+
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	start := time.Now()
+	result, err := runAlgo(inst, req)
+	if err != nil {
+		return errResp("%s on %s: %v", req.Algo, req.Graph, err)
+	}
+	result.Millis = float64(time.Since(start).Microseconds()) / 1000
+	s.runsServed.Add(1)
+	return Response{OK: true, Result: result}
+}
+
+func runAlgo(inst *instance, req *Request) (*RunResult, error) {
+	iters := req.Iterations
+	if iters <= 0 {
+		iters = 10
+	}
+	damping := req.Damping
+	if damping == 0 {
+		damping = 0.85
+	}
+	threshold := req.Threshold
+	if threshold == 0 {
+		threshold = 1e-7
+	}
+	topK := req.TopK
+	if topK <= 0 {
+		topK = 5
+	}
+	c := inst.cluster
+	res := &RunResult{Algo: req.Algo}
+	var f64s []float64
+	var i64s []int64
+	var met algorithms.Metrics
+	var err error
+	descending := true
+	switch req.Algo {
+	case "pagerank":
+		f64s, met, err = algorithms.PageRankPull(c, iters, damping)
+	case "pagerank-push":
+		f64s, met, err = algorithms.PageRankPush(c, iters, damping)
+	case "pagerank-approx":
+		f64s, met, err = algorithms.PageRankApprox(c, damping, threshold, 100000)
+	case "eigenvector":
+		f64s, met, err = algorithms.Eigenvector(c, iters)
+	case "wcc":
+		i64s, met, err = algorithms.WCC(c, 100000)
+		if err == nil {
+			comps := map[int64]bool{}
+			for _, l := range i64s {
+				comps[l] = true
+			}
+			res.Extra = fmt.Sprintf("%d components", len(comps))
+		}
+	case "sssp":
+		if !inst.g.Weighted() {
+			return nil, fmt.Errorf("graph is unweighted")
+		}
+		f64s, met, err = algorithms.SSSP(c, req.Source, 100000)
+		descending = false
+	case "hopdist":
+		i64s, met, err = algorithms.HopDist(c, req.Source, 100000)
+		descending = false
+	case "kcore":
+		var best int64
+		best, i64s, met, err = algorithms.KCore(c, 0)
+		if err == nil {
+			res.Extra = fmt.Sprintf("max core %d", best)
+		}
+	case "triangles":
+		var total int64
+		total, met, err = algorithms.TriangleCount(c, inst.g)
+		if err == nil {
+			res.Extra = fmt.Sprintf("%d transitive triads", total)
+		}
+	case "ppr":
+		f64s, met, err = algorithms.PersonalizedPageRank(c, []graph.NodeID{req.Source}, iters, damping)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", req.Algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations = met.Iterations
+	res.TopVertices = topVertices(f64s, i64s, topK, descending)
+	return res, nil
+}
+
+func topVertices(f64s []float64, i64s []int64, k int, descending bool) []TopVertex {
+	var all []TopVertex
+	switch {
+	case f64s != nil:
+		for n, v := range f64s {
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				all = append(all, TopVertex{Node: uint32(n), Value: v})
+			}
+		}
+	case i64s != nil:
+		for n, v := range i64s {
+			if v != math.MaxInt64 {
+				all = append(all, TopVertex{Node: uint32(n), Value: float64(v)})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if descending {
+			return all[i].Value > all[j].Value
+		}
+		return all[i].Value < all[j].Value
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// handleMutate applies an edge batch to a loaded instance and reloads the
+// engine from a fresh snapshot (§6: "using snapshots of these graphs for
+// algorithms which do not support graph updates").
+func (s *Server) handleMutate(req *Request) Response {
+	s.mu.Lock()
+	inst, ok := s.instances[req.Graph]
+	s.mu.Unlock()
+	if !ok {
+		return errResp("graph %q not loaded", req.Graph)
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.dyn == nil {
+		inst.dyn = graph.DynamicFrom(inst.g)
+	}
+	toEdges := func(specs []EdgeSpec) ([]graph.Edge, bool) {
+		out := make([]graph.Edge, len(specs))
+		weighted := false
+		for i, e := range specs {
+			out[i] = graph.Edge{Src: e.Src, Dst: e.Dst, Weight: e.Weight}
+			if e.Weight != 0 {
+				weighted = true
+			}
+		}
+		return out, weighted
+	}
+	add, addWeighted := toEdges(req.Add)
+	remove, _ := toEdges(req.Remove)
+	matched, err := inst.dyn.Apply(add, remove, addWeighted || inst.g.Weighted())
+	if err != nil {
+		return errResp("mutate %s: %v", req.Graph, err)
+	}
+	snap, err := inst.dyn.Snapshot()
+	if err != nil {
+		return errResp("snapshot %s: %v", req.Graph, err)
+	}
+	if err := inst.cluster.Load(snap); err != nil {
+		return errResp("reload %s: %v", req.Graph, err)
+	}
+	s.mu.Lock()
+	s.resident += snap.NumEdges() - inst.g.NumEdges()
+	s.mu.Unlock()
+	inst.g = snap
+	return Response{
+		OK:     true,
+		Graphs: []GraphInfo{s.info(inst)},
+		Result: &RunResult{Algo: "mutate", Extra: fmt.Sprintf("%d removals matched", matched)},
+	}
+}
+
+func (s *Server) handleList() Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := Response{OK: true}
+	names := make([]string, 0, len(s.instances))
+	for name := range s.instances {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		resp.Graphs = append(resp.Graphs, s.info(s.instances[name]))
+	}
+	return resp
+}
+
+func (s *Server) handleDrop(req *Request) Response {
+	s.mu.Lock()
+	inst, ok := s.instances[req.Graph]
+	if ok {
+		delete(s.instances, req.Graph)
+		s.resident -= inst.g.NumEdges()
+	}
+	s.mu.Unlock()
+	if !ok {
+		return errResp("graph %q not loaded", req.Graph)
+	}
+	// Wait for any in-flight analysis on this instance, then release.
+	inst.mu.Lock()
+	inst.cluster.Shutdown()
+	inst.mu.Unlock()
+	return Response{OK: true}
+}
+
+func (s *Server) handleStats() Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Response{OK: true, Stats: &ServerStats{
+		LoadedGraphs:   len(s.instances),
+		ResidentEdges:  s.resident,
+		MaxEdges:       s.cfg.MaxResidentEdges,
+		RunsServed:     s.runsServed.Load(),
+		ActiveAnalyses: int(s.active.Load()),
+	}}
+}

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func dial(t *testing.T, s *Server) *Client {
+	t.Helper()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestGenerateRunDrop(t *testing.T) {
+	s := startServer(t, DefaultServerConfig())
+	c := dial(t, s)
+
+	info, err := c.Generate(Request{Graph: "twt", Kind: "rmat", Scale: 10, EdgeFactor: 8, Seed: 7, Machines: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != 1024 || info.Edges != 8192 || info.Machines != 2 {
+		t.Fatalf("info = %+v", info)
+	}
+
+	res, err := c.Run(Request{Graph: "twt", Algo: "pagerank", Iterations: 5, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 5 || len(res.TopVertices) != 3 || res.Millis <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// PageRank top vertices are sorted descending.
+	if res.TopVertices[0].Value < res.TopVertices[1].Value {
+		t.Error("top vertices not sorted")
+	}
+
+	res, err = c.Run(Request{Graph: "twt", Algo: "wcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extra == "" {
+		t.Error("wcc result missing component count")
+	}
+
+	list, err := c.List()
+	if err != nil || len(list) != 1 || list[0].Name != "twt" {
+		t.Fatalf("list = %v (%v)", list, err)
+	}
+	if err := c.Drop("twt"); err != nil {
+		t.Fatal(err)
+	}
+	list, err = c.List()
+	if err != nil || len(list) != 0 {
+		t.Fatalf("list after drop = %v (%v)", list, err)
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	g, err := graph.RMAT(9, 6, graph.TwitterLike(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "g.bin")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s := startServer(t, DefaultServerConfig())
+	c := dial(t, s)
+	info, err := c.Load("disk", binPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Nodes != g.NumNodes() || info.Edges != g.NumEdges() {
+		t.Fatalf("info = %+v", info)
+	}
+	if _, err := c.Load("missing", filepath.Join(dir, "nope.bin"), 2); err == nil {
+		t.Error("loading missing file succeeded")
+	}
+}
+
+func TestWeightedGenerationAndSSSP(t *testing.T) {
+	s := startServer(t, DefaultServerConfig())
+	c := dial(t, s)
+	info, err := c.Generate(Request{Graph: "w", Kind: "uniform", Nodes: 500, Edges: 4000, Seed: 2, WeightLo: 1, WeightHi: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Weighted {
+		t.Fatal("weights not attached")
+	}
+	res, err := c.Run(Request{Graph: "w", Algo: "sssp", Source: 0, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SSSP top vertices sort ascending; the source itself is distance 0.
+	if res.TopVertices[0].Node != 0 || res.TopVertices[0].Value != 0 {
+		t.Errorf("nearest vertex = %+v", res.TopVertices[0])
+	}
+	// SSSP on an unweighted graph must fail cleanly.
+	if _, err := c.Generate(Request{Graph: "uw", Kind: "uniform", Nodes: 100, Edges: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(Request{Graph: "uw", Algo: "sssp"}); err == nil {
+		t.Error("sssp on unweighted graph succeeded")
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.MaxResidentEdges = 10000
+	s := startServer(t, cfg)
+	c := dial(t, s)
+	if _, err := c.Generate(Request{Graph: "a", Kind: "uniform", Nodes: 500, Edges: 8000}); err != nil {
+		t.Fatal(err)
+	}
+	// Second graph would exceed the budget.
+	if _, err := c.Generate(Request{Graph: "b", Kind: "uniform", Nodes: 500, Edges: 8000}); err == nil {
+		t.Fatal("budget exceeded but load admitted")
+	}
+	// Dropping frees budget.
+	if err := c.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Generate(Request{Graph: "b", Kind: "uniform", Nodes: 500, Edges: 8000}); err != nil {
+		t.Fatalf("load after drop rejected: %v", err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LoadedGraphs != 1 || st.ResidentEdges != 8000 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	s := startServer(t, DefaultServerConfig())
+	c := dial(t, s)
+	if _, err := c.Generate(Request{Graph: "x", Kind: "uniform", Nodes: 100, Edges: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Generate(Request{Graph: "x", Kind: "uniform", Nodes: 100, Edges: 400}); err == nil {
+		t.Error("duplicate name admitted")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s := startServer(t, DefaultServerConfig())
+	c := dial(t, s)
+	cases := []Request{
+		{Op: "nonsense"},
+		{Op: "run", Graph: "missing", Algo: "pagerank"},
+		{Op: "drop", Graph: "missing"},
+		{Op: "load"},
+		{Op: "generate"},
+		{Op: "generate", Graph: "g", Kind: "alien"},
+	}
+	for _, req := range cases {
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatalf("transport error for %+v: %v", req, err)
+		}
+		if resp.OK {
+			t.Errorf("request %+v unexpectedly succeeded", req)
+		}
+	}
+	// Unknown algorithm.
+	if _, err := c.Generate(Request{Graph: "g", Kind: "uniform", Nodes: 100, Edges: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(Request{Graph: "g", Algo: "quantum"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestConcurrentClients is the multi-tenancy scenario from the paper's
+// outlook: several clients, several graphs, interleaved analyses.
+func TestConcurrentClients(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.MaxConcurrentAnalyses = 2
+	s := startServer(t, cfg)
+
+	setup := dial(t, s)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("g%d", i)
+		if _, err := setup.Generate(Request{Graph: name, Kind: "rmat", Scale: 9, EdgeFactor: 6, Seed: int64(i), Machines: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const clients = 4
+	const runsPerClient = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*runsPerClient)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			algos := []string{"pagerank", "wcc", "hopdist", "pagerank-approx", "eigenvector"}
+			for r := 0; r < runsPerClient; r++ {
+				graphName := fmt.Sprintf("g%d", (cl+r)%3)
+				if _, err := c.Run(Request{Graph: graphName, Algo: algos[r%len(algos)], Iterations: 3}); err != nil {
+					errs <- fmt.Errorf("client %d run %d: %w", cl, r, err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st, err := setup.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RunsServed != clients*runsPerClient {
+		t.Errorf("runs served = %d, want %d", st.RunsServed, clients*runsPerClient)
+	}
+	if st.ActiveAnalyses != 0 {
+		t.Errorf("active analyses = %d after quiesce", st.ActiveAnalyses)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s := startServer(t, DefaultServerConfig())
+	c := dial(t, s)
+	if _, err := c.Generate(Request{Graph: "g", Kind: "uniform", Nodes: 50, Edges: 100}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close()
+	// Requests after close fail at the transport level.
+	if _, err := c.Do(Request{Op: "list"}); err == nil {
+		t.Error("request after close succeeded")
+	}
+}
+
+func TestExtensionAlgorithmsOverProtocol(t *testing.T) {
+	s := startServer(t, DefaultServerConfig())
+	c := dial(t, s)
+	if _, err := c.Generate(Request{Graph: "g", Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 1, Machines: 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(Request{Graph: "g", Algo: "triangles"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extra == "" {
+		t.Error("triangles result missing count")
+	}
+	res, err = c.Run(Request{Graph: "g", Algo: "ppr", Source: 0, Iterations: 5, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopVertices) == 0 {
+		t.Error("ppr returned no top vertices")
+	}
+}
+
+func TestMutateAndSnapshotAnalytics(t *testing.T) {
+	s := startServer(t, DefaultServerConfig())
+	c := dial(t, s)
+	if _, err := c.Generate(Request{Graph: "dyn", Kind: "uniform", Nodes: 200, Edges: 1000, Seed: 3, Machines: 2}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Run(Request{Graph: "dyn", Algo: "wcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Add a clique among previously arbitrary nodes and rerun.
+	var add []EdgeSpec
+	for u := uint32(0); u < 5; u++ {
+		for v := uint32(0); v < 5; v++ {
+			if u != v {
+				add = append(add, EdgeSpec{Src: u, Dst: v})
+			}
+		}
+	}
+	info, err := c.Mutate("dyn", add, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Edges != 1000+20 {
+		t.Fatalf("edges after mutate = %d", info.Edges)
+	}
+	after, err := c.Run(Request{Graph: "dyn", Algo: "wcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Extra == "" || after.Extra == "" {
+		t.Fatal("missing component counts")
+	}
+
+	// Remove edges; accounting must follow.
+	info, err = c.Mutate("dyn", nil, []EdgeSpec{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Edges != 1018 {
+		t.Fatalf("edges after removal = %d", info.Edges)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ResidentEdges != 1018 {
+		t.Errorf("resident accounting = %d", st.ResidentEdges)
+	}
+	// Mutating a missing graph fails.
+	if _, err := c.Mutate("nope", add, nil); err == nil {
+		t.Error("mutate on missing graph accepted")
+	}
+	// Out-of-range edge fails without corrupting state.
+	if _, err := c.Mutate("dyn", []EdgeSpec{{Src: 9999, Dst: 0}}, nil); err == nil {
+		t.Error("out-of-range mutation accepted")
+	}
+	list, err := c.List()
+	if err != nil || list[0].Edges != 1018 {
+		t.Errorf("state corrupted after failed mutate: %v (%v)", list, err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package tune implements the paper's thread-count auto-tuning outlook
+// (§5.3.3: "Eventually, the system will be able to auto-tune the number of
+// threads based on the algorithmic workload"): it boots candidate
+// worker/copier configurations, probes each with a sample workload, and
+// returns the fastest — the Figure 7 exploration, automated.
+package tune
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Candidate is one worker/copier configuration to probe.
+type Candidate struct {
+	Workers int
+	Copiers int
+}
+
+// DefaultCandidates spans the grid the paper explored, scaled down.
+func DefaultCandidates() []Candidate {
+	return []Candidate{
+		{1, 1}, {2, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 4},
+	}
+}
+
+// Probe measures one workload on a booted cluster and returns its cost.
+// The default probe runs two PageRank-pull iterations; pass a custom probe
+// to tune for a different algorithmic workload.
+type Probe func(c *core.Cluster) (time.Duration, error)
+
+// DefaultProbe runs two pull-mode PageRank iterations.
+func DefaultProbe(c *core.Cluster) (time.Duration, error) {
+	_, met, err := algorithms.PageRankPull(c, 2, 0.85)
+	return met.Total, err
+}
+
+// Trial records one probed configuration.
+type Trial struct {
+	Workers int
+	Copiers int
+	Cost    time.Duration
+}
+
+// Result is the tuning outcome: the winning configuration plus every trial
+// for inspection.
+type Result struct {
+	Best   core.Config
+	Trials []Trial
+}
+
+// Threads probes each candidate on g (each gets a fresh cluster built from
+// base) and returns base with the fastest Workers/Copiers filled in. probe
+// nil uses DefaultProbe. Every candidate is probed twice and the better
+// time kept, damping warm-up noise.
+func Threads(g *graph.Graph, base core.Config, candidates []Candidate, probe Probe) (Result, error) {
+	if len(candidates) == 0 {
+		candidates = DefaultCandidates()
+	}
+	if probe == nil {
+		probe = DefaultProbe
+	}
+	var res Result
+	best := time.Duration(0)
+	for _, cand := range candidates {
+		if cand.Workers < 1 || cand.Copiers < 1 {
+			return res, fmt.Errorf("tune: candidate %+v invalid", cand)
+		}
+		cfg := base
+		cfg.Workers = cand.Workers
+		cfg.Copiers = cand.Copiers
+		cfg.ReqBuffers = 0 // re-derive for the new thread counts
+		cfg.RespBuffers = 0
+		c, err := core.NewCluster(cfg)
+		if err != nil {
+			return res, fmt.Errorf("tune: boot %+v: %w", cand, err)
+		}
+		if err := c.Load(g); err != nil {
+			c.Shutdown()
+			return res, fmt.Errorf("tune: load %+v: %w", cand, err)
+		}
+		cost := time.Duration(0)
+		for trial := 0; trial < 2; trial++ {
+			d, err := probe(c)
+			if err != nil {
+				c.Shutdown()
+				return res, fmt.Errorf("tune: probe %+v: %w", cand, err)
+			}
+			if trial == 0 || d < cost {
+				cost = d
+			}
+		}
+		c.Shutdown()
+		res.Trials = append(res.Trials, Trial{Workers: cand.Workers, Copiers: cand.Copiers, Cost: cost})
+		if best == 0 || cost < best {
+			best = cost
+			res.Best = cfg
+		}
+	}
+	return res, nil
+}

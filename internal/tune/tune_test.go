@@ -1,0 +1,87 @@
+package tune
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestThreadsPicksAProbedConfig(t *testing.T) {
+	g, err := graph.RMAT(9, 8, graph.TwitterLike(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []Candidate{{1, 1}, {2, 2}, {4, 2}}
+	res, err := Threads(g, core.DefaultConfig(2), cands, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != len(cands) {
+		t.Fatalf("trials = %d", len(res.Trials))
+	}
+	// Best must be one of the candidates and match the minimum trial.
+	var min Trial
+	for i, tr := range res.Trials {
+		if tr.Cost <= 0 {
+			t.Fatalf("trial %d has non-positive cost", i)
+		}
+		if i == 0 || tr.Cost < min.Cost {
+			min = tr
+		}
+	}
+	if res.Best.Workers != min.Workers || res.Best.Copiers != min.Copiers {
+		t.Errorf("best = %d/%d, min trial = %d/%d",
+			res.Best.Workers, res.Best.Copiers, min.Workers, min.Copiers)
+	}
+	// The returned config must boot.
+	c, err := core.NewCluster(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	if err := c.Load(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadsCustomProbeAndDefaults(t *testing.T) {
+	g, err := graph.Uniform(200, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic probe: prefer exactly 2 workers.
+	probe := func(c *core.Cluster) (time.Duration, error) {
+		if c.Config().Workers == 2 {
+			return time.Millisecond, nil
+		}
+		return time.Second, nil
+	}
+	res, err := Threads(g, core.DefaultConfig(2), nil, probe) // nil = DefaultCandidates
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Workers != 2 {
+		t.Errorf("best workers = %d, want 2", res.Best.Workers)
+	}
+	if len(res.Trials) != len(DefaultCandidates()) {
+		t.Errorf("trials = %d", len(res.Trials))
+	}
+}
+
+func TestThreadsErrors(t *testing.T) {
+	g, err := graph.Uniform(100, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Threads(g, core.DefaultConfig(2), []Candidate{{0, 1}}, nil); err == nil {
+		t.Error("invalid candidate accepted")
+	}
+	boom := errors.New("boom")
+	probe := func(c *core.Cluster) (time.Duration, error) { return 0, boom }
+	if _, err := Threads(g, core.DefaultConfig(2), []Candidate{{1, 1}}, probe); !errors.Is(err, boom) {
+		t.Errorf("probe error not propagated: %v", err)
+	}
+}

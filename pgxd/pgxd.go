@@ -1,0 +1,328 @@
+// Package pgxd is the public API of the PGX.D reproduction: a fast
+// distributed graph processing engine (Hong et al., SC '15) simulated over
+// in-process or TCP transports.
+//
+// The typical flow mirrors the paper's Figure 2 application skeleton:
+//
+//	g, _ := pgxd.RMAT(16, 16, pgxd.TwitterLike(), 42)
+//	cluster, _ := pgxd.NewCluster(pgxd.DefaultConfig(4))
+//	defer cluster.Shutdown()
+//	cluster.LoadGraph(g)
+//	ranks, metrics, _ := cluster.PageRankPull(10, 0.85)
+//
+// Built-in algorithms cover the paper's evaluation suite (Table 2); custom
+// run-to-complete kernels plug in through RunJob with the Task interface —
+// see examples/custom_kernel.
+package pgxd
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/partition"
+	"repro/internal/reduce"
+	"repro/internal/tune"
+)
+
+// --- graph substrate ---------------------------------------------------------
+
+// Graph is an immutable directed graph in CSR form (both orientations).
+type Graph = graph.Graph
+
+// NodeID identifies a vertex (dense, 0-based).
+type NodeID = graph.NodeID
+
+// Edge is one directed, optionally weighted edge.
+type Edge = graph.Edge
+
+// RMATParams configures the RMAT generator.
+type RMATParams = graph.RMATParams
+
+// TwitterLike returns RMAT parameters shaped like the paper's Twitter graph.
+func TwitterLike() RMATParams { return graph.TwitterLike() }
+
+// WebLike returns RMAT parameters shaped like the paper's Web-UK graph.
+func WebLike() RMATParams { return graph.WebLike() }
+
+// RMAT generates a skewed power-law graph with 2^scale nodes and
+// edgeFactor*2^scale edges.
+func RMAT(scale, edgeFactor int, p RMATParams, seed int64) (*Graph, error) {
+	return graph.RMAT(scale, edgeFactor, p, seed)
+}
+
+// Uniform generates an Erdős–Rényi graph with n nodes and m edges.
+func Uniform(n, m int, seed int64) (*Graph, error) { return graph.Uniform(n, m, seed) }
+
+// Grid generates a road-network-like mesh with long-range shortcuts.
+func Grid(rows, cols, shortcuts int, seed int64) (*Graph, error) {
+	return graph.Grid(rows, cols, shortcuts, seed)
+}
+
+// PreferentialAttachment generates a Barabási–Albert style skewed graph.
+func PreferentialAttachment(n, k int, seed int64) (*Graph, error) {
+	return graph.PreferentialAttachment(n, k, seed)
+}
+
+// FromEdges builds a graph from an edge list.
+func FromEdges(n int, edges []Edge, weighted bool) (*Graph, error) {
+	return graph.FromEdges(n, edges, weighted)
+}
+
+// --- engine configuration ----------------------------------------------------
+
+// Config describes a PGX.D cluster; see DefaultConfig.
+type Config = core.Config
+
+// PartitionStrategy selects vertex- or edge-balanced machine assignment.
+type PartitionStrategy = partition.Strategy
+
+// Partitioning strategies (paper §3.3).
+const (
+	VertexBalanced = partition.VertexBalanced
+	EdgeBalanced   = partition.EdgeBalanced
+)
+
+// DefaultConfig returns a laptop-scale configuration for p simulated
+// machines: 4 workers and 2 copiers per machine, 32 KiB message buffers,
+// edge partitioning, and automatic ghost selection (vertices above 4x the
+// average degree — the heavy tail of skewed graphs).
+func DefaultConfig(p int) Config { return core.DefaultConfig(p) }
+
+// NewTCPFabric creates a loopback-TCP transport for cfg; assign it to
+// cfg.Fabric before NewCluster to run the engine over real sockets.
+func NewTCPFabric(cfg Config) (comm.Fabric, error) {
+	pool := cfg.ReqBuffers
+	if pool == 0 {
+		pool = 2*cfg.Workers*cfg.NumMachines + 4
+	}
+	return comm.NewTCPFabric(cfg.NumMachines, cfg.NumMachines*pool+64, cfg.BufferSize)
+}
+
+// --- custom kernel API ---------------------------------------------------------
+
+// Ctx is the execution context passed to Task callbacks.
+type Ctx = core.Ctx
+
+// Task is a run-to-complete kernel; see the paper's §4.1 programming model.
+type Task = core.Task
+
+// NoReads is a mixin for push-only tasks.
+type NoReads = core.NoReads
+
+// JobSpec describes one parallel region.
+type JobSpec = core.JobSpec
+
+// JobStats reports one job execution.
+type JobStats = core.JobStats
+
+// WriteSpec declares a reduced property.
+type WriteSpec = core.WriteSpec
+
+// PropID names a registered node property.
+type PropID = core.PropID
+
+// IterKind selects a job's iterator.
+type IterKind = core.IterKind
+
+// Job iterators (paper §4.1.2, plus the undirected-view extension).
+const (
+	IterNodes     = core.IterNodes
+	IterOutEdges  = core.IterOutEdges
+	IterInEdges   = core.IterInEdges
+	IterBothEdges = core.IterBothEdges
+)
+
+// ReduceOp is a reduction operator for property writes.
+type ReduceOp = reduce.Op
+
+// Reduction operators.
+const (
+	Sum = reduce.Sum
+	Min = reduce.Min
+	Max = reduce.Max
+	Or  = reduce.Or
+	And = reduce.And
+)
+
+// F64Word converts a raw read value to float64 (in Task.ReadDone).
+func F64Word(v uint64) float64 { return core.F64Word(v) }
+
+// I64Word converts a raw read value to int64.
+func I64Word(v uint64) int64 { return core.I64Word(v) }
+
+// Metrics aggregates an algorithm run (iterations, time, traffic).
+type Metrics = algorithms.Metrics
+
+// --- cluster -------------------------------------------------------------------
+
+// Cluster is a booted PGX.D cluster. Create with NewCluster, feed with
+// LoadGraph, then run built-in algorithms or custom jobs. Shutdown when done.
+type Cluster struct {
+	core *core.Cluster
+	g    *graph.Graph
+}
+
+// NewCluster boots the simulated machines (workers, copiers, pollers,
+// transports) per cfg.
+func NewCluster(cfg Config) (*Cluster, error) {
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{core: c}, nil
+}
+
+// LoadGraph partitions g across the machines (edge or vertex balanced),
+// selects ghost vertices, and builds per-machine CSR stores.
+func (c *Cluster) LoadGraph(g *Graph) error {
+	if err := c.core.Load(g); err != nil {
+		return err
+	}
+	c.g = g
+	return nil
+}
+
+// Shutdown stops all machines. Idempotent.
+func (c *Cluster) Shutdown() { c.core.Shutdown() }
+
+// Core exposes the underlying engine for advanced use (custom properties,
+// RMI, driver-side reductions).
+func (c *Cluster) Core() *core.Cluster { return c.core }
+
+// NumNodes returns the loaded graph's node count.
+func (c *Cluster) NumNodes() int { return c.core.NumNodes() }
+
+// NumEdges returns the loaded graph's edge count.
+func (c *Cluster) NumEdges() int64 { return c.core.NumEdges() }
+
+// NumGhosts returns how many vertices are replicated on every machine.
+func (c *Cluster) NumGhosts() int { return c.core.NumGhosts() }
+
+// RunJob executes a custom parallel region cluster-wide.
+func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) { return c.core.RunJob(spec) }
+
+// AddPropF64 registers a float64 node property.
+func (c *Cluster) AddPropF64(name string) (PropID, error) { return c.core.AddPropF64(name) }
+
+// AddPropI64 registers an int64 node property.
+func (c *Cluster) AddPropI64(name string) (PropID, error) { return c.core.AddPropI64(name) }
+
+// --- built-in algorithms (the paper's Table 2 suite) -------------------------
+
+// PageRankPull runs iters power iterations with remote data pulling — the
+// variant only PGX.D supports, and the fastest (paper §5.2).
+func (c *Cluster) PageRankPull(iters int, damping float64) ([]float64, Metrics, error) {
+	return algorithms.PageRankPull(c.core, iters, damping)
+}
+
+// PageRankPush runs iters power iterations with data pushing (atomic SUM
+// reductions), the pattern conventional frameworks require.
+func (c *Cluster) PageRankPush(iters int, damping float64) ([]float64, Metrics, error) {
+	return algorithms.PageRankPush(c.core, iters, damping)
+}
+
+// PageRankApprox runs delta-propagation PageRank with vertex deactivation
+// below threshold.
+func (c *Cluster) PageRankApprox(damping, threshold float64, maxIter int) ([]float64, Metrics, error) {
+	return algorithms.PageRankApprox(c.core, damping, threshold, maxIter)
+}
+
+// WCC computes weakly connected components (labels are minimum member ids).
+func (c *Cluster) WCC(maxIter int) ([]int64, Metrics, error) {
+	return algorithms.WCC(c.core, maxIter)
+}
+
+// SSSP computes single-source shortest paths (Bellman-Ford) from source;
+// the loaded graph must carry edge weights.
+func (c *Cluster) SSSP(source NodeID, maxIter int) ([]float64, Metrics, error) {
+	return algorithms.SSSP(c.core, source, maxIter)
+}
+
+// HopDist computes BFS hop distances from root.
+func (c *Cluster) HopDist(root NodeID, maxIter int) ([]int64, Metrics, error) {
+	return algorithms.HopDist(c.core, root, maxIter)
+}
+
+// Eigenvector computes eigenvector centrality by iters normalized power
+// iterations (data pulling).
+func (c *Cluster) Eigenvector(iters int) ([]float64, Metrics, error) {
+	return algorithms.Eigenvector(c.core, iters)
+}
+
+// KCore finds the maximum k-core number and each node's core number.
+func (c *Cluster) KCore(maxK int64) (int64, []int64, Metrics, error) {
+	return algorithms.KCore(c.core, maxK)
+}
+
+// --- extensions beyond the paper's Table 2 (its §6 outlook) ------------------
+
+// TriangleCount counts transitive triads (u→v, u→w, v→w) through the
+// general task framework: remote neighbors are handled by shipping the
+// adjacency list to the data via RMI ("moving computation instead of data").
+func (c *Cluster) TriangleCount() (int64, Metrics, error) {
+	return algorithms.TriangleCount(c.core, c.g)
+}
+
+// PersonalizedPageRank ranks vertices by proximity to the source set
+// (random walk with restart).
+func (c *Cluster) PersonalizedPageRank(sources []NodeID, iters int, damping float64) ([]float64, Metrics, error) {
+	return algorithms.PersonalizedPageRank(c.core, sources, iters, damping)
+}
+
+// MIS computes a maximal independent set over the undirected view (Luby's
+// algorithm); the result is deterministic in seed.
+func (c *Cluster) MIS(seed int64, maxRounds int) ([]bool, Metrics, error) {
+	return algorithms.MIS(c.core, seed, maxRounds)
+}
+
+// Closeness estimates harmonic closeness centrality from `samples` BFS
+// sources (deterministic in seed).
+func (c *Cluster) Closeness(samples int, seed int64, maxIter int) ([]float64, Metrics, error) {
+	return algorithms.Closeness(c.core, samples, seed, maxIter)
+}
+
+// --- pattern matching (paper §6 outlook) -------------------------------------
+
+// PathPattern is a directed path query over vertex predicates.
+type PathPattern = match.Pattern
+
+// PathMatch is one bound path.
+type PathMatch = match.Match
+
+// MatchPredicate tests whether a vertex can bind a pattern position.
+type MatchPredicate = match.Predicate
+
+// MatchOptions bounds a pattern query's resources: the paper warns that
+// pattern matching "could result in either too much communication or too
+// much memory consumption", so partial matches are hard-capped.
+type MatchOptions = match.Options
+
+// MatchStats reports a pattern query execution.
+type MatchStats = match.Stats
+
+// Pattern predicates.
+func MatchAny() MatchPredicate                 { return match.Any() }
+func MatchMinOutDegree(k int64) MatchPredicate { return match.MinOutDegree(k) }
+func MatchMinInDegree(k int64) MatchPredicate  { return match.MinInDegree(k) }
+
+// FindPattern runs a distributed path-pattern query against g.
+func FindPattern(g *Graph, p PathPattern, opts MatchOptions) ([]PathMatch, MatchStats, error) {
+	return match.Find(g, p, opts)
+}
+
+// --- auto-tuning ---------------------------------------------------------------
+
+// TuneCandidate is one worker/copier configuration for AutoTune.
+type TuneCandidate = tune.Candidate
+
+// TuneResult reports AutoTune's winner and all trials.
+type TuneResult = tune.Result
+
+// AutoTune probes worker/copier configurations on g (nil candidates uses a
+// default grid) and returns base with the fastest combination filled in —
+// the paper's thread auto-tuning outlook, driven by the Figure 7 sweep.
+func AutoTune(g *Graph, base Config, candidates []TuneCandidate) (TuneResult, error) {
+	return tune.Threads(g, base, candidates, nil)
+}
