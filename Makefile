@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race ci bench-comm
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-heavy packages: the comm fabrics
+# (async senders, routers, collectives) and the engine core (workers,
+# copiers, read combining).
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/comm/... ./internal/core/...
+
+ci: test race
+
+# Regenerate the communication fast-path sweep artifact.
+bench-comm:
+	$(GO) run ./cmd/pgxd-bench -exp comm -comm-out BENCH_comm.json

@@ -3,8 +3,11 @@
 //
 // Usage:
 //
-//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations]
+//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm]
 //	           [-scale N] [-machines 1,2,4] [-workers N] [-copiers N] [-quiet]
+//
+// The comm experiment additionally writes its sweep as JSON (-comm-out,
+// default BENCH_comm.json).
 //
 // Results print as aligned text tables shaped like the paper's originals;
 // EXPERIMENTS.md records a reference run with commentary.
@@ -23,7 +26,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations)")
+		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm)")
+		commOut  = flag.String("comm-out", "BENCH_comm.json", "output path for the comm experiment's JSON report")
 		scale    = flag.Int("scale", bench.DefaultScale, "graph scale: datasets have 2^scale nodes")
 		machines = flag.String("machines", "1,2,4", "comma-separated machine counts for sweeps")
 		workers  = flag.Int("workers", 4, "worker goroutines per machine")
@@ -174,6 +178,21 @@ func main() {
 			fatalf("fig8b: %v", err)
 		}
 		fmt.Println(tbl)
+	}
+	if want("comm") {
+		ran = true
+		p := machineCounts[len(machineCounts)-1]
+		tbl, rep, err := bench.ExpCommFastPath(ds, *scale, p, *prIters, progress)
+		if err != nil {
+			fatalf("comm: %v", err)
+		}
+		fmt.Println(tbl)
+		if err := rep.WriteJSON(*commOut); err != nil {
+			fatalf("comm: writing %s: %v", *commOut, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "comm: report written to %s\n", *commOut)
+		}
 	}
 	if !ran {
 		fatalf("unknown experiment %q (see -h)", *exp)

@@ -318,9 +318,12 @@ func TestPullFasterOrEqualTrafficThanPush(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Pull sends request (8 B) + response (8 B) per remote edge read; push
-	// sends 16 B per remote write. Allow 2x headroom either way.
+	// sends 16 B per remote write. Read combining dedups repeated reads of
+	// the same (prop, offset) within a message window, so on a skewed graph
+	// pull can land well below push; only a collapse to near zero or a
+	// blow-up past 2.5x would signal duplicated messages.
 	ratio := float64(metPull.Traffic.DataBytesSent) / float64(metPush.Traffic.DataBytesSent)
-	if ratio < 0.4 || ratio > 2.5 {
+	if ratio < 0.05 || ratio > 2.5 {
 		t.Errorf("pull/push traffic ratio = %.2f (pull=%d push=%d)",
 			ratio, metPull.Traffic.DataBytesSent, metPush.Traffic.DataBytesSent)
 	}

@@ -73,7 +73,27 @@ func ExpAblations(ds *Datasets, scale, machines int, prog Progress) (*Table, err
 		fmt.Sprintf("shared %s", fmtSecs(sharedT.Seconds())),
 		fmt.Sprintf("%.2f", privT.Seconds()/sharedT.Seconds()))
 
-	// 3. Per-step overhead: barrier vs full (empty) job.
+	// 3. Read combining on vs off (pull with ghosting disabled, so every
+	// cross-partition read goes remote — the duplicate-heavy case).
+	prog.log("ablations: read combining")
+	cfgComb := core.DefaultConfig(machines)
+	cfgComb.GhostThreshold = core.GhostDisabled
+	combT, err := runPR(cfgComb, true)
+	if err != nil {
+		return nil, err
+	}
+	cfgNoComb := cfgComb
+	cfgNoComb.DisableReadCombining = true
+	noCombT, err := runPR(cfgNoComb, true)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("read combining vs raw protocol",
+		fmt.Sprintf("combined %s", fmtSecs(combT.Seconds())),
+		fmt.Sprintf("raw %s", fmtSecs(noCombT.Seconds())),
+		fmt.Sprintf("%.2f", combT.Seconds()/noCombT.Seconds()))
+
+	// 4. Per-step overhead: barrier vs full (empty) job.
 	prog.log("ablations: per-step overhead")
 	c, err := core.NewCluster(core.DefaultConfig(machines))
 	if err != nil {

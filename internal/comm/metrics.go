@@ -24,6 +24,19 @@ type Metrics struct {
 
 	// Per-type byte counts (indexed by MsgType) for sent frames.
 	sentByType [6]atomic.Int64
+
+	// Read-combining counters (engine-fed): a hit is a read record the
+	// requester elided because the same (prop, offset) was already buffered
+	// in the open message window; bytes saved count both the elided request
+	// record and the elided response word.
+	dedupHits       atomic.Int64
+	dedupMisses     atomic.Int64
+	dedupBytesSaved atomic.Int64
+
+	// Transport error counters: failed socket writes and corrupt/truncated
+	// inbound frames (a poisoned stream is diagnosable, not a silent hang).
+	sendErrors atomic.Int64
+	recvErrors atomic.Int64
 }
 
 func (m *Metrics) record(b *Buffer, d direction) {
@@ -71,48 +84,131 @@ func (m *Metrics) DataBytesSent() int64 {
 	return m.BytesSent() - m.BytesSentByType(MsgCtrl)
 }
 
+// RecordReadDedup folds one job's read-combining counters in: hits are
+// duplicate reads served from the in-flight message window, misses are
+// records that actually went on the wire, saved is the byte traffic elided.
+func (m *Metrics) RecordReadDedup(hits, misses, saved int64) {
+	m.dedupHits.Add(hits)
+	m.dedupMisses.Add(misses)
+	m.dedupBytesSaved.Add(saved)
+}
+
+// ReadDedupHits returns how many read records were combined away.
+func (m *Metrics) ReadDedupHits() int64 { return m.dedupHits.Load() }
+
+// ReadDedupMisses returns how many read records were actually buffered.
+func (m *Metrics) ReadDedupMisses() int64 { return m.dedupMisses.Load() }
+
+// ReadDedupBytesSaved returns request+response bytes elided by combining.
+func (m *Metrics) ReadDedupBytesSaved() int64 { return m.dedupBytesSaved.Load() }
+
+// ReadDedupHitRate returns hits/(hits+misses), or 0 with no reads.
+func (m *Metrics) ReadDedupHitRate() float64 {
+	h, s := m.dedupHits.Load(), m.dedupMisses.Load()
+	if h+s == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+s)
+}
+
+// RecordSendError counts one failed socket write.
+func (m *Metrics) RecordSendError() { m.sendErrors.Add(1) }
+
+// SendErrors returns how many sends failed at the transport.
+func (m *Metrics) SendErrors() int64 { return m.sendErrors.Load() }
+
+// RecordRecvError counts one corrupt or truncated inbound frame.
+func (m *Metrics) RecordRecvError() { m.recvErrors.Add(1) }
+
+// RecvErrors returns how many inbound frames were rejected.
+func (m *Metrics) RecvErrors() int64 { return m.recvErrors.Load() }
+
 // Snapshot is a point-in-time copy of the counters, safe to subtract.
 type Snapshot struct {
 	FramesSent, BytesSent int64
 	FramesRecv, BytesRecv int64
 	DataBytesSent         int64
+
+	// Read-path traffic split and combining effect.
+	ReadReqBytes, ReadRespBytes int64
+	DedupHits, DedupMisses      int64
+	DedupBytesSaved             int64
+
+	// Transport errors.
+	SendErrors, RecvErrors int64
 }
 
 // Snapshot captures current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		FramesSent:    m.FramesSent(),
-		BytesSent:     m.BytesSent(),
-		FramesRecv:    m.FramesRecv(),
-		BytesRecv:     m.BytesRecv(),
-		DataBytesSent: m.DataBytesSent(),
+		FramesSent:      m.FramesSent(),
+		BytesSent:       m.BytesSent(),
+		FramesRecv:      m.FramesRecv(),
+		BytesRecv:       m.BytesRecv(),
+		DataBytesSent:   m.DataBytesSent(),
+		ReadReqBytes:    m.BytesSentByType(MsgReadReq),
+		ReadRespBytes:   m.BytesSentByType(MsgReadResp),
+		DedupHits:       m.ReadDedupHits(),
+		DedupMisses:     m.ReadDedupMisses(),
+		DedupBytesSaved: m.ReadDedupBytesSaved(),
+		SendErrors:      m.SendErrors(),
+		RecvErrors:      m.RecvErrors(),
 	}
+}
+
+// DedupHitRate returns the snapshot's combining hit rate in [0,1].
+func (s Snapshot) DedupHitRate() float64 {
+	if s.DedupHits+s.DedupMisses == 0 {
+		return 0
+	}
+	return float64(s.DedupHits) / float64(s.DedupHits+s.DedupMisses)
 }
 
 // Sub returns s - o component-wise.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
-		FramesSent:    s.FramesSent - o.FramesSent,
-		BytesSent:     s.BytesSent - o.BytesSent,
-		FramesRecv:    s.FramesRecv - o.FramesRecv,
-		BytesRecv:     s.BytesRecv - o.BytesRecv,
-		DataBytesSent: s.DataBytesSent - o.DataBytesSent,
+		FramesSent:      s.FramesSent - o.FramesSent,
+		BytesSent:       s.BytesSent - o.BytesSent,
+		FramesRecv:      s.FramesRecv - o.FramesRecv,
+		BytesRecv:       s.BytesRecv - o.BytesRecv,
+		DataBytesSent:   s.DataBytesSent - o.DataBytesSent,
+		ReadReqBytes:    s.ReadReqBytes - o.ReadReqBytes,
+		ReadRespBytes:   s.ReadRespBytes - o.ReadRespBytes,
+		DedupHits:       s.DedupHits - o.DedupHits,
+		DedupMisses:     s.DedupMisses - o.DedupMisses,
+		DedupBytesSaved: s.DedupBytesSaved - o.DedupBytesSaved,
+		SendErrors:      s.SendErrors - o.SendErrors,
+		RecvErrors:      s.RecvErrors - o.RecvErrors,
 	}
 }
 
 // Add returns s + o component-wise.
 func (s Snapshot) Add(o Snapshot) Snapshot {
 	return Snapshot{
-		FramesSent:    s.FramesSent + o.FramesSent,
-		BytesSent:     s.BytesSent + o.BytesSent,
-		FramesRecv:    s.FramesRecv + o.FramesRecv,
-		BytesRecv:     s.BytesRecv + o.BytesRecv,
-		DataBytesSent: s.DataBytesSent + o.DataBytesSent,
+		FramesSent:      s.FramesSent + o.FramesSent,
+		BytesSent:       s.BytesSent + o.BytesSent,
+		FramesRecv:      s.FramesRecv + o.FramesRecv,
+		BytesRecv:       s.BytesRecv + o.BytesRecv,
+		DataBytesSent:   s.DataBytesSent + o.DataBytesSent,
+		ReadReqBytes:    s.ReadReqBytes + o.ReadReqBytes,
+		ReadRespBytes:   s.ReadRespBytes + o.ReadRespBytes,
+		DedupHits:       s.DedupHits + o.DedupHits,
+		DedupMisses:     s.DedupMisses + o.DedupMisses,
+		DedupBytesSaved: s.DedupBytesSaved + o.DedupBytesSaved,
+		SendErrors:      s.SendErrors + o.SendErrors,
+		RecvErrors:      s.RecvErrors + o.RecvErrors,
 	}
 }
 
 // String renders the snapshot for harness output.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("sent=%d frames/%d B recv=%d frames/%d B data=%d B",
+	out := fmt.Sprintf("sent=%d frames/%d B recv=%d frames/%d B data=%d B",
 		s.FramesSent, s.BytesSent, s.FramesRecv, s.BytesRecv, s.DataBytesSent)
+	if s.DedupHits+s.DedupMisses > 0 {
+		out += fmt.Sprintf(" dedup=%.1f%% (%d B saved)", 100*s.DedupHitRate(), s.DedupBytesSaved)
+	}
+	if s.SendErrors+s.RecvErrors > 0 {
+		out += fmt.Sprintf(" errors=%d send/%d recv", s.SendErrors, s.RecvErrors)
+	}
+	return out
 }

@@ -4,8 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // TCPFabric connects the simulated machines over loopback TCP sockets with
@@ -16,29 +19,79 @@ import (
 //
 // Wire format per frame: uint32 little-endian length, then that many bytes
 // of frame (header + payload).
+//
+// Sends are asynchronous by default: each destination has a dedicated sender
+// goroutine draining a bounded queue, so a worker's Send costs one channel
+// operation instead of two locked socket writes on its critical path. The
+// length prefix and frame body go out in a single vectored write
+// (net.Buffers → writev), halving syscalls per frame. Back-pressure is
+// preserved: a full queue blocks the sender exactly like a drained buffer
+// pool does.
 type TCPFabric struct {
 	p         int
 	bufSize   int
 	poolCount int
+	opts      TCPOptions
 	listeners []net.Listener
 	addrs     []string
 
 	mu    sync.Mutex
 	taken []bool
+
+	// wireClock makes the kernel's delivery ordering visible to the race
+	// detector: every sender increments it immediately before a frame's
+	// write syscall, every reader loads it right after a frame arrives.
+	// The kernel guarantees the real-time ordering (a frame cannot be read
+	// before it was written); the atomic pair turns that into a
+	// happens-before edge, so memory published before a Send is ordered
+	// before the receiver processing the frame. Without it, cross-machine
+	// ordering rests on incidental buffer-pool recycling.
+	wireClock atomic.Int64
 }
 
-// NewTCPFabric creates listeners for p machines on ephemeral loopback ports.
-// Each endpoint maintains a receive pool of poolCount buffers of bufSize
-// bytes; a drained receive pool blocks that machine's socket readers, which
-// propagates back-pressure to senders through TCP flow control.
+// TCPOptions tunes the TCP fabric's socket and sender behaviour. The zero
+// value gives the fast defaults: async senders with a 16-frame queue per
+// destination, TCP_NODELAY on, kernel-default socket buffers.
+type TCPOptions struct {
+	// SendQueueDepth is the per-destination async sender queue capacity in
+	// frames. Zero selects the default (16). A negative value disables the
+	// async path entirely: Send writes synchronously under a per-connection
+	// mutex (the pre-fast-path behaviour, kept for ablation benchmarks).
+	SendQueueDepth int
+	// SocketBufBytes sets SO_SNDBUF/SO_RCVBUF on every connection when
+	// positive; zero leaves the kernel defaults.
+	SocketBufBytes int
+	// DisableNoDelay leaves Nagle's algorithm enabled instead of setting
+	// TCP_NODELAY. Batching already happens in the engine's message buffers,
+	// so coalescing in the kernel only adds latency — this exists for
+	// measurement, not production use.
+	DisableNoDelay bool
+}
+
+const defaultSendQueueDepth = 16
+
+// NewTCPFabric creates listeners for p machines on ephemeral loopback ports
+// with default options. Each endpoint maintains a receive pool of poolCount
+// buffers of bufSize bytes; a drained receive pool blocks that machine's
+// socket readers, which propagates back-pressure to senders through TCP flow
+// control.
 func NewTCPFabric(p, poolCount, bufSize int) (*TCPFabric, error) {
+	return NewTCPFabricOpts(p, poolCount, bufSize, TCPOptions{})
+}
+
+// NewTCPFabricOpts is NewTCPFabric with explicit tuning options.
+func NewTCPFabricOpts(p, poolCount, bufSize int, opts TCPOptions) (*TCPFabric, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("comm: fabric needs at least one machine")
+	}
+	if opts.SendQueueDepth == 0 {
+		opts.SendQueueDepth = defaultSendQueueDepth
 	}
 	f := &TCPFabric{
 		p:         p,
 		bufSize:   bufSize,
 		poolCount: poolCount,
+		opts:      opts,
 		listeners: make([]net.Listener, p),
 		addrs:     make([]string, p),
 		taken:     make([]bool, p),
@@ -55,8 +108,21 @@ func NewTCPFabric(p, poolCount, bufSize int) (*TCPFabric, error) {
 	return f, nil
 }
 
-// Endpoint implements Fabric: it dials every peer, starts the accept loop,
-// and returns once the send side is fully connected.
+// tune applies the fabric's socket options to one connection.
+func (f *TCPFabric) tune(c net.Conn) {
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	tc.SetNoDelay(!f.opts.DisableNoDelay)
+	if f.opts.SocketBufBytes > 0 {
+		tc.SetWriteBuffer(f.opts.SocketBufBytes)
+		tc.SetReadBuffer(f.opts.SocketBufBytes)
+	}
+}
+
+// Endpoint implements Fabric: it dials every peer, starts the accept loop
+// and sender goroutines, and returns once the send side is fully connected.
 func (f *TCPFabric) Endpoint(m int) (Endpoint, error) {
 	f.mu.Lock()
 	if m < 0 || m >= f.p {
@@ -74,10 +140,12 @@ func (f *TCPFabric) Endpoint(m int) (Endpoint, error) {
 		fabric:  f,
 		machine: m,
 		conns:   make([]*lockedConn, f.p),
+		senders: make([]*tcpSender, f.p),
 		inbox:   make(chan *Buffer, 4*f.p),
 		recvGas: NewPool(f.poolCount, f.bufSize),
 		done:    make(chan struct{}),
 	}
+	async := f.opts.SendQueueDepth > 0
 	for d := 0; d < f.p; d++ {
 		if d == m {
 			continue
@@ -87,13 +155,26 @@ func (f *TCPFabric) Endpoint(m int) (Endpoint, error) {
 			e.Close()
 			return nil, fmt.Errorf("comm: machine %d dialing %d: %w", m, d, err)
 		}
+		f.tune(c)
 		var hello [2]byte
 		binary.LittleEndian.PutUint16(hello[:], uint16(m))
 		if _, err := c.Write(hello[:]); err != nil {
+			c.Close()
 			e.Close()
 			return nil, fmt.Errorf("comm: machine %d hello to %d: %w", m, d, err)
 		}
-		e.conns[d] = &lockedConn{c: c}
+		if async {
+			s := &tcpSender{
+				e:     e,
+				c:     c,
+				queue: make(chan *Buffer, f.opts.SendQueueDepth),
+			}
+			e.senders[d] = s
+			e.senderWG.Add(1)
+			go s.loop()
+		} else {
+			e.conns[d] = &lockedConn{c: c}
+		}
 	}
 	go e.acceptLoop(f.listeners[m])
 	return e, nil
@@ -112,15 +193,86 @@ func (f *TCPFabric) Close() error {
 	return first
 }
 
+// lockedConn is the synchronous send path (SendQueueDepth < 0): one mutex
+// serializing vectored writes per connection.
 type lockedConn struct {
 	mu sync.Mutex
 	c  net.Conn
 }
 
+// tcpSender is the asynchronous per-destination send path: Send enqueues and
+// returns; this goroutine performs the vectored write off the caller's
+// critical path. The bounded queue preserves back-pressure, and single-
+// goroutine draining preserves per-destination frame order (the same FIFO
+// the per-connection mutex used to provide).
+type tcpSender struct {
+	e     *tcpEndpoint
+	c     net.Conn
+	queue chan *Buffer
+	// pending counts frames accepted by Send but not yet written+released;
+	// Quiesce polls it so tests can await full drainage.
+	pending atomic.Int64
+	// err holds the first write error; once set, subsequent Sends fail fast
+	// so a dead connection surfaces at the caller instead of silently
+	// swallowing frames.
+	err atomic.Pointer[error]
+}
+
+func (s *tcpSender) failed() error {
+	if p := s.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// loop drains the queue until Close closes it, then closes the connection.
+// Frames already queued when Close runs are still flushed — the synchronous
+// path got that for free from the kernel's graceful close, and collectives
+// rely on it: a machine may finish (and shut down) while its final frames
+// are what unblocks a peer.
+func (s *tcpSender) loop() {
+	defer s.e.senderWG.Done()
+	var lenBuf [4]byte
+	for buf := range s.queue {
+		s.writeFrame(buf, &lenBuf)
+		s.pending.Add(-1)
+	}
+	s.c.Close()
+}
+
+func (s *tcpSender) writeFrame(buf *Buffer, lenBuf *[4]byte) {
+	if s.failed() != nil {
+		buf.Release()
+		return
+	}
+	select {
+	case <-s.e.done:
+		// Shutdown flush: still write, but never let a stalled peer pin the
+		// sender goroutine forever.
+		s.c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	default:
+	}
+	n, t := len(buf.Data), MsgType(buf.Data[0])
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(n))
+	vec := net.Buffers{lenBuf[:], buf.Data}
+	s.e.fabric.wireClock.Add(1) // publish: pairs with the readLoop load
+	_, err := vec.WriteTo(s.c)
+	buf.Release()
+	if err != nil {
+		werr := fmt.Errorf("comm: async send from %d: %w", s.e.machine, err)
+		s.err.CompareAndSwap(nil, &werr)
+		s.e.metrics.RecordSendError()
+		return
+	}
+	// Only successful writes count as sent traffic.
+	s.e.metrics.recordRaw(n, t, dirSent)
+}
+
 type tcpEndpoint struct {
 	fabric  *TCPFabric
 	machine int
-	conns   []*lockedConn
+	conns   []*lockedConn // sync mode only
+	senders []*tcpSender  // async mode only
 	inbox   chan *Buffer
 	recvGas *Pool // receive-side buffer pool
 	metrics Metrics
@@ -128,6 +280,7 @@ type tcpEndpoint struct {
 	closeOnce sync.Once
 	done      chan struct{}
 	readers   sync.WaitGroup
+	senderWG  sync.WaitGroup
 }
 
 func (e *tcpEndpoint) Machine() int      { return e.machine }
@@ -140,6 +293,7 @@ func (e *tcpEndpoint) acceptLoop(l net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		e.fabric.tune(c)
 		e.readers.Add(1)
 		go e.readLoop(c)
 	}
@@ -155,16 +309,34 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			if err != io.EOF {
+				// Truncated length prefix: the peer died mid-frame.
+				e.metrics.RecordRecvError()
+			}
 			return // peer closed or shutdown
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
 		if n < HeaderSize || int(n) > e.recvGas.BufSize() {
-			return // corrupt frame; drop the connection
+			// Corrupt frame length: the stream is unrecoverable (framing is
+			// lost), so the connection drops — but loudly, through the error
+			// counter and the log, instead of a silent return that leaves a
+			// poisoned stream looking like a hang.
+			e.metrics.RecordRecvError()
+			log.Printf("comm: machine %d: dropping connection %s: corrupt frame length %d (valid %d..%d)",
+				e.machine, c.RemoteAddr(), n, HeaderSize, e.recvGas.BufSize())
+			return
 		}
 		buf := e.recvGas.Acquire()
 		buf.Data = buf.Data[:n]
+		// Acquire the fabric wireClock: the frame's sender incremented it
+		// before the write syscall, so this load orders everything the
+		// sender published before Send ahead of this frame's processing.
+		e.fabric.wireClock.Load()
 		if _, err := io.ReadFull(c, buf.Data); err != nil {
 			buf.Release()
+			e.metrics.RecordRecvError()
+			log.Printf("comm: machine %d: dropping connection %s: truncated %d-byte frame: %v",
+				e.machine, c.RemoteAddr(), n, err)
 			return
 		}
 		select {
@@ -198,24 +370,56 @@ func (e *tcpEndpoint) Send(dst int, buf *Buffer) error {
 			return fmt.Errorf("comm: endpoint %d closed", e.machine)
 		}
 	}
+	if s := e.senders[dst]; s != nil {
+		return e.sendAsync(s, dst, buf)
+	}
+	return e.sendSync(dst, buf)
+}
+
+// sendAsync hands the frame to dst's sender goroutine, blocking only when
+// the bounded queue is full (back-pressure, like the buffer pools).
+func (e *tcpEndpoint) sendAsync(s *tcpSender, dst int, buf *Buffer) (err error) {
+	if werr := s.failed(); werr != nil {
+		buf.Release()
+		return fmt.Errorf("comm: send %d -> %d: %w", e.machine, dst, werr)
+	}
+	s.pending.Add(1)
+	defer func() {
+		// Close() closes the queue channel; a racing or blocked enqueue
+		// panics, which we convert to a clean shutdown error (the same
+		// pattern the in-process fabric uses for closed inboxes).
+		if recover() != nil {
+			s.pending.Add(-1)
+			buf.Release()
+			err = fmt.Errorf("comm: endpoint %d closed", e.machine)
+		}
+	}()
+	s.queue <- buf
+	return nil
+}
+
+// sendSync is the synchronous path (SendQueueDepth < 0): a single vectored
+// write under the per-connection mutex.
+func (e *tcpEndpoint) sendSync(dst int, buf *Buffer) error {
 	lc := e.conns[dst]
 	if lc == nil {
 		buf.Release()
 		return fmt.Errorf("comm: no connection %d -> %d", e.machine, dst)
 	}
+	n, t := len(buf.Data), MsgType(buf.Data[0])
 	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(buf.Data)))
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(n))
+	vec := net.Buffers{lenBuf[:], buf.Data}
 	lc.mu.Lock()
-	_, err := lc.c.Write(lenBuf[:])
-	if err == nil {
-		_, err = lc.c.Write(buf.Data)
-	}
+	e.fabric.wireClock.Add(1) // publish: pairs with the readLoop load
+	_, err := vec.WriteTo(lc.c)
 	lc.mu.Unlock()
-	e.metrics.record(buf, dirSent)
 	buf.Release()
 	if err != nil {
+		e.metrics.RecordSendError()
 		return fmt.Errorf("comm: send %d -> %d: %w", e.machine, dst, err)
 	}
+	e.metrics.recordRaw(n, t, dirSent)
 	return nil
 }
 
@@ -236,9 +440,42 @@ func (e *tcpEndpoint) Recv() (*Buffer, bool) {
 	}
 }
 
+// Quiesce blocks until every async sender has written (and released) all
+// frames accepted so far. The engine's job protocol guarantees remote
+// delivery before a job completes, but the final release in a sender
+// goroutine races the response's arrival by a few instructions; leak
+// checks call Quiesce to close that window deterministically.
+func (e *tcpEndpoint) Quiesce() {
+	for _, s := range e.senders {
+		if s == nil {
+			continue
+		}
+		for s.pending.Load() > 0 {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
 func (e *tcpEndpoint) Close() error {
 	e.closeOnce.Do(func() {
 		close(e.done)
+		for _, s := range e.senders {
+			if s != nil {
+				// Unblocks racing Sends (they recover the panic); the sender
+				// loop flushes the frames it already accepted — peers may be
+				// blocked on them mid-collective — and closes its connection
+				// on exit. The post-done write deadline in writeFrame bounds
+				// how long a stalled peer can pin the flush.
+				close(s.queue)
+				// Bound a write already in flight against a stalled peer;
+				// writeFrame re-arms the deadline per remaining frame.
+				s.c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			}
+		}
+		// Wait for the flush so Close keeps the synchronous path's guarantee:
+		// once it returns, every accepted frame is on the wire (or failed)
+		// and released back to its pool.
+		e.senderWG.Wait()
 		for _, lc := range e.conns {
 			if lc != nil {
 				lc.c.Close()

@@ -232,3 +232,179 @@ func TestReduceImportKeepsCollectiveTyped(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestTCPRecvErrorCounted: corrupt and truncated frames must show up in the
+// endpoint's receive-error counter, not just vanish with the connection.
+func TestTCPRecvErrorCounted(t *testing.T) {
+	f, err := NewTCPFabric(2, 8, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep1, err := f.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep1.Close()
+
+	// Valid hello, then a frame length beyond the buffer size.
+	rogue, err := net.Dial("tcp", f.addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [2]byte
+	rogue.Write(hello[:])
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], 1<<30)
+	rogue.Write(lenBuf[:])
+	rogue.Close()
+
+	// Valid hello and length, then the peer dies mid-body.
+	rogue2, err := net.Dial("tcp", f.addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rogue2.Write(hello[:])
+	binary.LittleEndian.PutUint32(lenBuf[:], HeaderSize+8)
+	rogue2.Write(lenBuf[:])
+	rogue2.Write([]byte{1, 2, 3}) // 3 of HeaderSize+8 bytes
+	rogue2.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ep1.Metrics().RecvErrors() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("RecvErrors = %d, want >= 2", ep1.Metrics().RecvErrors())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTCPSendErrorCountedAndSticky: once a destination's connection dies,
+// the failure is counted, surfaces as an error from Send, and sticks so
+// later sends fail fast instead of silently dropping frames.
+func TestTCPSendErrorCountedAndSticky(t *testing.T) {
+	eps, _ := bootTCP(t, 2)
+	ep0 := eps[0].(*tcpEndpoint)
+	pool := NewPool(4, 64<<10)
+
+	// Drain the handshake state, then kill the 0 -> 1 connection from under
+	// the sender goroutine.
+	ep0.senders[1].c.Close()
+
+	var sendErr error
+	deadline := time.Now().Add(5 * time.Second)
+	for sendErr == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("Send never reported the dead connection")
+		}
+		buf := pool.Acquire()
+		buf.Reset(Header{Type: MsgCtrl, Src: 0})
+		sendErr = ep0.Send(1, buf)
+		time.Sleep(time.Millisecond)
+	}
+	if ep0.Metrics().SendErrors() == 0 {
+		t.Error("send failure not counted in Metrics.SendErrors")
+	}
+	// Sticky: the next send fails immediately without enqueueing.
+	buf := pool.Acquire()
+	buf.Reset(Header{Type: MsgCtrl, Src: 0})
+	if err := ep0.Send(1, buf); err == nil {
+		t.Error("send after failure succeeded")
+	}
+	ep0.Quiesce()
+	if pool.Outstanding() != 0 {
+		t.Errorf("buffers leaked through failed sends: %d", pool.Outstanding())
+	}
+}
+
+// TestTCPSyncModeRoundTrip: the synchronous ablation path (negative queue
+// depth) still moves frames, with the socket options applied.
+func TestTCPSyncModeRoundTrip(t *testing.T) {
+	f, err := NewTCPFabricOpts(2, 8, 32<<10, TCPOptions{
+		SendQueueDepth: -1,
+		SocketBufBytes: 64 << 10,
+		DisableNoDelay: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, err := f.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := f.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep0.Close()
+	defer ep1.Close()
+	if ep0.(*tcpEndpoint).senders[1] != nil {
+		t.Fatal("sync mode still built async senders")
+	}
+
+	pool := NewPool(4, 32<<10)
+	for i := 0; i < 10; i++ {
+		buf := pool.Acquire()
+		buf.Reset(Header{Type: MsgWriteReq, Src: 0, Count: 1, Aux: uint64(i)})
+		buf.AppendU64(uint64(1000 + i))
+		if err := ep0.Send(1, buf); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := ep1.Recv()
+		if !ok {
+			t.Fatal("recv failed")
+		}
+		if got.Header().Aux != uint64(i) || leU64t(got.Payload()) != uint64(1000+i) {
+			t.Fatalf("frame %d corrupted: %+v", i, got.Header())
+		}
+		got.Release()
+	}
+	if got := ep0.Metrics().BytesSentByType(MsgWriteReq); got == 0 {
+		t.Error("sync sends not counted")
+	}
+}
+
+// TestTCPAsyncFrameIntegrity: frames of varied sizes survive the async
+// vectored-write path byte for byte and in order.
+func TestTCPAsyncFrameIntegrity(t *testing.T) {
+	eps, _ := bootTCP(t, 2)
+	pool := NewPool(8, 64<<10)
+	const frames = 200
+	go func() {
+		for i := 0; i < frames; i++ {
+			buf := pool.Acquire()
+			buf.Reset(Header{Type: MsgWriteReq, Src: 0, Count: 1, Aux: uint64(i)})
+			words := i % 97
+			for w := 0; w < words; w++ {
+				buf.AppendU64(uint64(i)<<32 | uint64(w))
+			}
+			if err := eps[0].Send(1, buf); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		got, ok := eps[1].Recv()
+		if !ok {
+			t.Fatalf("stream ended at frame %d", i)
+		}
+		h := got.Header()
+		if h.Aux != uint64(i) {
+			t.Fatalf("frame %d out of order: aux = %d", i, h.Aux)
+		}
+		words := i % 97
+		if len(got.Payload()) != 8*words {
+			t.Fatalf("frame %d: payload %d bytes, want %d", i, len(got.Payload()), 8*words)
+		}
+		for w := 0; w < words; w++ {
+			if leU64t(got.Payload()[8*w:]) != uint64(i)<<32|uint64(w) {
+				t.Fatalf("frame %d word %d corrupted", i, w)
+			}
+		}
+		got.Release()
+	}
+}
+
+func leU64t(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }

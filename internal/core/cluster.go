@@ -440,8 +440,16 @@ func (c *Cluster) ReduceI64(p PropID, op reduce.Op) (int64, error) {
 }
 
 // PoolsQuiescent reports whether every buffer pool has all buffers returned;
-// tests assert it between jobs (leak detection).
+// tests assert it between jobs (leak detection). Transports with
+// asynchronous senders are quiesced first: the job protocol guarantees every
+// frame was delivered, but the sender goroutine's final Release can trail
+// the response's arrival by a few instructions.
 func (c *Cluster) PoolsQuiescent() bool {
+	for _, m := range c.machines {
+		if q, ok := m.ep.(interface{ Quiesce() }); ok {
+			q.Quiesce()
+		}
+	}
 	for _, m := range c.machines {
 		if m.reqPool.Outstanding() != 0 || m.respPool.Outstanding() != 0 || m.ctrlPool.Outstanding() != 0 {
 			return false

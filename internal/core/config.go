@@ -60,6 +60,12 @@ type Config struct {
 	// machine-level ghost copies with atomics instead of thread-private
 	// copies — the ablation for §3.3's ghost privatization.
 	DisableGhostPrivatization bool
+	// DisableReadCombining turns off duplicate remote-read elimination:
+	// every read of the same remote (prop, offset) within one message
+	// window then emits its own 8-byte request record and response word,
+	// as the unmodified paper protocol does. The ablation flag for the
+	// communication fast path; combining is on by default.
+	DisableReadCombining bool
 	// Fabric supplies the transport. Nil creates an in-process fabric.
 	Fabric comm.Fabric
 }

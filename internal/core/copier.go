@@ -50,7 +50,10 @@ func (m *Machine) applyWrites(payload []byte, count int) {
 
 // serveReads builds the response for a read-request frame: one value word
 // per 8-byte address record, in request order, echoing the worker id and
-// sequence number so the requester can match its side structure.
+// sequence number so the requester can match its side structure. Under read
+// combining the records are already deduplicated — each word here may fan
+// out to many continuations on the requester, which is exactly where the
+// READ_RESP byte saving comes from.
 func (m *Machine) serveReads(h comm.Header, payload []byte) {
 	resp := m.respPool.Acquire()
 	resp.Reset(comm.Header{

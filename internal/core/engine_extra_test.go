@@ -250,7 +250,7 @@ func TestEngineOverTCP(t *testing.T) {
 // from DESIGN.md §6: for random graphs and random engine configurations, a
 // push job and a pull job both produce exactly the reference results.
 func TestDistributedEqualsReferenceProperty(t *testing.T) {
-	f := func(seed int64, pRaw, ghostRaw uint8, vertexPart, nodeChunk, nopriv bool) bool {
+	f := func(seed int64, pRaw, ghostRaw uint8, vertexPart, nodeChunk, nopriv, nocombine bool) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 64 + rng.Intn(512)
 		m := n * (1 + rng.Intn(8))
@@ -267,6 +267,7 @@ func TestDistributedEqualsReferenceProperty(t *testing.T) {
 		}
 		cfg.NodeChunking = nodeChunk
 		cfg.DisableGhostPrivatization = nopriv
+		cfg.DisableReadCombining = nocombine
 		c, err := NewCluster(cfg)
 		if err != nil {
 			return false

@@ -31,12 +31,29 @@ type worker struct {
 	writeBufs []*comm.Buffer
 
 	// The paper's side data structures (§3.2): for each in-flight read
-	// message, the ordered log of (node, aux) records matching the payload;
-	// keyed by the message's sequence number because copiers on the remote
-	// machine may answer out of order.
+	// message, the ordered log of (node, slot, aux) records; keyed by the
+	// message's sequence number because copiers on the remote machine may
+	// answer out of order. With read combining, several side records can
+	// share one payload slot, so len(side) >= the message's record count.
 	sides   map[uint32][]sideRec
 	curSide [][]sideRec
 	seq     uint32
+
+	// Read combining (duplicate remote-read elimination): dedup[dst] maps a
+	// packed (prop, offset) address to its record slot in the currently open
+	// read message toward dst. Repeated reads of the same address within one
+	// message window append only a side record — no wire bytes — and the one
+	// response word fans out to every waiting continuation in request order.
+	combine     bool
+	dedup       []map[uint64]uint32
+	dedupHits   int64
+	dedupMisses int64
+
+	// maxSide caps side-structure growth per message: all-duplicate windows
+	// never fill the wire buffer, so without a cap the side log (and the
+	// response fan-out burst) would grow with chunk size instead of message
+	// size.
+	maxSide int
 
 	// outstanding counts in-flight request frames awaiting a response.
 	outstanding int
@@ -66,15 +83,21 @@ type worker struct {
 }
 
 // sideRec is one entry of the side structure: enough to restore the task
-// context when its value arrives.
+// context when its value arrives, plus the payload slot its value occupies
+// in the response (several records share a slot under read combining).
 type sideRec struct {
 	node uint32
+	slot uint32
 	aux  uint64
 }
 
 const (
 	readRecSize  = 8  // prop(16) | offset(32) packed into a u64
 	writeRecSize = 16 // prop(16)|op(8)|offset(32) word + value word
+
+	// dedupSavedPerHit is the wire traffic one combining hit elides: the
+	// 8-byte request record plus the 8-byte response word.
+	dedupSavedPerHit = readRecSize + 8
 )
 
 func newWorker(m *Machine, id int) *worker {
@@ -87,6 +110,12 @@ func newWorker(m *Machine, id int) *worker {
 		writeBufs: make([]*comm.Buffer, m.cfg.NumMachines),
 		sides:     make(map[uint32][]sideRec),
 		curSide:   make([][]sideRec, m.cfg.NumMachines),
+		combine:   !m.cfg.DisableReadCombining,
+		dedup:     make([]map[uint64]uint32, m.cfg.NumMachines),
+	}
+	w.maxSide = 8 * ((m.cfg.BufferSize - comm.HeaderSize) / readRecSize)
+	if w.maxSide < 64 {
+		w.maxSide = 64
 	}
 	w.ctx.w = w
 	return w
@@ -181,6 +210,10 @@ func (w *worker) runJob(jr *jobRuntime) {
 	if len(w.sides) != 0 {
 		panic(fmt.Sprintf("core: machine %d worker %d finished job with %d dangling side structures", w.m.id, w.id, len(w.sides)))
 	}
+	if w.dedupHits != 0 || w.dedupMisses != 0 {
+		w.m.ep.Metrics().RecordReadDedup(w.dedupHits, w.dedupMisses, dedupSavedPerHit*w.dedupHits)
+		w.dedupHits, w.dedupMisses = 0, 0
+	}
 	w.endTime = time.Now()
 	w.job = nil
 }
@@ -237,12 +270,17 @@ func (w *worker) processResponse(buf *comm.Buffer) {
 	ctx := &w.ctx
 	switch typ {
 	case comm.MsgReadResp:
-		for i := 0; i < int(h.Count); i++ {
-			ctx.Node = side[i].node
-			ctx.Aux = side[i].aux
+		// The response carries h.Count unique value words; the side log can
+		// be longer under read combining. Each record's slot picks its word,
+		// so one response word fans out to every continuation that waited on
+		// the same (prop, offset) — still in request order.
+		for i := range side {
+			r := &side[i]
+			ctx.Node = r.node
+			ctx.Aux = r.aux
 			ctx.nbr = 0
 			ctx.edge = -1
-			w.job.spec.Task.ReadDone(ctx, leU64(payload[8*i:]))
+			w.job.spec.Task.ReadDone(ctx, leU64(payload[8*int(r.slot):]))
 		}
 	case comm.MsgRMIResp:
 		ctx.Node = side[0].node
@@ -338,9 +376,20 @@ func (w *worker) acquireReq() *comm.Buffer {
 }
 
 // bufferRead appends a read request toward machine dst (paper §3.2 steps
-// 1-3): the 8-byte address record goes into the message, the (node, aux)
-// record into the side structure, and a full message is sent immediately.
+// 1-3): the 8-byte address record goes into the message, the (node, slot,
+// aux) record into the side structure, and a full message is sent
+// immediately. With combining on, a repeated (prop, offset) within the open
+// message window appends only the side record, pointing at the slot the
+// first occurrence claimed — high-degree pulls collapse to one wire record
+// per distinct remote address per window.
 func (w *worker) bufferRead(dst int, p PropID, offset uint32, node uint32, aux uint64) {
+	key := uint64(p)<<48 | uint64(offset)
+	if w.combine {
+		if slot, ok := w.dedup[dst][key]; ok {
+			w.appendCombined(dst, slot, node, aux)
+			return
+		}
+	}
 	buf := w.readBufs[dst]
 	if buf == nil {
 		nb := w.acquireReq()
@@ -349,19 +398,46 @@ func (w *worker) bufferRead(dst int, p PropID, offset uint32, node uint32, aux u
 		if w.readBufs[dst] != nil {
 			nb.Release()
 			buf = w.readBufs[dst]
+			// That continuation may even have buffered this very address —
+			// the dedup index must be consulted again.
+			if w.combine {
+				if slot, ok := w.dedup[dst][key]; ok {
+					w.appendCombined(dst, slot, node, aux)
+					return
+				}
+			}
 		} else {
 			nb.Reset(comm.Header{Type: comm.MsgReadReq, Worker: uint8(w.id), Src: uint16(w.m.id)})
 			w.readBufs[dst] = nb
 			buf = nb
 		}
 	}
-	buf.AppendU64(uint64(p)<<48 | uint64(offset))
+	slot := uint32(len(buf.Payload()) / readRecSize)
+	buf.AppendU64(key)
+	if w.combine {
+		idx := w.dedup[dst]
+		if idx == nil {
+			idx = make(map[uint64]uint32, 256)
+			w.dedup[dst] = idx
+		}
+		idx[key] = slot
+		w.dedupMisses++
+	}
 	side := w.curSide[dst]
 	if side == nil {
 		side = w.sideNew()
 	}
-	w.curSide[dst] = append(side, sideRec{node: node, aux: aux})
-	if buf.Room() < readRecSize {
+	w.curSide[dst] = append(side, sideRec{node: node, slot: slot, aux: aux})
+	if buf.Room() < readRecSize || len(w.curSide[dst]) >= w.maxSide {
+		w.flushRead(dst)
+	}
+}
+
+// appendCombined records a dedup hit: side record only, no wire bytes.
+func (w *worker) appendCombined(dst int, slot uint32, node uint32, aux uint64) {
+	w.dedupHits++
+	w.curSide[dst] = append(w.curSide[dst], sideRec{node: node, slot: slot, aux: aux})
+	if len(w.curSide[dst]) >= w.maxSide {
 		w.flushRead(dst)
 	}
 }
@@ -415,8 +491,10 @@ func (w *worker) flushRead(dst int) {
 		return
 	}
 	w.readBufs[dst] = nil
-	n := len(w.curSide[dst])
-	buf.SetCount(uint32(n))
+	// Count is the number of wire records (unique addresses), which under
+	// combining can be fewer than the side records awaiting the response.
+	buf.SetCount(uint32(len(buf.Payload()) / readRecSize))
+	clear(w.dedup[dst])
 	w.seq++
 	buf.SetAux(uint64(w.seq))
 	w.sides[w.seq] = w.curSide[dst]

@@ -90,14 +90,23 @@ const (
 // average degree — the heavy tail of skewed graphs).
 func DefaultConfig(p int) Config { return core.DefaultConfig(p) }
 
+// TCPOptions tunes the TCP transport: async sender queue depth (negative
+// for synchronous sends), kernel socket buffer sizes, and TCP_NODELAY.
+type TCPOptions = comm.TCPOptions
+
 // NewTCPFabric creates a loopback-TCP transport for cfg; assign it to
 // cfg.Fabric before NewCluster to run the engine over real sockets.
 func NewTCPFabric(cfg Config) (comm.Fabric, error) {
+	return NewTCPFabricOpts(cfg, TCPOptions{})
+}
+
+// NewTCPFabricOpts is NewTCPFabric with explicit socket and sender tuning.
+func NewTCPFabricOpts(cfg Config, opts TCPOptions) (comm.Fabric, error) {
 	pool := cfg.ReqBuffers
 	if pool == 0 {
 		pool = 2*cfg.Workers*cfg.NumMachines + 4
 	}
-	return comm.NewTCPFabric(cfg.NumMachines, cfg.NumMachines*pool+64, cfg.BufferSize)
+	return comm.NewTCPFabricOpts(cfg.NumMachines, cfg.NumMachines*pool+64, cfg.BufferSize, opts)
 }
 
 // --- custom kernel API ---------------------------------------------------------
