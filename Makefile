@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race ci bench-comm
+.PHONY: build test vet race faults ci bench-comm bench-faults
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,27 @@ build:
 test: build
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 # Race-detector pass over the concurrency-heavy packages: the comm fabrics
 # (async senders, routers, collectives) and the engine core (workers,
 # copiers, read combining).
 race:
-	$(GO) vet ./...
 	$(GO) test -race ./internal/comm/... ./internal/core/...
 
-ci: test race
+# Fault-injection suite under the race detector: every TestFault* case
+# (injector semantics, job aborts over both fabrics, recovery, leak checks).
+faults:
+	$(GO) test -race -run Fault -count=1 ./internal/comm/... ./internal/core/... ./pgxd/...
+
+ci: test vet race faults
 
 # Regenerate the communication fast-path sweep artifact.
 bench-comm:
 	$(GO) run ./cmd/pgxd-bench -exp comm -comm-out BENCH_comm.json
+
+# Fail-soft smoke: injected drops, failures, delays, and a machine kill
+# against PageRank, asserting errors surface and buffers come home.
+bench-faults:
+	$(GO) run ./cmd/pgxd-bench -exp faults -machines 1,2 -scale 10

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm]
+//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults]
 //	           [-scale N] [-machines 1,2,4] [-workers N] [-copiers N] [-quiet]
 //
 // The comm experiment additionally writes its sweep as JSON (-comm-out,
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm)")
+		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults)")
 		commOut  = flag.String("comm-out", "BENCH_comm.json", "output path for the comm experiment's JSON report")
 		scale    = flag.Int("scale", bench.DefaultScale, "graph scale: datasets have 2^scale nodes")
 		machines = flag.String("machines", "1,2,4", "comma-separated machine counts for sweeps")
@@ -176,6 +176,17 @@ func main() {
 			[]int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10}, 300*time.Millisecond, progress)
 		if err != nil {
 			fatalf("fig8b: %v", err)
+		}
+		fmt.Println(tbl)
+	}
+	// The fault smoke is diagnostics for the failure model, not part of the
+	// paper reproduction, so it runs only when named explicitly.
+	if *exp == "faults" {
+		ran = true
+		p := machineCounts[len(machineCounts)-1]
+		tbl, err := bench.ExpFaults(ds, *scale, p, progress)
+		if err != nil {
+			fatalf("faults: %v", err)
 		}
 		fmt.Println(tbl)
 	}

@@ -36,6 +36,11 @@ const (
 	MsgRMIResp
 	// MsgCtrl carries collective/control traffic (barriers, reductions).
 	MsgCtrl
+	// MsgAbort announces that the sending machine aborted the current job
+	// (Aux carries the job id, the payload the cause). Receivers abort the
+	// same job locally so no machine hangs waiting on a peer that already
+	// gave up — the fail-soft replacement for panic-on-wire-error.
+	MsgAbort
 )
 
 // String implements fmt.Stringer.
@@ -53,6 +58,8 @@ func (t MsgType) String() string {
 		return "RMI_RESP"
 	case MsgCtrl:
 		return "CTRL"
+	case MsgAbort:
+		return "ABORT"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}

@@ -2,11 +2,21 @@ package comm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/reduce"
 )
+
+// ErrAborted is returned by collective operations interrupted by a job
+// abort; the engine translates it into the job's root-cause error.
+var ErrAborted = errors.New("comm: collective aborted")
+
+// ErrTimeout is returned by collective operations that exceeded their
+// configured deadline — the signal that a peer died without announcing it.
+var ErrTimeout = errors.New("comm: collective timed out")
 
 // Collectives implements the control-plane operations the engine runs
 // between parallel regions: the step barrier (Figure 5b measures its
@@ -26,6 +36,37 @@ type Collectives struct {
 	pool    *Pool
 	seq     uint32
 	pending []*Buffer
+
+	// abort, when non-nil, interrupts waits as soon as the channel closes
+	// (a job-scoped abort). The engine points it at the running job's abort
+	// channel for the duration of each parallel region.
+	abort <-chan struct{}
+	// timeout bounds each control-frame wait; zero waits forever. It is the
+	// last-resort detector for peers that died without sending MsgAbort.
+	timeout time.Duration
+}
+
+// SetAbort installs (or clears, with nil) the abort channel observed by
+// collective waits. Called only from the owning machine's main goroutine.
+func (c *Collectives) SetAbort(ch <-chan struct{}) { c.abort = ch }
+
+// SetTimeout bounds every subsequent control-frame wait; zero disables.
+func (c *Collectives) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Seq returns the collective sequence counter, used by recovery to
+// resynchronize machines whose counters diverged during an aborted job.
+func (c *Collectives) Seq() uint32 { return c.seq }
+
+// Recover releases any buffered stale control frames and forces the
+// sequence counter to seq. After an aborted job, machines may have
+// advanced different distances into the job's collective schedule; the
+// driver levels them with Recover so the next job's frames match up.
+func (c *Collectives) Recover(seq uint32) {
+	for _, buf := range c.pending {
+		buf.Release()
+	}
+	c.pending = c.pending[:0]
+	c.seq = seq
 }
 
 // Control-frame operation codes, stored in the high half of Header.Aux with
@@ -69,15 +110,27 @@ func (c *Collectives) waitCtrl(op, seq uint32) (*Buffer, error) {
 			return buf, nil
 		}
 	}
+	var timeoutCh <-chan time.Time
+	if c.timeout > 0 {
+		t := time.NewTimer(c.timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
 	for {
-		buf, ok := <-c.ctrl
-		if !ok {
-			return nil, fmt.Errorf("comm: control channel closed during collective (op=%d seq=%d)", op, seq)
+		select {
+		case buf, ok := <-c.ctrl:
+			if !ok {
+				return nil, fmt.Errorf("comm: control channel closed during collective (op=%d seq=%d)", op, seq)
+			}
+			if buf.Header().Aux == want {
+				return buf, nil
+			}
+			c.pending = append(c.pending, buf)
+		case <-c.abort:
+			return nil, fmt.Errorf("%w (op=%d seq=%d)", ErrAborted, op, seq)
+		case <-timeoutCh:
+			return nil, fmt.Errorf("%w after %v (op=%d seq=%d)", ErrTimeout, c.timeout, op, seq)
 		}
-		if buf.Header().Aux == want {
-			return buf, nil
-		}
-		c.pending = append(c.pending, buf)
 	}
 }
 
@@ -179,6 +232,10 @@ func (c *Collectives) allReduce(n int, write func(*Buffer), apply func(payload [
 			buf, err := c.waitCtrl(ctrlReduceContrib, seq)
 			if err != nil {
 				return err
+			}
+			if len(buf.Payload()) < 8*n {
+				defer buf.Release()
+				return fmt.Errorf("comm: truncated allreduce contribution (seq=%d): %d bytes for %d values", seq, len(buf.Payload()), n)
 			}
 			apply(buf.Payload(), true)
 			buf.Release()

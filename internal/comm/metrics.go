@@ -23,7 +23,7 @@ type Metrics struct {
 	bytesRecv  atomic.Int64
 
 	// Per-type byte counts (indexed by MsgType) for sent frames.
-	sentByType [6]atomic.Int64
+	sentByType [7]atomic.Int64
 
 	// Read-combining counters (engine-fed): a hit is a read record the
 	// requester elided because the same (prop, offset) was already buffered
@@ -81,7 +81,7 @@ func (m *Metrics) BytesSentByType(t MsgType) int64 {
 // measure Figure 6a plots (ghosting reduces data traffic; barrier chatter is
 // constant).
 func (m *Metrics) DataBytesSent() int64 {
-	return m.BytesSent() - m.BytesSentByType(MsgCtrl)
+	return m.BytesSent() - m.BytesSentByType(MsgCtrl) - m.BytesSentByType(MsgAbort)
 }
 
 // RecordReadDedup folds one job's read-combining counters in: hits are

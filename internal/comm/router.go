@@ -18,6 +18,7 @@ type Router struct {
 	reqQueue   chan *Buffer
 	ctrl       chan *Buffer
 	rmiResp    chan *Buffer
+	abort      chan *Buffer
 	done       sync.WaitGroup
 }
 
@@ -56,6 +57,7 @@ func NewRouter(ep Endpoint, cfg RouterConfig) *Router {
 		reqQueue:   make(chan *Buffer, cfg.ReqDepth),
 		ctrl:       make(chan *Buffer, cfg.CtrlDepth),
 		rmiResp:    make(chan *Buffer, cfg.CtrlDepth),
+		abort:      make(chan *Buffer, cfg.CtrlDepth),
 	}
 	for i := range r.workerResp {
 		r.workerResp[i] = make(chan *Buffer, cfg.RespDepth)
@@ -78,6 +80,7 @@ func (r *Router) poll() {
 			close(r.reqQueue)
 			close(r.ctrl)
 			close(r.rmiResp)
+			close(r.abort)
 			return
 		}
 		switch MsgType(buf.Data[0]) {
@@ -101,6 +104,15 @@ func (r *Router) poll() {
 			r.reqQueue <- buf
 		case MsgCtrl:
 			r.ctrl <- buf
+		case MsgAbort:
+			// Abort announcements must not wedge the poller even if the
+			// machine's abort watcher is slow: drop on a full queue (the
+			// abort it carries has already been announced by someone).
+			select {
+			case r.abort <- buf:
+			default:
+				buf.Release()
+			}
 		default:
 			buf.Release()
 		}
@@ -120,6 +132,15 @@ func (r *Router) Ctrl() <-chan *Buffer { return r.ctrl }
 // machine's main goroutine (Worker == CtrlWorker).
 func (r *Router) RMIResp() <-chan *Buffer { return r.rmiResp }
 
+// AbortQueue returns the channel carrying inbound MsgAbort frames. The
+// engine's abort watcher consumes it for the life of the machine.
+func (r *Router) AbortQueue() <-chan *Buffer { return r.abort }
+
+// PendingRequests reports how many inbound request frames are queued and not
+// yet claimed by a copier — the recovery drain polls this to know when the
+// cluster has gone quiet after an aborted job.
+func (r *Router) PendingRequests() int { return len(r.reqQueue) }
+
 // Shutdown closes the endpoint and waits for the poller to drain and close
 // all downstream channels. Remaining queued frames are released.
 func (r *Router) Shutdown() {
@@ -137,6 +158,9 @@ func (r *Router) Shutdown() {
 		buf.Release()
 	}
 	for buf := range r.rmiResp {
+		buf.Release()
+	}
+	for buf := range r.abort {
 		buf.Release()
 	}
 }

@@ -66,9 +66,32 @@ type TCPOptions struct {
 	// so coalescing in the kernel only adds latency — this exists for
 	// measurement, not production use.
 	DisableNoDelay bool
+	// DialRetries is how many times endpoint setup re-attempts a failed
+	// dial before giving up. Zero selects the default (3); negative
+	// disables retries. Transient dial failures (a peer's listener racing
+	// its first Accept, ephemeral port exhaustion) otherwise abort the
+	// whole cluster boot.
+	DialRetries int
+	// RetryBackoff is the initial backoff between dial or write retries,
+	// doubling per attempt. Zero selects the default (25ms).
+	RetryBackoff time.Duration
+	// WriteDeadline bounds each frame's socket write. Zero leaves writes
+	// unbounded (kernel flow control only); the 2s shutdown-flush bound
+	// still applies. A stalled peer then surfaces as a send error the
+	// engine can abort on, instead of a silent hang.
+	WriteDeadline time.Duration
+	// WriteRetries is how many times a failed frame write is retried over
+	// a fresh connection (redial + handshake + rewrite) with backoff
+	// before the sender declares the destination dead. Zero disables
+	// reconnection — the pre-failure-model behaviour.
+	WriteRetries int
 }
 
-const defaultSendQueueDepth = 16
+const (
+	defaultSendQueueDepth = 16
+	defaultDialRetries    = 3
+	defaultRetryBackoff   = 25 * time.Millisecond
+)
 
 // NewTCPFabric creates listeners for p machines on ephemeral loopback ports
 // with default options. Each endpoint maintains a receive pool of poolCount
@@ -86,6 +109,14 @@ func NewTCPFabricOpts(p, poolCount, bufSize int, opts TCPOptions) (*TCPFabric, e
 	}
 	if opts.SendQueueDepth == 0 {
 		opts.SendQueueDepth = defaultSendQueueDepth
+	}
+	if opts.DialRetries == 0 {
+		opts.DialRetries = defaultDialRetries
+	} else if opts.DialRetries < 0 {
+		opts.DialRetries = 0
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = defaultRetryBackoff
 	}
 	f := &TCPFabric{
 		p:         p,
@@ -150,22 +181,15 @@ func (f *TCPFabric) Endpoint(m int) (Endpoint, error) {
 		if d == m {
 			continue
 		}
-		c, err := net.Dial("tcp", f.addrs[d])
+		c, err := f.dialPeer(m, d)
 		if err != nil {
 			e.Close()
-			return nil, fmt.Errorf("comm: machine %d dialing %d: %w", m, d, err)
-		}
-		f.tune(c)
-		var hello [2]byte
-		binary.LittleEndian.PutUint16(hello[:], uint16(m))
-		if _, err := c.Write(hello[:]); err != nil {
-			c.Close()
-			e.Close()
-			return nil, fmt.Errorf("comm: machine %d hello to %d: %w", m, d, err)
+			return nil, err
 		}
 		if async {
 			s := &tcpSender{
 				e:     e,
+				dst:   d,
 				c:     c,
 				queue: make(chan *Buffer, f.opts.SendQueueDepth),
 			}
@@ -178,6 +202,33 @@ func (f *TCPFabric) Endpoint(m int) (Endpoint, error) {
 	}
 	go e.acceptLoop(f.listeners[m])
 	return e, nil
+}
+
+// dialPeer connects machine m's send side to peer d — dial, tune, hello —
+// retrying transient failures with exponential backoff per TCPOptions.
+// Used both at endpoint setup and by sender reconnection after a failed
+// write.
+func (f *TCPFabric) dialPeer(m, d int) (net.Conn, error) {
+	backoff := f.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		c, err := net.Dial("tcp", f.addrs[d])
+		if err == nil {
+			f.tune(c)
+			var hello [2]byte
+			binary.LittleEndian.PutUint16(hello[:], uint16(m))
+			if _, err = c.Write(hello[:]); err == nil {
+				return c, nil
+			}
+			c.Close()
+		}
+		lastErr = err
+		if attempt >= f.opts.DialRetries {
+			return nil, fmt.Errorf("comm: machine %d dialing %d (attempt %d): %w", m, d, attempt+1, lastErr)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // Close shuts the listeners down.
@@ -206,8 +257,13 @@ type lockedConn struct {
 // goroutine draining preserves per-destination frame order (the same FIFO
 // the per-connection mutex used to provide).
 type tcpSender struct {
-	e     *tcpEndpoint
-	c     net.Conn
+	e   *tcpEndpoint
+	dst int
+	// mu guards c: the sender goroutine swaps in a fresh connection on
+	// reconnect while Close (another goroutine) arms write deadlines on it.
+	mu sync.Mutex
+	c  net.Conn
+
 	queue chan *Buffer
 	// pending counts frames accepted by Send but not yet written+released;
 	// Quiesce polls it so tests can await full drainage.
@@ -225,6 +281,18 @@ func (s *tcpSender) failed() error {
 	return nil
 }
 
+func (s *tcpSender) conn() net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.c
+}
+
+func (s *tcpSender) setConn(c net.Conn) {
+	s.mu.Lock()
+	s.c = c
+	s.mu.Unlock()
+}
+
 // loop drains the queue until Close closes it, then closes the connection.
 // Frames already queued when Close runs are still flushed — the synchronous
 // path got that for free from the kernel's graceful close, and collectives
@@ -237,35 +305,79 @@ func (s *tcpSender) loop() {
 		s.writeFrame(buf, &lenBuf)
 		s.pending.Add(-1)
 	}
-	s.c.Close()
+	s.conn().Close()
 }
 
+// writeFrame writes one frame, retrying over a fresh connection per
+// TCPOptions.WriteRetries. Retries always reconnect: a partial write on the
+// old connection poisons its framing, so resending there would corrupt the
+// stream — the receiver drops the old connection at its first truncated
+// frame, and the engine's (seq-matched, commutative) protocols tolerate the
+// reordering a second connection introduces.
 func (s *tcpSender) writeFrame(buf *Buffer, lenBuf *[4]byte) {
 	if s.failed() != nil {
 		buf.Release()
 		return
 	}
-	select {
-	case <-s.e.done:
-		// Shutdown flush: still write, but never let a stalled peer pin the
-		// sender goroutine forever.
-		s.c.SetWriteDeadline(time.Now().Add(2 * time.Second))
-	default:
-	}
 	n, t := len(buf.Data), MsgType(buf.Data[0])
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(n))
-	vec := net.Buffers{lenBuf[:], buf.Data}
-	s.e.fabric.wireClock.Add(1) // publish: pairs with the readLoop load
-	_, err := vec.WriteTo(s.c)
+	err := s.writeOnce(buf.Data, lenBuf)
+	for attempt := 0; err != nil && attempt < s.e.fabric.opts.WriteRetries; attempt++ {
+		if !s.reconnect(attempt) {
+			break
+		}
+		err = s.writeOnce(buf.Data, lenBuf)
+	}
 	buf.Release()
 	if err != nil {
-		werr := fmt.Errorf("comm: async send from %d: %w", s.e.machine, err)
+		werr := fmt.Errorf("comm: async send %d -> %d: %w", s.e.machine, s.dst, err)
 		s.err.CompareAndSwap(nil, &werr)
 		s.e.metrics.RecordSendError()
 		return
 	}
 	// Only successful writes count as sent traffic.
 	s.e.metrics.recordRaw(n, t, dirSent)
+}
+
+// writeOnce performs a single vectored frame write on the current
+// connection, bounded by the configured write deadline (and, after Close,
+// by the 2s shutdown-flush bound so a stalled peer cannot pin the flush).
+func (s *tcpSender) writeOnce(data []byte, lenBuf *[4]byte) error {
+	c := s.conn()
+	deadline := s.e.fabric.opts.WriteDeadline
+	select {
+	case <-s.e.done:
+		if deadline <= 0 || deadline > 2*time.Second {
+			deadline = 2 * time.Second
+		}
+	default:
+	}
+	if deadline > 0 {
+		c.SetWriteDeadline(time.Now().Add(deadline))
+	}
+	vec := net.Buffers{lenBuf[:], data}
+	s.e.fabric.wireClock.Add(1) // publish: pairs with the readLoop load
+	_, err := vec.WriteTo(c)
+	return err
+}
+
+// reconnect replaces the sender's connection with a freshly dialed one,
+// backing off exponentially per attempt. Returns false when redial fails or
+// the endpoint is shutting down (no point chasing a peer during teardown).
+func (s *tcpSender) reconnect(attempt int) bool {
+	select {
+	case <-s.e.done:
+		return false
+	default:
+	}
+	time.Sleep(s.e.fabric.opts.RetryBackoff << attempt)
+	c, err := s.e.fabric.dialPeer(s.e.machine, s.dst)
+	if err != nil {
+		return false
+	}
+	s.conn().Close()
+	s.setConn(c)
+	return true
 }
 
 type tcpEndpoint struct {
@@ -469,7 +581,7 @@ func (e *tcpEndpoint) Close() error {
 				close(s.queue)
 				// Bound a write already in flight against a stalled peer;
 				// writeFrame re-arms the deadline per remaining frame.
-				s.c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+				s.conn().SetWriteDeadline(time.Now().Add(2 * time.Second))
 			}
 		}
 		// Wait for the flush so Close keeps the synchronous path's guarantee:

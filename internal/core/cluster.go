@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -29,7 +30,17 @@ type Cluster struct {
 	freeProps []PropID
 	loaded    bool
 	shut      bool
+	jobSeq    uint64
 }
+
+// ErrJobAborted wraps every error RunJob returns for a job that started and
+// then failed (transport fault, timeout, dead machine, protocol violation).
+// errors.Is(err, ErrJobAborted) distinguishes an aborted job from a
+// configuration error; the root cause stays in the chain. After an aborted
+// job the cluster has recovered: buffers are back in their pools and the
+// next RunJob starts clean (property values touched by the failed job are
+// undefined).
+var ErrJobAborted = errors.New("core: job aborted")
 
 // NewCluster boots a cluster per cfg. Call Load before registering
 // properties or running jobs, and Shutdown when done.
@@ -41,7 +52,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if c.fabric == nil {
 		// Inbox must hold every pooled buffer in the cluster so channel
 		// sends never block (see the deadlock-freedom argument in comm).
-		perMachine := cfg.ReqBuffers + cfg.RespBuffers + 4*cfg.NumMachines + 8
+		// The last term is the per-machine abort-announcement pool.
+		perMachine := cfg.ReqBuffers + cfg.RespBuffers + 4*cfg.NumMachines + 8 + cfg.NumMachines + 2
 		c.fabric = comm.NewInProcFabric(cfg.NumMachines, cfg.NumMachines*perMachine+16)
 		c.ownFabric = true
 	}
@@ -212,14 +224,17 @@ func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
 	}
 	before := c.TrafficSnapshot()
 	results := make([]machineJobStats, len(c.machines))
+	c.jobSeq++
+	jobID := c.jobSeq
 	start := time.Now()
 	err := c.parallel(func(m *Machine) error {
-		st, err := m.runJob(&spec)
+		st, err := m.runJob(&spec, jobID)
 		results[m.id] = st
 		return err
 	})
 	if err != nil {
-		return JobStats{}, fmt.Errorf("core: job %q: %w", spec.Name, err)
+		c.recoverAfterAbort()
+		return JobStats{}, fmt.Errorf("job %q: %w: %w", spec.Name, ErrJobAborted, err)
 	}
 	stats := JobStats{
 		Duration:  time.Since(start),
@@ -451,11 +466,62 @@ func (c *Cluster) PoolsQuiescent() bool {
 		}
 	}
 	for _, m := range c.machines {
-		if m.reqPool.Outstanding() != 0 || m.respPool.Outstanding() != 0 || m.ctrlPool.Outstanding() != 0 {
+		if m.reqPool.Outstanding() != 0 || m.respPool.Outstanding() != 0 ||
+			m.ctrlPool.Outstanding() != 0 || m.abortPool.Outstanding() != 0 {
 			return false
 		}
 	}
 	return true
+}
+
+// recoverAfterAbort returns the cluster to a runnable state after a failed
+// job: every machine may have stopped at a different point in the job's
+// schedule, with frames still in flight, buffers checked out, and collective
+// sequence counters diverged. Recovery (1) quiesces async senders and lets
+// copiers serve whatever already arrived, (2) drains stale responses and
+// control frames back to their pools, repeating until the cluster goes
+// quiet, then (3) zeroes the cumulative write-drain counters (their
+// cluster-wide equality is a per-run invariant the aborted job broke) and
+// levels every machine's collective sequence counter so the next job's
+// control frames match up again.
+func (c *Cluster) recoverAfterAbort() {
+	quiet := func() bool {
+		for _, m := range c.machines {
+			if m.router.PendingRequests() != 0 {
+				return false
+			}
+			if m.reqPool.Outstanding() != 0 || m.respPool.Outstanding() != 0 ||
+				m.ctrlPool.Outstanding() != 0 || m.abortPool.Outstanding() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for round := 0; round < 500; round++ {
+		for _, m := range c.machines {
+			if q, ok := m.ep.(interface{ Quiesce() }); ok {
+				q.Quiesce()
+			}
+		}
+		for _, m := range c.machines {
+			m.drainStale()
+		}
+		if quiet() {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	maxSeq := uint32(0)
+	for _, m := range c.machines {
+		if s := m.col.Seq(); s > maxSeq {
+			maxSeq = s
+		}
+	}
+	for _, m := range c.machines {
+		m.col.Recover(maxSeq)
+		m.writesSent.Store(0)
+		m.writesApplied.Store(0)
+	}
 }
 
 func (c *Cluster) mustParallel(fn func(m *Machine)) {

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/partition"
@@ -66,6 +67,18 @@ type Config struct {
 	// as the unmodified paper protocol does. The ablation flag for the
 	// communication fast path; combining is on by default.
 	DisableReadCombining bool
+	// RequestTimeout bounds every wait on a remote response or drained
+	// buffer pool inside a job (worker response waits, the write-drain
+	// loop, driver RMI calls). Zero waits forever. It is the detector for
+	// silently dropped frames: a lost response produces no error, only
+	// silence, so without a timeout a faulted job hangs instead of
+	// failing.
+	RequestTimeout time.Duration
+	// CollectiveTimeout bounds each collective control-frame wait (see
+	// comm.Collectives.SetTimeout). Zero waits forever. This is the only
+	// detector for a machine that died without announcing an abort: its
+	// peers notice when the next barrier times out.
+	CollectiveTimeout time.Duration
 	// Fabric supplies the transport. Nil creates an in-process fabric.
 	Fabric comm.Fabric
 }
@@ -131,6 +144,10 @@ func (c *Config) validate() error {
 	}
 	if c.GhostCount < 0 {
 		return fmt.Errorf("core: GhostCount %d must be >= 0", c.GhostCount)
+	}
+	if c.RequestTimeout < 0 || c.CollectiveTimeout < 0 {
+		return fmt.Errorf("core: timeouts must be >= 0 (RequestTimeout=%v CollectiveTimeout=%v)",
+			c.RequestTimeout, c.CollectiveTimeout)
 	}
 	return nil
 }

@@ -13,31 +13,63 @@ import (
 // response message in request order, RMI requests dispatch through the
 // registry. Copiers run for the life of the machine, independent of job
 // phases, so remote machines always make progress against this one.
+//
+// A malformed or truncated frame, or a failed response send, is a job
+// error, not a crash: the copier records it, aborts the current job (if
+// any), and keeps serving — later jobs must still find it alive.
 func (m *Machine) copierLoop() {
 	defer m.copierWG.Done()
 	for buf := range m.router.ReqQueue() {
-		h := buf.Header()
-		switch h.Type {
-		case comm.MsgWriteReq:
-			m.applyWrites(buf.Payload(), int(h.Count))
-			m.writesApplied.Add(int64(h.Count))
-			buf.Release()
-		case comm.MsgReadReq:
-			m.serveReads(h, buf.Payload())
-			buf.Release()
-		case comm.MsgRMIReq:
-			m.serveRMI(h, buf.Payload())
-			buf.Release()
-		default:
-			buf.Release()
-			panic(fmt.Sprintf("core: copier got unexpected frame type %v", h.Type))
+		if err := m.serveRequest(buf); err != nil {
+			m.ep.Metrics().RecordRecvError()
+			m.abortCurrent(fmt.Errorf("core: machine %d copier: %w", m.id, err))
 		}
+	}
+}
+
+// serveRequest dispatches one inbound request frame. The request buffer is
+// released on every exit path; response buffers are either handed to the
+// transport (which owns them from Send on, success or failure) or released
+// here before an error return.
+func (m *Machine) serveRequest(buf *comm.Buffer) error {
+	defer buf.Release()
+	h := buf.Header()
+	payload := buf.Payload()
+	switch h.Type {
+	case comm.MsgWriteReq:
+		if err := m.applyWrites(payload, int(h.Count)); err != nil {
+			return err
+		}
+		m.writesApplied.Add(int64(h.Count))
+		return nil
+	case comm.MsgReadReq:
+		return m.serveReads(h, payload)
+	case comm.MsgRMIReq:
+		return m.serveRMI(h, payload)
+	default:
+		return fmt.Errorf("unexpected frame type %v on request queue", h.Type)
 	}
 }
 
 // applyWrites decodes and applies count write records:
 // meta word (prop<<48 | op<<40 | offset) followed by the value word.
-func (m *Machine) applyWrites(payload []byte, count int) {
+// Records are validated before any is applied so a truncated or corrupt
+// frame surfaces as an error without a partial, out-of-bounds apply.
+func (m *Machine) applyWrites(payload []byte, count int) error {
+	if len(payload) < writeRecSize*count {
+		return fmt.Errorf("truncated write frame: %d records need %d bytes, have %d", count, writeRecSize*count, len(payload))
+	}
+	for i := 0; i < count; i++ {
+		meta := leU64(payload[writeRecSize*i:])
+		prop := PropID(meta >> 48)
+		offset := uint32(meta)
+		if int(prop) >= len(m.cols) || m.cols[prop] == nil {
+			return fmt.Errorf("write record %d names unknown property %d", i, prop)
+		}
+		if int(offset) >= len(m.cols[prop].vals) {
+			return fmt.Errorf("write record %d offset %d out of range for property %d", i, offset, prop)
+		}
+	}
 	for i := 0; i < count; i++ {
 		meta := leU64(payload[writeRecSize*i:])
 		word := leU64(payload[writeRecSize*i+8:])
@@ -46,6 +78,7 @@ func (m *Machine) applyWrites(payload []byte, count int) {
 		offset := uint32(meta)
 		m.cols[prop].applyWord(int(offset), op, word)
 	}
+	return nil
 }
 
 // serveReads builds the response for a read-request frame: one value word
@@ -54,7 +87,21 @@ func (m *Machine) applyWrites(payload []byte, count int) {
 // combining the records are already deduplicated — each word here may fan
 // out to many continuations on the requester, which is exactly where the
 // READ_RESP byte saving comes from.
-func (m *Machine) serveReads(h comm.Header, payload []byte) {
+func (m *Machine) serveReads(h comm.Header, payload []byte) error {
+	if len(payload) < readRecSize*int(h.Count) {
+		return fmt.Errorf("truncated read frame: %d records need %d bytes, have %d", h.Count, readRecSize*int(h.Count), len(payload))
+	}
+	for i := 0; i < int(h.Count); i++ {
+		rec := leU64(payload[readRecSize*i:])
+		prop := PropID(rec >> 48)
+		offset := uint32(rec)
+		if int(prop) >= len(m.cols) || m.cols[prop] == nil {
+			return fmt.Errorf("read record %d names unknown property %d", i, prop)
+		}
+		if int(offset) >= len(m.cols[prop].vals) {
+			return fmt.Errorf("read record %d offset %d out of range for property %d", i, offset, prop)
+		}
+	}
 	resp := m.respPool.Acquire()
 	resp.Reset(comm.Header{
 		Type:   comm.MsgReadResp,
@@ -70,24 +117,27 @@ func (m *Machine) serveReads(h comm.Header, payload []byte) {
 		resp.AppendU64(m.cols[prop].load(int(offset)))
 	}
 	if err := m.ep.Send(int(h.Src), resp); err != nil {
-		panic(fmt.Sprintf("core: machine %d copier responding to %d: %v", m.id, h.Src, err))
+		return fmt.Errorf("responding to %d: %w", h.Src, err)
 	}
+	return nil
 }
 
 // serveRMI dispatches a remote method invocation and sends its response.
 // Every RMI gets a response (possibly empty) so callers can await
 // completion; the method id travels in the aux high bits, the sequence
-// number in the low bits.
-func (m *Machine) serveRMI(h comm.Header, payload []byte) {
+// number in the low bits. A dispatch failure aborts the job — the caller's
+// abort-channel select (or request timeout) unblocks it, since no response
+// frame will come.
+func (m *Machine) serveRMI(h comm.Header, payload []byte) error {
 	method := uint32(h.Aux >> 32)
 	out, err := m.rmi.Dispatch(method, int(h.Src), payload)
 	if err != nil {
-		panic(fmt.Sprintf("core: machine %d: %v", m.id, err))
+		return err
 	}
 	resp := m.respPool.Acquire()
 	if len(out) > resp.Room() {
 		resp.Release()
-		panic(fmt.Sprintf("core: RMI response of %d bytes exceeds buffer size", len(out)))
+		return fmt.Errorf("RMI response of %d bytes exceeds buffer size", len(out))
 	}
 	resp.Reset(comm.Header{
 		Type:   comm.MsgRMIResp,
@@ -98,6 +148,7 @@ func (m *Machine) serveRMI(h comm.Header, payload []byte) {
 	})
 	resp.AppendBytes(out)
 	if err := m.ep.Send(int(h.Src), resp); err != nil {
-		panic(fmt.Sprintf("core: machine %d copier RMI response to %d: %v", m.id, h.Src, err))
+		return fmt.Errorf("RMI response to %d: %w", h.Src, err)
 	}
+	return nil
 }

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+)
+
+// faultCfg is the engine configuration the fault tests share: ghosting off so
+// every cross-partition read crosses the (faultable) wire, and short timeouts
+// so silent faults — drops, kills — resolve quickly.
+func faultCfg(p int) Config {
+	cfg := DefaultConfig(p)
+	cfg.GhostThreshold = GhostDisabled
+	cfg.RequestTimeout = 750 * time.Millisecond
+	cfg.CollectiveTimeout = 750 * time.Millisecond
+	cfg.BufferSize = 8 << 10
+	cfg.ReqBuffers = 2*cfg.Workers*cfg.NumMachines + 4
+	cfg.RespBuffers = 2*cfg.Copiers*cfg.NumMachines + 4
+	return cfg
+}
+
+// faultFabric wraps an inner fabric of the requested flavour in an injector.
+// The in-process inbox sizing mirrors NewCluster's own derivation (including
+// the abort pool's NumMachines+2 headroom) so channel sends can never block.
+func faultFabric(t testing.TB, cfg Config, useTCP bool, plan comm.FaultPlan) *comm.FaultInjector {
+	t.Helper()
+	var inner comm.Fabric
+	if useTCP {
+		f, err := comm.NewTCPFabric(cfg.NumMachines,
+			cfg.NumMachines*(cfg.ReqBuffers+cfg.Workers*cfg.NumMachines)+64, cfg.BufferSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner = f
+	} else {
+		perMachine := cfg.ReqBuffers + cfg.RespBuffers + 4*cfg.NumMachines + 8 + cfg.NumMachines + 2
+		inner = comm.NewInProcFabric(cfg.NumMachines, cfg.NumMachines*perMachine+16)
+	}
+	return comm.NewFaultInjector(inner, plan)
+}
+
+// eachFabric runs body over both transports.
+func eachFabric(t *testing.T, body func(t *testing.T, useTCP bool)) {
+	t.Run("inproc", func(t *testing.T) { body(t, false) })
+	t.Run("tcp", func(t *testing.T) { body(t, true) })
+}
+
+func faultGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.RMAT(8, 6, graph.TwitterLike(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runPull executes the pull-sum job against c, returning the job error. On
+// success it also checks the result against the single-machine reference.
+func runPull(t *testing.T, c *Cluster, g *graph.Graph, src, dst PropID, verify bool) error {
+	t.Helper()
+	vals := make([]float64, g.NumNodes())
+	for u := range vals {
+		vals[u] = float64(u%89) + 0.25
+	}
+	c.FillByNodeF64(src, func(v graph.NodeID) float64 { return vals[v] })
+	c.FillF64(dst, 0)
+	_, err := c.RunJob(JobSpec{
+		Name:      "fault-pull",
+		Iter:      IterInEdges,
+		Task:      &pullSumTask{src: src, dst: dst},
+		ReadProps: []PropID{src},
+	})
+	if err != nil || !verify {
+		return err
+	}
+	want := refPullSum(g, vals)
+	got := c.GatherF64(dst)
+	for u := range want {
+		if diff := got[u] - want[u]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("node %d: got %g, want %g", u, got[u], want[u])
+		}
+	}
+	return nil
+}
+
+// settleQuiescent polls until every pool has all buffers home.
+func settleQuiescent(t *testing.T, c *Cluster) {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		if c.PoolsQuiescent() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("buffer pools never returned to quiescence after fault")
+}
+
+// TestFaultHardFailAbortsJob: an injected hard send failure surfaces as an
+// ErrJobAborted-wrapped error from RunJob (no panic), every buffer comes
+// home, and once the fault clears the same cluster computes correct results.
+func TestFaultHardFailAbortsJob(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := faultGraph(t)
+		cfg := faultCfg(3)
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{Seed: 2, Rules: []comm.FaultRule{
+			{Src: comm.AnyMachine, Dst: comm.AnyMachine, Type: int(comm.MsgReadReq), Kind: comm.FaultFail, After: 0, Limit: 1},
+		}})
+		cfg.Fabric = inj
+		c := bootCluster(t, g, cfg)
+		defer inj.Close()
+		src, _ := c.AddPropF64("src")
+		dst, _ := c.AddPropF64("dst")
+
+		err := runPull(t, c, g, src, dst, false)
+		if err == nil {
+			t.Fatal("job succeeded despite injected send failure")
+		}
+		if !errors.Is(err, ErrJobAborted) {
+			t.Fatalf("error %v does not wrap ErrJobAborted", err)
+		}
+		settleQuiescent(t, c)
+
+		inj.ClearRules()
+		if err := runPull(t, c, g, src, dst, true); err != nil {
+			t.Fatalf("clean rerun after fault cleared: %v", err)
+		}
+		settleQuiescent(t, c)
+	})
+}
+
+// TestFaultDroppedResponseTimesOut: a silently dropped read response cannot
+// produce an error at the sender; the worker's request timeout must convert
+// the silence into a job abort.
+func TestFaultDroppedResponseTimesOut(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := faultGraph(t)
+		cfg := faultCfg(3)
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{Seed: 3, Rules: []comm.FaultRule{
+			{Src: comm.AnyMachine, Dst: comm.AnyMachine, Type: int(comm.MsgReadResp), Kind: comm.FaultDrop, After: 0, Limit: 1},
+		}})
+		cfg.Fabric = inj
+		c := bootCluster(t, g, cfg)
+		defer inj.Close()
+		src, _ := c.AddPropF64("src")
+		dst, _ := c.AddPropF64("dst")
+
+		err := runPull(t, c, g, src, dst, false)
+		if err == nil {
+			t.Fatal("job succeeded despite dropped response")
+		}
+		if !errors.Is(err, ErrJobAborted) {
+			t.Fatalf("error %v does not wrap ErrJobAborted", err)
+		}
+		if st := inj.Stats(); st.Dropped == 0 {
+			t.Error("no frame was actually dropped")
+		}
+		settleQuiescent(t, c)
+
+		inj.ClearRules()
+		if err := runPull(t, c, g, src, dst, true); err != nil {
+			t.Fatalf("clean rerun after fault cleared: %v", err)
+		}
+	})
+}
+
+// TestFaultDelayTolerated: latency below the timeouts is not a failure — the
+// job completes with correct results.
+func TestFaultDelayTolerated(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := faultGraph(t)
+		cfg := faultCfg(2)
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{Seed: 4, Rules: []comm.FaultRule{
+			{Src: comm.AnyMachine, Dst: comm.AnyMachine, Type: int(comm.MsgReadResp), Kind: comm.FaultDelay, Every: 8, Delay: time.Millisecond},
+		}})
+		cfg.Fabric = inj
+		c := bootCluster(t, g, cfg)
+		defer inj.Close()
+		src, _ := c.AddPropF64("src")
+		dst, _ := c.AddPropF64("dst")
+		if err := runPull(t, c, g, src, dst, true); err != nil {
+			t.Fatalf("job failed under tolerable delay: %v", err)
+		}
+		if st := inj.Stats(); st.Delayed == 0 {
+			t.Error("no frame was actually delayed")
+		}
+		settleQuiescent(t, c)
+	})
+}
+
+// TestFaultTruncatedResponseAborts: a truncated read response must fail
+// payload validation and abort the job — never index out of range.
+func TestFaultTruncatedResponseAborts(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := faultGraph(t)
+		cfg := faultCfg(3)
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{Seed: 6, Rules: []comm.FaultRule{
+			{Src: comm.AnyMachine, Dst: comm.AnyMachine, Type: int(comm.MsgReadResp), Kind: comm.FaultTruncate, After: 0, Limit: 1, TruncateTo: comm.HeaderSize},
+		}})
+		cfg.Fabric = inj
+		c := bootCluster(t, g, cfg)
+		defer inj.Close()
+		src, _ := c.AddPropF64("src")
+		dst, _ := c.AddPropF64("dst")
+
+		err := runPull(t, c, g, src, dst, false)
+		if err == nil {
+			t.Fatal("job succeeded despite truncated response")
+		}
+		if !errors.Is(err, ErrJobAborted) {
+			t.Fatalf("error %v does not wrap ErrJobAborted", err)
+		}
+		settleQuiescent(t, c)
+
+		inj.ClearRules()
+		if err := runPull(t, c, g, src, dst, true); err != nil {
+			t.Fatalf("clean rerun after fault cleared: %v", err)
+		}
+	})
+}
+
+// TestFaultCollectiveFailAborts: a hard failure on the control plane (the
+// collectives that sequence parallel regions and termination) aborts the job
+// cleanly too.
+func TestFaultCollectiveFailAborts(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := faultGraph(t)
+		cfg := faultCfg(3)
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{Seed: 5, Rules: []comm.FaultRule{
+			{Src: comm.AnyMachine, Dst: comm.AnyMachine, Type: int(comm.MsgCtrl), Kind: comm.FaultFail, After: 2, Limit: 1},
+		}})
+		cfg.Fabric = inj
+		c := bootCluster(t, g, cfg)
+		defer inj.Close()
+		src, _ := c.AddPropF64("src")
+		dst, _ := c.AddPropF64("dst")
+
+		err := runPull(t, c, g, src, dst, false)
+		if err == nil {
+			t.Fatal("job succeeded despite failed control frame")
+		}
+		if !errors.Is(err, ErrJobAborted) {
+			t.Fatalf("error %v does not wrap ErrJobAborted", err)
+		}
+		settleQuiescent(t, c)
+
+		inj.ClearRules()
+		if err := runPull(t, c, g, src, dst, true); err != nil {
+			t.Fatalf("clean rerun after fault cleared: %v", err)
+		}
+	})
+}
+
+// TestFaultKillMachineAborts: killing a machine mid-job (its sends fail,
+// frames toward it vanish) aborts the job via the surviving machines'
+// timeouts. The cluster still quiesces — no wedged pools, no leak.
+func TestFaultKillMachineAborts(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := faultGraph(t)
+		cfg := faultCfg(3)
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{Seed: 7, Rules: []comm.FaultRule{
+			{Src: 1, Dst: comm.AnyMachine, Type: comm.AnyType, Kind: comm.FaultKill, After: 2},
+		}})
+		cfg.Fabric = inj
+		c := bootCluster(t, g, cfg)
+		defer inj.Close()
+		src, _ := c.AddPropF64("src")
+		dst, _ := c.AddPropF64("dst")
+
+		err := runPull(t, c, g, src, dst, false)
+		if err == nil {
+			t.Fatal("job succeeded despite killed machine")
+		}
+		if !errors.Is(err, ErrJobAborted) {
+			t.Fatalf("error %v does not wrap ErrJobAborted", err)
+		}
+		if inj.Alive(1) {
+			t.Error("kill rule never fired")
+		}
+		settleQuiescent(t, c)
+	})
+}
+
+// TestFaultNoGoroutineLeak: a full fault-abort-shutdown cycle returns the
+// process to its original goroutine count — aborts must not strand workers,
+// copiers, senders, or watchers.
+func TestFaultNoGoroutineLeak(t *testing.T) {
+	g := faultGraph(t)
+	base := runtime.NumGoroutine()
+	for _, useTCP := range []bool{false, true} {
+		cfg := faultCfg(3)
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{Seed: 8, Rules: []comm.FaultRule{
+			{Src: comm.AnyMachine, Dst: comm.AnyMachine, Type: int(comm.MsgReadReq), Kind: comm.FaultFail, After: 0, Limit: 1},
+		}})
+		cfg.Fabric = inj
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Load(g); err != nil {
+			t.Fatal(err)
+		}
+		src, _ := c.AddPropF64("src")
+		dst, _ := c.AddPropF64("dst")
+		if err := runPull(t, c, g, src, dst, false); err == nil {
+			t.Fatal("job succeeded despite injected failure")
+		}
+		c.Shutdown()
+		inj.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

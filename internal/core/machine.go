@@ -22,13 +22,22 @@ type Machine struct {
 	id  int
 	cfg *Config
 
-	ep       comm.Endpoint
-	router   *comm.Router
-	col      *comm.Collectives
-	reqPool  *comm.Pool
-	respPool *comm.Pool
-	ctrlPool *comm.Pool
-	rmi      comm.RMIRegistry
+	ep        comm.Endpoint
+	router    *comm.Router
+	col       *comm.Collectives
+	reqPool   *comm.Pool
+	respPool  *comm.Pool
+	ctrlPool  *comm.Pool
+	abortPool *comm.Pool
+	rmi       comm.RMIRegistry
+
+	// curJob points at the running job's runtime while a parallel region is
+	// in flight, so goroutines outside the job's call tree (copiers, the
+	// abort watcher) can fail it. Nil between jobs.
+	curJob atomic.Pointer[jobRuntime]
+	// pendingAbort parks a remote abort announcement that raced ahead of
+	// the local job start; runJob claims it when the ids match.
+	pendingAbort atomic.Pointer[pendingAbort]
 
 	store      *localStore
 	ghostOwned []int64
@@ -83,7 +92,88 @@ func newMachine(cfg *Config, id int, ep comm.Endpoint) *Machine {
 	for cp := 0; cp < cfg.Copiers; cp++ {
 		go m.copierLoop()
 	}
+	// Small dedicated pool for outbound abort announcements: aborts must
+	// never compete with (possibly exhausted) request/response pools, and
+	// the payload is just an error string.
+	abortBuf := 512
+	if abortBuf > cfg.BufferSize {
+		abortBuf = cfg.BufferSize
+	}
+	m.abortPool = comm.NewPool(cfg.NumMachines+2, abortBuf)
+	m.copierWG.Add(1)
+	go m.abortWatcher()
 	return m
+}
+
+// pendingAbort records a MsgAbort that arrived for a job this machine has
+// not started yet (announcements can outrun the SPMD fan-out).
+type pendingAbort struct {
+	id  uint64
+	err error
+}
+
+// abortWatcher consumes inbound MsgAbort frames for the life of the
+// machine, failing the matching local job so no machine hangs waiting on a
+// peer that already gave up.
+func (m *Machine) abortWatcher() {
+	defer m.copierWG.Done()
+	for buf := range m.router.AbortQueue() {
+		h := buf.Header()
+		err := fmt.Errorf("core: machine %d aborted job %d: %s", h.Src, h.Aux, buf.Payload())
+		buf.Release()
+		if jr := m.curJob.Load(); jr != nil && jr.id == h.Aux {
+			jr.fail(err)
+		} else {
+			m.pendingAbort.Store(&pendingAbort{id: h.Aux, err: err})
+		}
+	}
+}
+
+// abortJob fails jr with err; the first failure on this machine announces
+// the abort to every peer so they stop waiting on us.
+func (m *Machine) abortJob(jr *jobRuntime, err error) {
+	if jr.fail(err) {
+		m.broadcastAbort(jr.id, err)
+	}
+}
+
+// abortCurrent fails whatever job is running, if any — the entry point for
+// goroutines (copiers) that serve traffic independent of job scope. With no
+// job in flight the error has no job to fail; it has already been counted
+// in the transport metrics.
+func (m *Machine) abortCurrent(err error) {
+	if jr := m.curJob.Load(); jr != nil {
+		m.abortJob(jr, err)
+	}
+}
+
+// broadcastAbort sends MsgAbort(jobID, err) to every peer, best-effort:
+// frames come from the small dedicated pool without blocking, and send
+// failures are ignored — a peer that misses the announcement still fails
+// via its request or collective timeout.
+func (m *Machine) broadcastAbort(jobID uint64, err error) {
+	msg := err.Error()
+	for d := 0; d < m.cfg.NumMachines; d++ {
+		if d == m.id {
+			continue
+		}
+		buf, ok := m.abortPool.TryAcquire()
+		if !ok {
+			return
+		}
+		buf.Reset(comm.Header{
+			Type:   comm.MsgAbort,
+			Worker: comm.CtrlWorker,
+			Src:    uint16(m.id),
+			Aux:    jobID,
+		})
+		text := msg
+		if room := buf.Room(); len(text) > room {
+			text = text[:room]
+		}
+		buf.AppendBytes([]byte(text))
+		m.ep.Send(d, buf) // ownership transferred; failure already released it
+	}
 }
 
 // load installs machine id's partition of g and precomputes scheduling
@@ -147,8 +237,19 @@ type machineJobStats struct {
 //     write has been applied by a copier somewhere
 //  6. ghost write merge: worker-private → machine (stage one), then
 //     machine partials → owner via an op-allreduce (stage two)
-func (m *Machine) runJob(spec *JobSpec) (machineJobStats, error) {
-	jr := &jobRuntime{spec: spec}
+// jobFail turns err into the job's failure: it is recorded (first error
+// wins), announced to peers, and the job's root cause — which may be an
+// earlier error from elsewhere — is returned as this machine's result.
+func (m *Machine) jobFail(jr *jobRuntime, err error) error {
+	m.abortJob(jr, err)
+	if root := jr.Err(); root != nil {
+		return root
+	}
+	return err
+}
+
+func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
+	jr := &jobRuntime{spec: spec, id: jobID, abortCh: make(chan struct{})}
 	switch spec.Iter {
 	case IterNodes:
 		jr.chunks = m.chunksNode
@@ -164,11 +265,27 @@ func (m *Machine) runJob(spec *JobSpec) (machineJobStats, error) {
 		jr.rows2, jr.refs2, jr.weights2 = m.store.inRows, m.store.inRefs, m.store.inWeights
 	}
 
+	// Publish the job before any traffic so copiers and the abort watcher
+	// can fail it, and point the collectives at its abort channel. A remote
+	// abort announcement may already be parked if a fast peer failed before
+	// we even got here.
+	m.curJob.Store(jr)
+	defer m.curJob.Store(nil)
+	if pa := m.pendingAbort.Swap(nil); pa != nil && pa.id == jobID {
+		jr.fail(pa.err)
+	}
+	m.col.SetAbort(jr.abortCh)
+	m.col.SetTimeout(m.cfg.CollectiveTimeout)
+	defer func() {
+		m.col.SetAbort(nil)
+		m.col.SetTimeout(0)
+	}()
+
 	numGhost := m.store.ghosts.Len()
 	if numGhost > 0 {
 		for _, p := range spec.ReadProps {
 			if err := m.syncGhostRead(p); err != nil {
-				return machineJobStats{}, err
+				return machineJobStats{}, m.jobFail(jr, err)
 			}
 		}
 		for _, ws := range spec.WriteProps {
@@ -184,7 +301,7 @@ func (m *Machine) runJob(spec *JobSpec) (machineJobStats, error) {
 	}
 
 	if err := m.col.Barrier(); err != nil {
-		return machineJobStats{}, err
+		return machineJobStats{}, m.jobFail(jr, err)
 	}
 	t0 := time.Now()
 
@@ -194,27 +311,45 @@ func (m *Machine) runJob(spec *JobSpec) (machineJobStats, error) {
 	}
 	jr.wg.Wait()
 
-	if err := m.col.Barrier(); err != nil {
+	// Workers unwound on failure without an error return path; the job
+	// runtime carries the root cause.
+	if err := jr.Err(); err != nil {
 		return machineJobStats{}, err
+	}
+
+	if err := m.col.Barrier(); err != nil {
+		return machineJobStats{}, m.jobFail(jr, err)
 	}
 
 	// Termination detection for buffered remote writes: cumulative sent
 	// counts are final once every machine passed the barrier above, so loop
-	// until the cluster-wide applied count catches up.
+	// until the cluster-wide applied count catches up. The deadline is the
+	// fault detector: a write frame lost on the wire would otherwise keep
+	// this loop (and hence the whole cluster) spinning forever.
+	var drainDeadline time.Time
+	if m.cfg.RequestTimeout > 0 {
+		drainDeadline = time.Now().Add(m.cfg.RequestTimeout)
+	}
 	for {
 		vals := []int64{m.writesSent.Load(), m.writesApplied.Load()}
 		if err := m.col.AllReduceI64(vals, reduce.Sum); err != nil {
-			return machineJobStats{}, err
+			return machineJobStats{}, m.jobFail(jr, err)
 		}
 		if vals[0] == vals[1] {
 			break
+		}
+		if err := jr.Err(); err != nil {
+			return machineJobStats{}, err
+		}
+		if !drainDeadline.IsZero() && time.Now().After(drainDeadline) {
+			return machineJobStats{}, m.jobFail(jr, fmt.Errorf("core: machine %d: write drain timed out after %v (sent=%d applied=%d)", m.id, m.cfg.RequestTimeout, vals[0], vals[1]))
 		}
 		runtime.Gosched()
 	}
 
 	if numGhost > 0 && len(spec.WriteProps) > 0 {
 		if err := m.mergeGhostWrites(jr); err != nil {
-			return machineJobStats{}, err
+			return machineJobStats{}, m.jobFail(jr, err)
 		}
 	}
 	total := time.Since(t0)
@@ -234,7 +369,7 @@ func (m *Machine) runJob(spec *JobSpec) (machineJobStats, error) {
 	}
 	tv := []int64{eMin, eMax, -eMax}
 	if err := m.col.AllReduceI64(tv, reduce.Min); err != nil {
-		return machineJobStats{}, err
+		return machineJobStats{}, m.jobFail(jr, err)
 	}
 	fully, minMachineEnd, jobEnd := tv[0], tv[1], -tv[2]
 	st := machineJobStats{duration: total}
@@ -379,14 +514,63 @@ func (m *Machine) Call(dst int, method uint32, payload []byte) ([]byte, error) {
 	if err := m.ep.Send(dst, buf); err != nil {
 		return nil, err
 	}
-	resp, ok := <-m.router.RMIResp()
-	if !ok {
-		return nil, fmt.Errorf("core: machine %d shut down during RMI", m.id)
+	var timeoutCh <-chan time.Time
+	if d := m.cfg.RequestTimeout; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeoutCh = t.C
 	}
-	out := make([]byte, len(resp.Payload()))
-	copy(out, resp.Payload())
-	resp.Release()
-	return out, nil
+	select {
+	case resp, ok := <-m.router.RMIResp():
+		if !ok {
+			return nil, fmt.Errorf("core: machine %d shut down during RMI", m.id)
+		}
+		out := make([]byte, len(resp.Payload()))
+		copy(out, resp.Payload())
+		resp.Release()
+		return out, nil
+	case <-timeoutCh:
+		return nil, fmt.Errorf("core: machine %d: RMI to machine %d timed out after %v", m.id, dst, m.cfg.RequestTimeout)
+	}
+}
+
+// drainStale releases any straggler frames parked in the machine's inbound
+// queues — late responses to aborted requests, leftover control frames from
+// collectives the peers never completed. Called only by the cluster's
+// post-abort recovery, when no job is in flight and the machine's main
+// goroutine and workers are idle (so this goroutine is the only receiver).
+func (m *Machine) drainStale() {
+	for _, w := range m.workers {
+		for {
+			select {
+			case buf, ok := <-w.respCh:
+				if !ok {
+					return
+				}
+				delete(w.stale, uint32(buf.Header().Aux))
+				buf.Release()
+				continue
+			default:
+			}
+			break
+		}
+	}
+	drain := func(ch <-chan *comm.Buffer) {
+		for {
+			select {
+			case buf, ok := <-ch:
+				if !ok {
+					return
+				}
+				buf.Release()
+				continue
+			default:
+			}
+			break
+		}
+	}
+	drain(m.router.Ctrl())
+	drain(m.router.RMIResp())
 }
 
 // shutdown stops the workers, copiers, and poller. Outstanding frames are

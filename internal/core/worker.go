@@ -39,6 +39,15 @@ type worker struct {
 	curSide [][]sideRec
 	seq     uint32
 
+	// stale holds the seqs of requests that were in flight when a job
+	// aborted. Their responses may still arrive (late, reordered, or served
+	// by a copier after the abort); matching them here lets the worker
+	// release and ignore them instead of treating them as protocol
+	// violations during the next job. Seqs are never reused (the counter is
+	// monotone for the worker's lifetime), so a stale seq cannot collide
+	// with a live one.
+	stale map[uint32]struct{}
+
 	// Read combining (duplicate remote-read elimination): dedup[dst] maps a
 	// packed (prop, offset) address to its record slot in the currently open
 	// read message toward dst. Repeated reads of the same address within one
@@ -109,6 +118,7 @@ func newWorker(m *Machine, id int) *worker {
 		readBufs:  make([]*comm.Buffer, m.cfg.NumMachines),
 		writeBufs: make([]*comm.Buffer, m.cfg.NumMachines),
 		sides:     make(map[uint32][]sideRec),
+		stale:     make(map[uint32]struct{}),
 		curSide:   make([][]sideRec, m.cfg.NumMachines),
 		combine:   !m.cfg.DisableReadCombining,
 		dedup:     make([]map[uint64]uint32, m.cfg.NumMachines),
@@ -132,7 +142,69 @@ func (w *worker) loop() {
 	}
 }
 
+// abortUnwind is the sentinel the worker panics with to unwind out of
+// arbitrarily nested task callbacks when its job aborts. Task callbacks
+// cannot return errors, so this is the only way to get from deep inside
+// Task.Run/ReadDone back to runJob's frame; the deferred recover there is
+// the sole handler, and any other panic value is re-raised untouched.
+type abortUnwind struct{}
+
+// fail records err as the job's root cause (first error wins, peers are
+// notified) and unwinds this worker out of the job. Never returns.
+func (w *worker) fail(err error) {
+	w.m.abortJob(w.job, err)
+	panic(abortUnwind{})
+}
+
+// unwind exits the job without contributing an error — used when the worker
+// merely observes an abort someone else initiated. Never returns.
+func (w *worker) unwind() {
+	panic(abortUnwind{})
+}
+
+// abortCleanup restores the worker's invariants after an abort unwound it
+// mid-job: partial request messages are released back to their pool,
+// in-flight seqs move to the stale set so their late responses are
+// recognized and dropped, and per-job state is reset so the next job starts
+// clean. Runs on the worker goroutine (from runJob's recover).
+func (w *worker) abortCleanup() {
+	for d := range w.readBufs {
+		if buf := w.readBufs[d]; buf != nil {
+			buf.Release()
+			w.readBufs[d] = nil
+		}
+		if buf := w.writeBufs[d]; buf != nil {
+			buf.Release()
+			w.writeBufs[d] = nil
+		}
+		if w.dedup[d] != nil {
+			clear(w.dedup[d])
+		}
+		if side := w.curSide[d]; side != nil {
+			w.sideRecycle(side)
+			w.curSide[d] = nil
+		}
+	}
+	for seq, side := range w.sides {
+		w.stale[seq] = struct{}{}
+		w.sideRecycle(side)
+		delete(w.sides, seq)
+	}
+	w.outstanding = 0
+	w.dedupHits, w.dedupMisses = 0, 0
+	w.endTime = time.Now()
+	w.job = nil
+}
+
 func (w *worker) runJob(jr *jobRuntime) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortUnwind); !ok {
+				panic(r) // a real bug, not a job abort — keep crashing
+			}
+			w.abortCleanup()
+		}
+	}()
 	w.job = jr
 	w.cols = w.m.cols
 	w.ctx.weights = jr.weights
@@ -154,6 +226,9 @@ func (w *worker) runJob(jr *jobRuntime) {
 		chunkIdx := int(jr.cursor.Add(1)) - 1
 		if chunkIdx >= len(jr.chunks) {
 			break
+		}
+		if jr.aborted() {
+			w.unwind()
 		}
 		ch := jr.chunks[chunkIdx]
 		for node := ch.Begin; node < ch.End; node++ {
@@ -199,16 +274,20 @@ func (w *worker) runJob(jr *jobRuntime) {
 	// repeats before every blocking wait.
 	w.flushAll()
 	for w.outstanding > 0 {
-		buf, ok := <-w.respCh
-		if !ok {
-			break // shutdown
+		if jr.aborted() {
+			w.unwind()
 		}
+		buf := w.awaitResponse()
 		w.processResponse(buf)
 		w.drainResponses()
 		w.flushAll()
 	}
 	if len(w.sides) != 0 {
-		panic(fmt.Sprintf("core: machine %d worker %d finished job with %d dangling side structures", w.m.id, w.id, len(w.sides)))
+		// Bookkeeping broke (outstanding hit zero with side structures still
+		// registered): fail the job rather than crash — abortCleanup parks
+		// the dangling seqs in the stale set so any response that does show
+		// up later is dropped instead of corrupting the next job.
+		w.fail(fmt.Errorf("core: machine %d worker %d finished job with %d dangling side structures", w.m.id, w.id, len(w.sides)))
 	}
 	if w.dedupHits != 0 || w.dedupMisses != 0 {
 		w.m.ep.Metrics().RecordReadDedup(w.dedupHits, w.dedupMisses, dedupSavedPerHit*w.dedupHits)
@@ -231,6 +310,32 @@ func (w *worker) drainResponses() {
 			return
 		}
 	}
+}
+
+// awaitResponse blocks for the next response frame while staying receptive
+// to the two ways a faulted job ends: the job's abort channel closing (a
+// peer or another local goroutine hit an error) and the request timeout
+// expiring (a dropped frame or dead peer produces no error, only silence).
+// Returns a frame or unwinds; never returns nil.
+func (w *worker) awaitResponse() *comm.Buffer {
+	var timeoutCh <-chan time.Time
+	if d := w.m.cfg.RequestTimeout; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case buf, ok := <-w.respCh:
+		if !ok {
+			w.fail(fmt.Errorf("core: machine %d worker %d: shutdown while awaiting %d response frame(s)", w.m.id, w.id, w.outstanding))
+		}
+		return buf
+	case <-w.job.abortCh:
+		w.unwind()
+	case <-timeoutCh:
+		w.fail(fmt.Errorf("core: machine %d worker %d: timed out after %v awaiting %d response frame(s)", w.m.id, w.id, w.m.cfg.RequestTimeout, w.outstanding))
+	}
+	return nil // unreachable: every branch above returns or unwinds
 }
 
 // drainResponsesSafe is drainResponses with the context saved and restored:
@@ -258,7 +363,13 @@ func (w *worker) processResponse(buf *comm.Buffer) {
 	side, ok := w.sides[seq]
 	if !ok {
 		buf.Release()
-		panic(fmt.Sprintf("core: machine %d worker %d: response with unknown seq %d", w.m.id, w.id, seq))
+		if _, wasStale := w.stale[seq]; wasStale {
+			// A straggler from an aborted job: its side structure was
+			// recycled during cleanup, so just drop the frame.
+			delete(w.stale, seq)
+			return
+		}
+		w.fail(fmt.Errorf("core: machine %d worker %d: response with unknown seq %d", w.m.id, w.id, seq))
 	}
 	delete(w.sides, seq)
 	w.outstanding--
@@ -274,6 +385,18 @@ func (w *worker) processResponse(buf *comm.Buffer) {
 		// be longer under read combining. Each record's slot picks its word,
 		// so one response word fans out to every continuation that waited on
 		// the same (prop, offset) — still in request order.
+		//
+		// Validate every slot before running any continuation: a truncated
+		// frame (wire fault) must surface as a job error, not an
+		// index-out-of-range crash halfway through the fan-out.
+		words := len(payload) / 8
+		for i := range side {
+			if int(side[i].slot) >= words {
+				w.sideRecycle(side)
+				w.payloadRecycle(payload)
+				w.fail(fmt.Errorf("core: machine %d worker %d: truncated read response (seq %d: slot %d, %d words)", w.m.id, w.id, seq, side[i].slot, words))
+			}
+		}
 		for i := range side {
 			r := &side[i]
 			ctx.Node = r.node
@@ -283,17 +406,21 @@ func (w *worker) processResponse(buf *comm.Buffer) {
 			w.job.spec.Task.ReadDone(ctx, leU64(payload[8*int(r.slot):]))
 		}
 	case comm.MsgRMIResp:
+		rt, isRMI := w.job.spec.Task.(RMITask)
+		if !isRMI || len(side) == 0 {
+			w.sideRecycle(side)
+			w.payloadRecycle(payload)
+			w.fail(fmt.Errorf("core: machine %d worker %d: unexpected RMI response (seq %d)", w.m.id, w.id, seq))
+		}
 		ctx.Node = side[0].node
 		ctx.Aux = side[0].aux
 		ctx.nbr = 0
 		ctx.edge = -1
-		rt, ok := w.job.spec.Task.(RMITask)
-		if !ok {
-			panic("core: RMI response for a task without RMIDone")
-		}
 		rt.RMIDone(ctx, payload)
 	default:
-		panic(fmt.Sprintf("core: worker got unexpected frame type %v", typ))
+		w.sideRecycle(side)
+		w.payloadRecycle(payload)
+		w.fail(fmt.Errorf("core: machine %d worker %d: unexpected frame type %v on response queue", w.m.id, w.id, typ))
 	}
 	w.sideRecycle(side)
 	w.payloadRecycle(payload)
@@ -351,6 +478,12 @@ func (w *worker) acquireReq() *comm.Buffer {
 	}
 	saved := w.ctx
 	defer func() { w.ctx = saved }()
+	var timeoutCh <-chan time.Time
+	if d := w.m.cfg.RequestTimeout; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
 	for {
 		// Under back-pressure a stalled worker must not sit on buffers, or
 		// all workers could hold every pooled buffer as partials while each
@@ -365,12 +498,16 @@ func (w *worker) acquireReq() *comm.Buffer {
 			return buf
 		case resp, ok := <-w.respCh:
 			if !ok {
-				panic("core: shutdown while acquiring request buffer")
+				w.fail(fmt.Errorf("core: machine %d worker %d: shutdown while acquiring request buffer", w.m.id, w.id))
 			}
 			w.processResponse(resp)
 			if buf, ok := pool.TryAcquire(); ok {
 				return buf
 			}
+		case <-w.job.abortCh:
+			w.unwind()
+		case <-timeoutCh:
+			w.fail(fmt.Errorf("core: machine %d worker %d: timed out after %v acquiring request buffer (%d responses outstanding)", w.m.id, w.id, w.m.cfg.RequestTimeout, w.outstanding))
 		}
 	}
 }
@@ -469,7 +606,7 @@ func (w *worker) bufferRMI(dst int, method uint32, payload []byte, node uint32, 
 	buf := w.acquireReq()
 	if len(payload) > buf.Room() {
 		buf.Release()
-		panic(fmt.Sprintf("core: RMI payload of %d bytes exceeds buffer size", len(payload)))
+		w.fail(fmt.Errorf("core: RMI payload of %d bytes exceeds buffer size", len(payload)))
 	}
 	w.seq++
 	buf.Reset(comm.Header{
@@ -524,9 +661,12 @@ func (w *worker) flushAll() {
 	}
 }
 
+// mustSend ships a frame or fails the job. The transport owns (and on
+// failure has already released) the buffer either way, so there is nothing
+// to clean up here beyond aborting.
 func (w *worker) mustSend(dst int, buf *comm.Buffer) {
 	if err := w.m.ep.Send(dst, buf); err != nil {
-		panic(fmt.Sprintf("core: machine %d worker %d send to %d: %v", w.m.id, w.id, dst, err))
+		w.fail(fmt.Errorf("core: machine %d worker %d send to %d: %w", w.m.id, w.id, dst, err))
 	}
 }
 
@@ -546,6 +686,49 @@ type jobRuntime struct {
 	weights2 []float64
 	cursor   atomic.Int64
 	wg       sync.WaitGroup
+
+	// id is the cluster-wide job sequence number, carried in MsgAbort
+	// frames so a machine never aborts the wrong job on a stale
+	// announcement.
+	id uint64
+	// abortCh closes when the job fails anywhere (locally or on a peer);
+	// workers, collectives, and the machine main goroutine all select on
+	// it. abortErr holds the root cause — the first error wins, later ones
+	// are dropped.
+	abortCh  chan struct{}
+	failOnce sync.Once
+	abortErr atomic.Pointer[error]
+}
+
+// fail records err as the job's root cause and releases everyone selecting
+// on abortCh. Reports whether this call was the first (the winner is the
+// one that must announce the abort to peers).
+func (jr *jobRuntime) fail(err error) bool {
+	won := false
+	jr.failOnce.Do(func() {
+		jr.abortErr.Store(&err)
+		close(jr.abortCh)
+		won = true
+	})
+	return won
+}
+
+// Err returns the job's root-cause error, or nil while the job is healthy.
+func (jr *jobRuntime) Err() error {
+	if p := jr.abortErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// aborted reports whether the job has failed, without blocking.
+func (jr *jobRuntime) aborted() bool {
+	select {
+	case <-jr.abortCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // leU64 decodes a little-endian uint64 at the start of p.

@@ -103,13 +103,19 @@ type TopVertex struct {
 	Value float64 `json:"value"`
 }
 
-// ServerStats reports server-level accounting.
+// ServerStats reports server-level accounting. FailedRuns counts analyses
+// that returned an error (including engine job aborts); TransportErrors
+// sums failed socket writes and rejected inbound frames across all loaded
+// instances' fabrics — nonzero values mean the engine has been absorbing
+// wire faults rather than crashing.
 type ServerStats struct {
-	LoadedGraphs   int   `json:"loaded_graphs"`
-	ResidentEdges  int64 `json:"resident_edges"`
-	MaxEdges       int64 `json:"max_edges"`
-	RunsServed     int64 `json:"runs_served"`
-	ActiveAnalyses int   `json:"active_analyses"`
+	LoadedGraphs    int   `json:"loaded_graphs"`
+	ResidentEdges   int64 `json:"resident_edges"`
+	MaxEdges        int64 `json:"max_edges"`
+	RunsServed      int64 `json:"runs_served"`
+	FailedRuns      int64 `json:"failed_runs"`
+	ActiveAnalyses  int   `json:"active_analyses"`
+	TransportErrors int64 `json:"transport_errors"`
 }
 
 // encode writes v as one JSON line.

@@ -70,6 +70,7 @@ type Server struct {
 
 	runSem     chan struct{}
 	runsServed atomic.Int64
+	failedRuns atomic.Int64
 	active     atomic.Int64
 
 	wg     sync.WaitGroup
@@ -323,6 +324,9 @@ func (s *Server) handleRun(req *Request) Response {
 	start := time.Now()
 	result, err := runAlgo(inst, req)
 	if err != nil {
+		// Engine-level job aborts (transport faults, timeouts) surface here
+		// as error responses — the server and its other instances stay up.
+		s.failedRuns.Add(1)
 		return errResp("%s on %s: %v", req.Algo, req.Graph, err)
 	}
 	result.Millis = float64(time.Since(start).Microseconds()) / 1000
@@ -520,11 +524,18 @@ func (s *Server) handleDrop(req *Request) Response {
 func (s *Server) handleStats() Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var transportErrors int64
+	for _, inst := range s.instances {
+		snap := inst.cluster.TrafficSnapshot()
+		transportErrors += snap.SendErrors + snap.RecvErrors
+	}
 	return Response{OK: true, Stats: &ServerStats{
-		LoadedGraphs:   len(s.instances),
-		ResidentEdges:  s.resident,
-		MaxEdges:       s.cfg.MaxResidentEdges,
-		RunsServed:     s.runsServed.Load(),
-		ActiveAnalyses: int(s.active.Load()),
+		LoadedGraphs:    len(s.instances),
+		ResidentEdges:   s.resident,
+		MaxEdges:        s.cfg.MaxResidentEdges,
+		RunsServed:      s.runsServed.Load(),
+		FailedRuns:      s.failedRuns.Load(),
+		ActiveAnalyses:  int(s.active.Load()),
+		TransportErrors: transportErrors,
 	}}
 }

@@ -109,6 +109,95 @@ func NewTCPFabricOpts(cfg Config, opts TCPOptions) (comm.Fabric, error) {
 	return comm.NewTCPFabricOpts(cfg.NumMachines, cfg.NumMachines*pool+64, cfg.BufferSize, opts)
 }
 
+// --- failure model and fault injection ----------------------------------------
+
+// ErrJobAborted wraps every error returned for a job that started and then
+// failed (transport fault, timeout, dead machine, protocol violation). Test
+// with errors.Is; the root cause stays in the chain. After an aborted job
+// the cluster has recovered and the next job starts clean, but property
+// values the failed job touched are undefined.
+var ErrJobAborted = core.ErrJobAborted
+
+// ErrAborted is the sentinel inside collective operations interrupted by a
+// job abort; ErrTimeout marks a collective or request wait that expired.
+var (
+	ErrAborted = comm.ErrAborted
+	ErrTimeout = comm.ErrTimeout
+)
+
+// FaultKind selects what a fault rule does to a matching frame.
+type FaultKind = comm.FaultKind
+
+// Fault kinds.
+const (
+	FaultDrop     = comm.FaultDrop
+	FaultDelay    = comm.FaultDelay
+	FaultTruncate = comm.FaultTruncate
+	FaultFail     = comm.FaultFail
+	FaultKill     = comm.FaultKill
+)
+
+// FaultRule matches frames by (src, dst, type) and applies a fault; see
+// comm.FaultRule for the trigger fields (After, Every, Limit, Prob).
+type FaultRule = comm.FaultRule
+
+// FaultPlan is a seeded, deterministic set of fault rules.
+type FaultPlan = comm.FaultPlan
+
+// FaultStats counts the faults an injector actually applied.
+type FaultStats = comm.FaultStats
+
+// AnyMachine (as FaultRule.Src/Dst) and AnyType (as FaultRule.Type) match
+// every machine or message type.
+const (
+	AnyMachine = comm.AnyMachine
+	AnyType    = comm.AnyType
+)
+
+// MsgType identifies a wire frame's type, for targeting FaultRule.Type at
+// one kind of traffic (cast to int in the rule).
+type MsgType = comm.MsgType
+
+// Message types carried by the engine's transport.
+const (
+	MsgReadReq  = comm.MsgReadReq
+	MsgReadResp = comm.MsgReadResp
+	MsgWriteReq = comm.MsgWriteReq
+	MsgRMIReq   = comm.MsgRMIReq
+	MsgRMIResp  = comm.MsgRMIResp
+	MsgCtrl     = comm.MsgCtrl
+	MsgAbort    = comm.MsgAbort
+)
+
+// Ghost-threshold sentinels for Config.GhostThreshold.
+const (
+	GhostDisabled = core.GhostDisabled
+	GhostAuto     = core.GhostAuto
+)
+
+// FaultInjector wraps a fabric and applies a FaultPlan to its traffic.
+type FaultInjector = comm.FaultInjector
+
+// NewFaultFabric wraps inner (e.g. a fabric from NewTCPFabric, or nil for a
+// fresh in-process fabric sized for cfg) with deterministic fault
+// injection. Assign the returned injector to cfg.Fabric; use its Kill,
+// ClearRules, and Stats methods to drive test scenarios.
+func NewFaultFabric(cfg Config, inner comm.Fabric, plan FaultPlan) *FaultInjector {
+	if inner == nil {
+		pool := cfg.ReqBuffers
+		if pool == 0 {
+			pool = 2*cfg.Workers*cfg.NumMachines + 4
+		}
+		respPool := cfg.RespBuffers
+		if respPool == 0 {
+			respPool = 2*cfg.Copiers*cfg.NumMachines + 4
+		}
+		perMachine := pool + respPool + 4*cfg.NumMachines + 8 + cfg.NumMachines + 2
+		inner = comm.NewInProcFabric(cfg.NumMachines, cfg.NumMachines*perMachine+16)
+	}
+	return comm.NewFaultInjector(inner, plan)
+}
+
 // --- custom kernel API ---------------------------------------------------------
 
 // Ctx is the execution context passed to Task callbacks.
