@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race faults ci bench-comm bench-faults
+.PHONY: build test vet race faults ci bench-comm bench-faults obs
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrency-heavy packages: the comm fabrics
-# (async senders, routers, collectives) and the engine core (workers,
-# copiers, read combining).
+# (async senders, routers, collectives), the engine core (workers, copiers,
+# read combining), and the observability registry (atomic counters, span
+# rings, snapshot-and-reset).
 race:
-	$(GO) test -race ./internal/comm/... ./internal/core/...
+	$(GO) test -race ./internal/comm/... ./internal/core/... ./internal/obs/...
 
 # Fault-injection suite under the race detector: every TestFault* case
 # (injector semantics, job aborts over both fabrics, recovery, leak checks).
@@ -32,3 +33,9 @@ bench-comm:
 # against PageRank, asserting errors surface and buffers come home.
 bench-faults:
 	$(GO) run ./cmd/pgxd-bench -exp faults -machines 1,2 -scale 10
+
+# Observability experiment: instrumentation overhead (registry off vs. on),
+# a fully traced PageRank over TCP (spans + traffic matrix), and the abort
+# flight recorder under fault injection. Writes BENCH_obs.json.
+obs:
+	$(GO) run ./cmd/pgxd-bench -exp obs -obs-out BENCH_obs.json

@@ -26,8 +26,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults)")
+		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs)")
 		commOut  = flag.String("comm-out", "BENCH_comm.json", "output path for the comm experiment's JSON report")
+		obsOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the observability experiment's JSON report")
+		obsRun   = flag.Bool("obs", false, "also run the observability experiment and write its report")
 		scale    = flag.Int("scale", bench.DefaultScale, "graph scale: datasets have 2^scale nodes")
 		machines = flag.String("machines", "1,2,4", "comma-separated machine counts for sweeps")
 		workers  = flag.Int("workers", 4, "worker goroutines per machine")
@@ -203,6 +205,28 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "comm: report written to %s\n", *commOut)
+		}
+	}
+	// The observability experiment measures the engine's own instrumentation
+	// (overhead, trace spans, traffic matrix, abort flight recorder); it runs
+	// when named explicitly or requested alongside other experiments via -obs.
+	if *exp == "obs" || *obsRun {
+		ran = true
+		p := machineCounts[len(machineCounts)-1]
+		tbl, rep, err := bench.ExpObs(ds, *scale, p, *prIters, progress)
+		if err != nil {
+			fatalf("obs: %v", err)
+		}
+		fmt.Println(tbl)
+		if rep.LastJob != nil {
+			fmt.Println("last superstep traffic matrix:")
+			fmt.Println(rep.LastJob.TrafficMatrixString())
+		}
+		if err := rep.WriteJSON(*obsOut); err != nil {
+			fatalf("obs: writing %s: %v", *obsOut, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "obs: report written to %s\n", *obsOut)
 		}
 	}
 	if !ran {

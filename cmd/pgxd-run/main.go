@@ -34,6 +34,7 @@ func main() {
 		threshold = flag.Float64("threshold", 1e-7, "delta threshold for pagerank-approx")
 		top       = flag.Int("top", 5, "print the top-N vertices by result value")
 		tcp       = flag.Bool("tcp", false, "run over loopback TCP instead of in-process channels")
+		obsOn     = flag.Bool("obs", false, "attach the observability registry and print a per-job report")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -48,6 +49,9 @@ func main() {
 	cfg := pgxd.DefaultConfig(*machines)
 	cfg.Workers = *workers
 	cfg.Copiers = *copiers
+	if *obsOn {
+		cfg.Obs = pgxd.NewObsRegistry()
+	}
 	if *tcp {
 		fabric, err := pgxd.NewTCPFabric(cfg)
 		if err != nil {
@@ -98,12 +102,19 @@ func main() {
 		fatalf("unknown -algo %q", *algo)
 	}
 	if err != nil {
+		if dump := cluster.LastAbortDump(); dump != nil {
+			fmt.Fprintln(os.Stderr, dump.Summary())
+		}
 		fatalf("%s: %v", *algo, err)
 	}
 
 	fmt.Printf("done: %d iterations, %d jobs, %v total (%v per iteration)\n",
 		met.Iterations, met.Jobs, met.Total.Round(10e3), met.PerIteration().Round(10e3))
 	fmt.Printf("traffic: %s\n", met.Traffic)
+	if rep := cluster.LastJobReport(); rep != nil {
+		fmt.Printf("obs: %s\n", rep.Line())
+		fmt.Println(rep.TrafficMatrixString())
+	}
 	printTop(*algo, f64s, i64s, *top)
 }
 

@@ -33,6 +33,8 @@ func main() {
 		maxEdges    = flag.Int64("max-edges", 64<<20, "resident edge budget across loaded graphs")
 		maxAnalyses = flag.Int("max-analyses", 2, "concurrently running analyses")
 		machines    = flag.Int("machines", 4, "default simulated machines per graph")
+		debugAddr   = flag.String("debug-addr", "", "HTTP listen address for /debug/metrics, /debug/trace, /debug/abort, /debug/pprof (empty disables)")
+		noObs       = flag.Bool("no-obs", false, "disable per-graph observability registries")
 	)
 	flag.Parse()
 	s, err := server.New(server.Config{
@@ -40,12 +42,17 @@ func main() {
 		MaxResidentEdges:      *maxEdges,
 		MaxConcurrentAnalyses: *maxAnalyses,
 		DefaultMachines:       *machines,
+		DebugAddr:             *debugAddr,
+		DisableObservability:  *noObs,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pgxd-server: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "pgxd-server listening on %s\n", s.Addr())
+	if d := s.DebugAddr(); d != "" {
+		fmt.Fprintf(os.Stderr, "pgxd-server debug HTTP on http://%s/debug/metrics\n", d)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

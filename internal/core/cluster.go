@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/reduce"
 )
@@ -57,16 +58,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.fabric = comm.NewInProcFabric(cfg.NumMachines, cfg.NumMachines*perMachine+16)
 		c.ownFabric = true
 	}
+	// Size the registry before any endpoint wrapping so record paths find
+	// their machine slots from the first frame.
+	c.cfg.Obs.Attach(cfg.NumMachines)
 	c.machines = make([]*Machine, cfg.NumMachines)
 	for m := 0; m < cfg.NumMachines; m++ {
 		ep, err := c.fabric.Endpoint(m)
 		if err != nil {
 			return nil, fmt.Errorf("core: machine %d endpoint: %w", m, err)
 		}
+		if c.cfg.Obs != nil {
+			ep = obs.WrapEndpoint(ep, c.cfg.Obs)
+		}
 		c.machines[m] = newMachine(&c.cfg, m, ep)
 	}
 	return c, nil
 }
+
+// Obs returns the cluster's observability registry, or nil when disabled.
+func (c *Cluster) Obs() *obs.Registry { return c.cfg.Obs }
 
 // Config returns the cluster's (normalized) configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -226,6 +236,7 @@ func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
 	results := make([]machineJobStats, len(c.machines))
 	c.jobSeq++
 	jobID := c.jobSeq
+	c.cfg.Obs.BeginJob(jobID, spec.Name)
 	start := time.Now()
 	err := c.parallel(func(m *Machine) error {
 		st, err := m.runJob(&spec, jobID)
@@ -234,8 +245,12 @@ func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
 	})
 	if err != nil {
 		c.recoverAfterAbort()
+		// The flight recorder snapshots after recovery so it sees the final
+		// counter state of everything that did arrive before the abort.
+		c.cfg.Obs.RecordAbort(jobID, spec.Name, err)
 		return JobStats{}, fmt.Errorf("job %q: %w: %w", spec.Name, ErrJobAborted, err)
 	}
+	c.cfg.Obs.EndJob(jobID, time.Since(start))
 	stats := JobStats{
 		Duration:  time.Since(start),
 		Traffic:   c.TrafficSnapshot().Sub(before),

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -81,6 +82,12 @@ type Config struct {
 	CollectiveTimeout time.Duration
 	// Fabric supplies the transport. Nil creates an in-process fabric.
 	Fabric comm.Fabric
+	// Obs attaches the observability registry: per-job counters, trace
+	// spans, the traffic matrix, and the abort flight recorder. Nil (the
+	// default) disables observability entirely — instrumentation sites
+	// reduce to a nil check and endpoints stay unwrapped, so the engine's
+	// hot path is unchanged.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns a laptop-scale configuration for p machines,

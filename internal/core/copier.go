@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/reduce"
 )
 
@@ -19,9 +21,28 @@ import (
 // any), and keeps serving — later jobs must still find it alive.
 func (m *Machine) copierLoop() {
 	defer m.copierWG.Done()
+	reg := m.cfg.Obs
 	for buf := range m.router.ReqQueue() {
-		if err := m.serveRequest(buf); err != nil {
+		if reg == nil {
+			if err := m.serveRequest(buf); err != nil {
+				m.ep.Metrics().RecordRecvError()
+				m.abortCurrent(fmt.Errorf("core: machine %d copier: %w", m.id, err))
+			}
+			continue
+		}
+		h := buf.Header()
+		src, typ := uint64(h.Src), uint64(h.Type)
+		var jobID uint64
+		if jr := m.curJob.Load(); jr != nil {
+			jobID = jr.id
+		}
+		t := reg.Clock()
+		err := m.serveRequest(buf)
+		reg.Span(m.id, obs.WorkerCopier, obs.SpanCopierServe, jobID, t, src<<48|typ)
+		reg.Observe(m.id, obs.HistServe, time.Duration(reg.Clock()-t))
+		if err != nil {
 			m.ep.Metrics().RecordRecvError()
+			reg.Add(m.id, obs.CtrRecvErrors, 1)
 			m.abortCurrent(fmt.Errorf("core: machine %d copier: %w", m.id, err))
 		}
 	}
@@ -41,11 +62,20 @@ func (m *Machine) serveRequest(buf *comm.Buffer) error {
 			return err
 		}
 		m.writesApplied.Add(int64(h.Count))
+		m.cfg.Obs.Add(m.id, obs.CtrWritesApplied, int64(h.Count))
 		return nil
 	case comm.MsgReadReq:
-		return m.serveReads(h, payload)
+		if err := m.serveReads(h, payload); err != nil {
+			return err
+		}
+		m.cfg.Obs.Add(m.id, obs.CtrReadsServed, int64(h.Count))
+		return nil
 	case comm.MsgRMIReq:
-		return m.serveRMI(h, payload)
+		if err := m.serveRMI(h, payload); err != nil {
+			return err
+		}
+		m.cfg.Obs.Add(m.id, obs.CtrRMIServed, 1)
+		return nil
 	default:
 		return fmt.Errorf("unexpected frame type %v on request queue", h.Type)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/reduce"
 )
@@ -237,6 +238,7 @@ type machineJobStats struct {
 //     write has been applied by a copier somewhere
 //  6. ghost write merge: worker-private → machine (stage one), then
 //     machine partials → owner via an op-allreduce (stage two)
+//
 // jobFail turns err into the job's failure: it is recorded (first error
 // wins), announced to peers, and the job's root cause — which may be an
 // earlier error from elsewhere — is returned as this machine's result.
@@ -248,8 +250,28 @@ func (m *Machine) jobFail(jr *jobRuntime, err error) error {
 	return err
 }
 
+// obsBarrier wraps one collective barrier with a span + histogram sample
+// when observability is attached. arg distinguishes the pre-task (0) and
+// post-task (1) barriers in the trace.
+func (m *Machine) obsBarrier(jobID, arg uint64) error {
+	reg := m.cfg.Obs
+	if reg == nil {
+		return m.col.Barrier()
+	}
+	t := reg.Clock()
+	err := m.col.Barrier()
+	reg.Span(m.id, obs.WorkerMain, obs.SpanBarrier, jobID, t, arg)
+	reg.Observe(m.id, obs.HistBarrier, time.Duration(reg.Clock()-t))
+	return err
+}
+
 func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	jr := &jobRuntime{spec: spec, id: jobID, abortCh: make(chan struct{})}
+	reg := m.cfg.Obs
+	jobClock := reg.Clock()
+	if reg != nil {
+		defer func() { reg.Span(m.id, obs.WorkerMain, obs.SpanJob, jobID, jobClock, 0) }()
+	}
 	switch spec.Iter {
 	case IterNodes:
 		jr.chunks = m.chunksNode
@@ -284,9 +306,11 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	numGhost := m.store.ghosts.Len()
 	if numGhost > 0 {
 		for _, p := range spec.ReadProps {
+			syncClock := reg.Clock()
 			if err := m.syncGhostRead(p); err != nil {
 				return machineJobStats{}, m.jobFail(jr, err)
 			}
+			reg.Span(m.id, obs.WorkerMain, obs.SpanGhostReadSync, jobID, syncClock, uint64(p))
 		}
 		for _, ws := range spec.WriteProps {
 			col := m.cols[ws.Prop]
@@ -300,16 +324,18 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 		}
 	}
 
-	if err := m.col.Barrier(); err != nil {
+	if err := m.obsBarrier(jobID, 0); err != nil {
 		return machineJobStats{}, m.jobFail(jr, err)
 	}
 	t0 := time.Now()
+	taskClock := reg.Clock()
 
 	jr.wg.Add(len(m.workers))
 	for _, w := range m.workers {
 		w.jobCh <- jr
 	}
 	jr.wg.Wait()
+	reg.Span(m.id, obs.WorkerMain, obs.SpanTaskPhase, jobID, taskClock, 0)
 
 	// Workers unwound on failure without an error return path; the job
 	// runtime carries the root cause.
@@ -317,7 +343,7 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 		return machineJobStats{}, err
 	}
 
-	if err := m.col.Barrier(); err != nil {
+	if err := m.obsBarrier(jobID, 1); err != nil {
 		return machineJobStats{}, m.jobFail(jr, err)
 	}
 
@@ -330,6 +356,7 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	if m.cfg.RequestTimeout > 0 {
 		drainDeadline = time.Now().Add(m.cfg.RequestTimeout)
 	}
+	drainClock := reg.Clock()
 	for {
 		vals := []int64{m.writesSent.Load(), m.writesApplied.Load()}
 		if err := m.col.AllReduceI64(vals, reduce.Sum); err != nil {
@@ -346,11 +373,14 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 		}
 		runtime.Gosched()
 	}
+	reg.Span(m.id, obs.WorkerMain, obs.SpanWriteDrain, jobID, drainClock, 0)
 
 	if numGhost > 0 && len(spec.WriteProps) > 0 {
+		mergeClock := reg.Clock()
 		if err := m.mergeGhostWrites(jr); err != nil {
 			return machineJobStats{}, m.jobFail(jr, err)
 		}
+		reg.Span(m.id, obs.WorkerMain, obs.SpanGhostMerge, jobID, mergeClock, 0)
 	}
 	total := time.Since(t0)
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/reduce"
 )
@@ -86,6 +87,12 @@ type worker struct {
 	ctx Ctx
 	job *jobRuntime
 
+	// reg is the observability registry (nil when off). rttStart maps an
+	// in-flight request seq to its flush Clock so processResponse can record
+	// the remote-read round trip; allocated only when reg is attached.
+	reg      *obs.Registry
+	rttStart map[uint32]int64
+
 	// endTime is when this worker finished its last task of the current job
 	// (including continuations) — the raw data behind Figure 6c.
 	endTime time.Time
@@ -122,6 +129,10 @@ func newWorker(m *Machine, id int) *worker {
 		curSide:   make([][]sideRec, m.cfg.NumMachines),
 		combine:   !m.cfg.DisableReadCombining,
 		dedup:     make([]map[uint64]uint32, m.cfg.NumMachines),
+		reg:       m.cfg.Obs,
+	}
+	if w.reg != nil {
+		w.rttStart = make(map[uint32]int64)
 	}
 	w.maxSide = 8 * ((m.cfg.BufferSize - comm.HeaderSize) / readRecSize)
 	if w.maxSide < 64 {
@@ -192,6 +203,9 @@ func (w *worker) abortCleanup() {
 	}
 	w.outstanding = 0
 	w.dedupHits, w.dedupMisses = 0, 0
+	if w.rttStart != nil {
+		clear(w.rttStart) // the seqs moved to the stale set; no RTT to record
+	}
 	w.endTime = time.Now()
 	w.job = nil
 }
@@ -291,6 +305,9 @@ func (w *worker) runJob(jr *jobRuntime) {
 	}
 	if w.dedupHits != 0 || w.dedupMisses != 0 {
 		w.m.ep.Metrics().RecordReadDedup(w.dedupHits, w.dedupMisses, dedupSavedPerHit*w.dedupHits)
+		w.reg.Add(w.m.id, obs.CtrDedupHits, w.dedupHits)
+		w.reg.Add(w.m.id, obs.CtrDedupMisses, w.dedupMisses)
+		w.reg.Add(w.m.id, obs.CtrDedupBytesSaved, dedupSavedPerHit*w.dedupHits)
 		w.dedupHits, w.dedupMisses = 0, 0
 	}
 	w.endTime = time.Now()
@@ -373,6 +390,13 @@ func (w *worker) processResponse(buf *comm.Buffer) {
 	}
 	delete(w.sides, seq)
 	w.outstanding--
+	if w.rttStart != nil {
+		if t, ok := w.rttStart[seq]; ok {
+			delete(w.rttStart, seq)
+			w.reg.Span(w.m.id, w.id, obs.SpanReadRTT, w.job.id, t, uint64(h.Src))
+			w.reg.Observe(w.m.id, obs.HistReadRTT, time.Duration(w.reg.Clock()-t))
+		}
+	}
 	payload := w.payloadNew(len(buf.Payload()))
 	copy(payload, buf.Payload())
 	typ := h.Type
@@ -619,6 +643,9 @@ func (w *worker) bufferRMI(dst int, method uint32, payload []byte, node uint32, 
 	buf.AppendBytes(payload)
 	w.sides[w.seq] = append(w.sideNew(), sideRec{node: node, aux: aux})
 	w.outstanding++
+	if w.rttStart != nil {
+		w.rttStart[w.seq] = w.reg.Clock()
+	}
 	w.mustSend(dst, buf)
 }
 
@@ -637,7 +664,17 @@ func (w *worker) flushRead(dst int) {
 	w.sides[w.seq] = w.curSide[dst]
 	w.curSide[dst] = nil
 	w.outstanding++
+	if w.rttStart == nil {
+		w.mustSend(dst, buf)
+		return
+	}
+	t := w.reg.Clock()
+	w.rttStart[w.seq] = t
+	n := uint64(len(buf.Data))
 	w.mustSend(dst, buf)
+	w.reg.Span(w.m.id, w.id, obs.SpanFlush, w.job.id, t, uint64(dst)<<48|n)
+	w.reg.Observe(w.m.id, obs.HistFlush, time.Duration(w.reg.Clock()-t))
+	w.reg.Add(w.m.id, obs.CtrFlushes, 1)
 }
 
 func (w *worker) flushWrite(dst int) {
@@ -649,7 +686,16 @@ func (w *worker) flushWrite(dst int) {
 	n := len(buf.Payload()) / writeRecSize
 	buf.SetCount(uint32(n))
 	w.m.writesSent.Add(int64(n))
+	if w.reg == nil {
+		w.mustSend(dst, buf)
+		return
+	}
+	t := w.reg.Clock()
+	wire := uint64(len(buf.Data))
 	w.mustSend(dst, buf)
+	w.reg.Span(w.m.id, w.id, obs.SpanFlush, w.job.id, t, uint64(dst)<<48|wire)
+	w.reg.Observe(w.m.id, obs.HistFlush, time.Duration(w.reg.Clock()-t))
+	w.reg.Add(w.m.id, obs.CtrFlushes, 1)
 }
 
 // flushAll sends every partially filled message (paper §3.2 step 3: "when

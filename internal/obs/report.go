@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+// JobReport is one job's observability snapshot: counter deltas, latency
+// histograms, the per-(src,dst) traffic matrix, and every span the trace
+// rings retained for the job. Built by Registry.EndJob; serializes cleanly
+// for the bench harness and the debug HTTP surface.
+type JobReport struct {
+	Job      uint64        `json:"job"`
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+	Machines int           `json:"machines"`
+	// Counters sums each counter across machines; PerMachine has the split
+	// (only nonzero entries are kept per machine).
+	Counters   map[string]int64   `json:"counters"`
+	PerMachine []map[string]int64 `json:"per_machine"`
+	// TrafficBytes[src][dst] / TrafficFrames[src][dst] are the job's wire
+	// traffic matrix as observed by the endpoint wrapper.
+	TrafficBytes  [][]int64 `json:"traffic_bytes"`
+	TrafficFrames [][]int64 `json:"traffic_frames"`
+	// Histograms maps histogram name to its merged cross-machine snapshot.
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	// Spans is the job's trace, ordered by start time.
+	Spans []Span `json:"spans"`
+}
+
+// TotalBytes sums the traffic matrix.
+func (j *JobReport) TotalBytes() int64 {
+	if j == nil {
+		return 0
+	}
+	var n int64
+	for _, row := range j.TrafficBytes {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// SpanCount returns how many spans of kind k the report holds.
+func (j *JobReport) SpanCount(k SpanKind) int {
+	if j == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range j.Spans {
+		if s.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// PhaseTotals sums span durations by kind across machines, giving the
+// per-phase time decomposition the paper's evaluation tables are built from.
+func (j *JobReport) PhaseTotals() map[string]time.Duration {
+	if j == nil {
+		return nil
+	}
+	out := make(map[string]time.Duration)
+	for _, s := range j.Spans {
+		out[s.Kind.String()] += time.Duration(s.DurNS)
+	}
+	return out
+}
+
+// Line renders the one-line job report printed by pgxd-run:
+// name, duration, traffic, phase split, and RTT tail latency.
+func (j *JobReport) Line() string {
+	if j == nil {
+		return "obs: no report"
+	}
+	ph := j.PhaseTotals()
+	line := fmt.Sprintf("job=%d name=%q dur=%s sent=%s/%d-frames task=%s barrier=%s drain=%s",
+		j.Job, j.Name, j.Duration.Round(time.Microsecond),
+		fmtBytes(j.TotalBytes()), j.Counters["frames_sent"],
+		ph["task_phase"].Round(time.Microsecond),
+		ph["barrier"].Round(time.Microsecond),
+		ph["write_drain"].Round(time.Microsecond))
+	if h, ok := j.Histograms["read_rtt_ns"]; ok && h.Count > 0 {
+		line += fmt.Sprintf(" rtt-p99<=%s", h.Quantile(0.99).Round(time.Microsecond))
+	}
+	return line
+}
+
+// TrafficMatrixString renders the byte matrix as an aligned table with row
+// and column sums — the EXPERIMENTS.md walkthrough reads this directly.
+func (j *JobReport) TrafficMatrixString() string {
+	if j == nil || len(j.TrafficBytes) == 0 {
+		return "(no traffic recorded)"
+	}
+	p := len(j.TrafficBytes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s", "src\\dst")
+	for d := 0; d < p; d++ {
+		fmt.Fprintf(&b, "%12d", d)
+	}
+	fmt.Fprintf(&b, "%12s\n", "total")
+	colSum := make([]int64, p)
+	for s := 0; s < p; s++ {
+		fmt.Fprintf(&b, "%8d", s)
+		var rowSum int64
+		for d := 0; d < p; d++ {
+			v := j.TrafficBytes[s][d]
+			rowSum += v
+			colSum[d] += v
+			fmt.Fprintf(&b, "%12s", fmtBytes(v))
+		}
+		fmt.Fprintf(&b, "%12s\n", fmtBytes(rowSum))
+	}
+	fmt.Fprintf(&b, "%8s", "total")
+	var grand int64
+	for d := 0; d < p; d++ {
+		grand += colSum[d]
+		fmt.Fprintf(&b, "%12s", fmtBytes(colSum[d]))
+	}
+	fmt.Fprintf(&b, "%12s", fmtBytes(grand))
+	return b.String()
+}
+
+// WriteJSON writes the report as indented JSON to path.
+func (j *JobReport) WriteJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := j.EncodeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// EncodeJSON writes the report as indented JSON to w.
+func (j *JobReport) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 10*1024*1024:
+		return fmt.Sprintf("%dMiB", n/(1024*1024))
+	case n >= 10*1024:
+		return fmt.Sprintf("%dKiB", n/1024)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -107,7 +107,10 @@ type TopVertex struct {
 // that returned an error (including engine job aborts); TransportErrors
 // sums failed socket writes and rejected inbound frames across all loaded
 // instances' fabrics — nonzero values mean the engine has been absorbing
-// wire faults rather than crashing.
+// wire faults rather than crashing. The run-duration percentiles cover the
+// most recent analyses (a sliding window); JobsObserved counts engine-level
+// parallel regions across instances, as seen by their observability
+// registries.
 type ServerStats struct {
 	LoadedGraphs    int   `json:"loaded_graphs"`
 	ResidentEdges   int64 `json:"resident_edges"`
@@ -116,6 +119,29 @@ type ServerStats struct {
 	FailedRuns      int64 `json:"failed_runs"`
 	ActiveAnalyses  int   `json:"active_analyses"`
 	TransportErrors int64 `json:"transport_errors"`
+
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	RunP50Millis  float64 `json:"run_p50_millis,omitempty"`
+	RunP90Millis  float64 `json:"run_p90_millis,omitempty"`
+	RunP99Millis  float64 `json:"run_p99_millis,omitempty"`
+	JobsObserved  int64   `json:"jobs_observed"`
+	AbortsSeen    int64   `json:"aborts_seen"`
+
+	// LastAbort summarizes the most recent flight-recorder dump across all
+	// loaded instances, or nil when no job has aborted.
+	LastAbort *AbortSummary `json:"last_abort,omitempty"`
+}
+
+// AbortSummary is the stats-protocol view of a flight-recorder dump.
+type AbortSummary struct {
+	Graph string `json:"graph"`
+	Job   uint64 `json:"job"`
+	Name  string `json:"name"`
+	Err   string `json:"err"`
+	// AgeSeconds is how long ago the abort happened.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Spans is how many trace spans the flight recorder retained.
+	Spans int `json:"spans"`
 }
 
 // encode writes v as one JSON line.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Config bounds the server's resource usage — the paper's open question
@@ -34,6 +36,14 @@ type Config struct {
 	// DefaultMachines is the simulated cluster size for graphs loaded
 	// without an explicit machine count.
 	DefaultMachines int
+	// DebugAddr, when set, serves the observability debug surface over HTTP
+	// (/debug/metrics, /debug/trace, /debug/abort, /debug/pprof/*) on that
+	// address. Multi-graph servers select an instance with ?graph=<name>.
+	// Empty disables the debug listener.
+	DebugAddr string
+	// DisableObservability runs instances without registries: no per-job
+	// reports or flight recorder, and the extended stats fields stay zero.
+	DisableObservability bool
 }
 
 // DefaultServerConfig returns modest laptop limits.
@@ -56,6 +66,9 @@ type instance struct {
 	dyn      *graph.Dynamic
 	cluster  *core.Cluster
 	machines int
+	// reg is this instance's observability registry (its cluster's
+	// Config.Obs); nil when the server runs with observability disabled.
+	reg *obs.Registry
 }
 
 // Server is the long-running multi-tenant engine host.
@@ -73,9 +86,23 @@ type Server struct {
 	failedRuns atomic.Int64
 	active     atomic.Int64
 
+	start time.Time
+
+	// durs is a sliding window of recent analysis durations (milliseconds)
+	// backing the stats percentiles.
+	durMu   sync.Mutex
+	durs    []float64
+	durNext int
+
+	debugLn  net.Listener
+	debugSrv *http.Server
+
 	wg     sync.WaitGroup
 	closed atomic.Bool
 }
+
+// runDurWindow is the sliding-window size for run-duration percentiles.
+const runDurWindow = 512
 
 // New starts a server listening per cfg. Call Close to stop.
 func New(cfg Config) (*Server, error) {
@@ -98,10 +125,89 @@ func New(cfg Config) (*Server, error) {
 		instances: make(map[string]*instance),
 		conns:     make(map[net.Conn]struct{}),
 		runSem:    make(chan struct{}, cfg.MaxConcurrentAnalyses),
+		start:     time.Now(),
+	}
+	if cfg.DebugAddr != "" {
+		dl, err := net.Listen("tcp", cfg.DebugAddr)
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("server: debug listen %s: %w", cfg.DebugAddr, err)
+		}
+		s.debugLn = dl
+		s.debugSrv = &http.Server{Handler: s.debugHandler()}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.debugSrv.Serve(dl)
+		}()
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// DebugAddr returns the bound debug HTTP address, or "" when disabled.
+func (s *Server) DebugAddr() string {
+	if s.debugLn == nil {
+		return ""
+	}
+	return s.debugLn.Addr().String()
+}
+
+// debugHandler routes the observability debug surface. The registry
+// endpoints dispatch per instance: with one graph loaded it is implicit,
+// otherwise ?graph=<name> selects it. /debug/server reports the same stats
+// as the wire protocol's stats op.
+func (s *Server) debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/server", func(w http.ResponseWriter, r *http.Request) {
+		resp := s.handleStats()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp.Stats)
+	})
+	forward := func(w http.ResponseWriter, r *http.Request) {
+		reg, err := s.pickRegistry(r.URL.Query().Get("graph"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		reg.Handler().ServeHTTP(w, r)
+	}
+	mux.HandleFunc("/debug/metrics", forward)
+	mux.HandleFunc("/debug/trace", forward)
+	mux.HandleFunc("/debug/abort", forward)
+	// pprof profiles the whole process; any instance's handler serves it,
+	// but it must work with zero graphs loaded too, so forward to a fresh
+	// registry's mux (the pprof routes don't touch registry state).
+	mux.Handle("/debug/pprof/", obs.NewRegistry().Handler())
+	return mux
+}
+
+// pickRegistry resolves the instance the debug surface should read: the
+// named graph, or the single loaded instance when the name is empty.
+func (s *Server) pickRegistry(name string) (*obs.Registry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var inst *instance
+	if name != "" {
+		inst = s.instances[name]
+		if inst == nil {
+			return nil, fmt.Errorf("graph %q not loaded", name)
+		}
+	} else {
+		if len(s.instances) != 1 {
+			return nil, fmt.Errorf("%d graphs loaded; select one with ?graph=<name>", len(s.instances))
+		}
+		for _, i := range s.instances {
+			inst = i
+		}
+	}
+	if inst.reg == nil {
+		return nil, fmt.Errorf("observability disabled")
+	}
+	return inst.reg, nil
 }
 
 // Addr returns the bound listen address.
@@ -113,6 +219,9 @@ func (s *Server) Close() {
 		return
 	}
 	s.listener.Close()
+	if s.debugSrv != nil {
+		s.debugSrv.Close()
+	}
 	// Unblock handlers parked reading from idle clients.
 	s.mu.Lock()
 	for conn := range s.conns {
@@ -194,6 +303,9 @@ func (s *Server) handle(req *Request) Response {
 // admit installs a new instance under the resident-edge budget.
 func (s *Server) admit(name string, g *graph.Graph, machines int) (Response, bool) {
 	cfg := core.DefaultConfig(machines)
+	if !s.cfg.DisableObservability {
+		cfg.Obs = obs.NewRegistry()
+	}
 	cluster, err := core.NewCluster(cfg)
 	if err != nil {
 		return errResp("boot cluster: %v", err), false
@@ -202,7 +314,7 @@ func (s *Server) admit(name string, g *graph.Graph, machines int) (Response, boo
 		cluster.Shutdown()
 		return errResp("distribute graph: %v", err), false
 	}
-	inst := &instance{name: name, g: g, cluster: cluster, machines: machines}
+	inst := &instance{name: name, g: g, cluster: cluster, machines: machines, reg: cfg.Obs}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.instances[name]; exists {
@@ -330,8 +442,42 @@ func (s *Server) handleRun(req *Request) Response {
 		return errResp("%s on %s: %v", req.Algo, req.Graph, err)
 	}
 	result.Millis = float64(time.Since(start).Microseconds()) / 1000
+	s.recordRunDuration(result.Millis)
 	s.runsServed.Add(1)
 	return Response{OK: true, Result: result}
+}
+
+// recordRunDuration appends one analysis duration to the percentile window.
+func (s *Server) recordRunDuration(millis float64) {
+	s.durMu.Lock()
+	if len(s.durs) < runDurWindow {
+		s.durs = append(s.durs, millis)
+	} else {
+		s.durs[s.durNext%runDurWindow] = millis
+	}
+	s.durNext++
+	s.durMu.Unlock()
+}
+
+// runPercentiles returns the (p50, p90, p99) of the duration window, or
+// zeros with no completed runs.
+func (s *Server) runPercentiles() (p50, p90, p99 float64) {
+	s.durMu.Lock()
+	window := make([]float64, len(s.durs))
+	copy(window, s.durs)
+	s.durMu.Unlock()
+	if len(window) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(window)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(window)))
+		if i >= len(window) {
+			i = len(window) - 1
+		}
+		return window[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
 }
 
 func runAlgo(inst *instance, req *Request) (*RunResult, error) {
@@ -524,11 +670,27 @@ func (s *Server) handleDrop(req *Request) Response {
 func (s *Server) handleStats() Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var transportErrors int64
+	var transportErrors, jobs, aborts int64
+	var lastAbort *AbortSummary
+	var lastWhen time.Time
 	for _, inst := range s.instances {
 		snap := inst.cluster.TrafficSnapshot()
 		transportErrors += snap.SendErrors + snap.RecvErrors
+		jobs += inst.reg.JobsObserved()
+		aborts += inst.reg.AbortsObserved()
+		if d := inst.reg.LastAbort(); d != nil && d.When.After(lastWhen) {
+			lastWhen = d.When
+			lastAbort = &AbortSummary{
+				Graph:      inst.name,
+				Job:        d.Job,
+				Name:       d.Name,
+				Err:        d.Err,
+				AgeSeconds: time.Since(d.When).Seconds(),
+				Spans:      len(d.Spans),
+			}
+		}
 	}
+	p50, p90, p99 := s.runPercentiles()
 	return Response{OK: true, Stats: &ServerStats{
 		LoadedGraphs:    len(s.instances),
 		ResidentEdges:   s.resident,
@@ -537,5 +699,12 @@ func (s *Server) handleStats() Response {
 		FailedRuns:      s.failedRuns.Load(),
 		ActiveAnalyses:  int(s.active.Load()),
 		TransportErrors: transportErrors,
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		RunP50Millis:    p50,
+		RunP90Millis:    p90,
+		RunP99Millis:    p99,
+		JobsObserved:    jobs,
+		AbortsSeen:      aborts,
+		LastAbort:       lastAbort,
 	}}
 }

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -353,5 +355,99 @@ func TestMutateAndSnapshotAnalytics(t *testing.T) {
 	list, err := c.List()
 	if err != nil || list[0].Edges != 1018 {
 		t.Errorf("state corrupted after failed mutate: %v (%v)", list, err)
+	}
+}
+
+func TestStatsObservability(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.DebugAddr = "127.0.0.1:0"
+	s := startServer(t, cfg)
+	if s.DebugAddr() == "" {
+		t.Fatal("debug listener did not start")
+	}
+	c := dial(t, s)
+
+	if _, err := c.Generate(Request{Graph: "twt", Kind: "rmat", Scale: 10, EdgeFactor: 8, Seed: 7, Machines: 2}); err != nil {
+		t.Fatal(err)
+	}
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		if _, err := c.Run(Request{Graph: "twt", Algo: "pagerank", Iterations: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("UptimeSeconds = %v, want > 0", st.UptimeSeconds)
+	}
+	if st.RunsServed != runs {
+		t.Errorf("RunsServed = %d, want %d", st.RunsServed, runs)
+	}
+	if st.RunP50Millis <= 0 || st.RunP99Millis < st.RunP50Millis {
+		t.Errorf("percentiles p50=%v p99=%v", st.RunP50Millis, st.RunP99Millis)
+	}
+	// Each pagerank run is several engine jobs (one per superstep).
+	if st.JobsObserved < int64(runs)*3 {
+		t.Errorf("JobsObserved = %d, want >= %d", st.JobsObserved, runs*3)
+	}
+	if st.AbortsSeen != 0 || st.LastAbort != nil {
+		t.Errorf("unexpected abort accounting: aborts=%d last=%+v", st.AbortsSeen, st.LastAbort)
+	}
+
+	// The debug HTTP surface serves registry metrics for the loaded graph.
+	resp, err := http.Get("http://" + s.DebugAddr() + "/debug/metrics?graph=twt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/metrics = %d, want 200", resp.StatusCode)
+	}
+	var payload struct {
+		Jobs     int64            `json:"jobs"`
+		Lifetime map[string]int64 `json:"lifetime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Jobs < int64(runs)*3 {
+		t.Errorf("debug payload jobs = %d, want >= %d", payload.Jobs, runs*3)
+	}
+
+	// With one graph loaded the ?graph= selector is optional.
+	resp2, err := http.Get("http://" + s.DebugAddr() + "/debug/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("/debug/server = %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestStatsDisabledObservability(t *testing.T) {
+	cfg := DefaultServerConfig()
+	cfg.DisableObservability = true
+	s := startServer(t, cfg)
+	c := dial(t, s)
+	if _, err := c.Generate(Request{Graph: "g", Kind: "rmat", Scale: 9, EdgeFactor: 4, Seed: 3, Machines: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(Request{Graph: "g", Algo: "pagerank", Iterations: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsObserved != 0 {
+		t.Errorf("JobsObserved = %d with observability disabled, want 0", st.JobsObserved)
+	}
+	if st.RunsServed != 1 || st.RunP50Millis <= 0 {
+		t.Errorf("duration accounting must not depend on registries: %+v", st)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/reduce"
 	"repro/internal/tune"
@@ -198,6 +199,47 @@ func NewFaultFabric(cfg Config, inner comm.Fabric, plan FaultPlan) *FaultInjecto
 	return comm.NewFaultInjector(inner, plan)
 }
 
+// --- observability -------------------------------------------------------------
+
+// ObsRegistry is the unified observability registry: per-job counters,
+// latency histograms, a per-(src,dst) traffic matrix, per-machine trace
+// spans, and the abort flight recorder. Create with NewObsRegistry, assign
+// to Config.Obs before NewCluster, and read results via JobReport /
+// AbortDump. A nil registry (the default) disables observability with zero
+// overhead.
+type ObsRegistry = obs.Registry
+
+// NewObsRegistry creates an observability registry ready to assign to
+// Config.Obs.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// JobReport is one job's observability snapshot: counter deltas, latency
+// histograms, the traffic matrix, and the job's trace spans.
+type JobReport = obs.JobReport
+
+// AbortDump is the flight recorder's capture of an aborted job: partial
+// counters, traffic, and the most recent spans per machine.
+type AbortDump = obs.AbortDump
+
+// Span is one recorded trace event; see SpanKind for what each measures.
+type Span = obs.Span
+
+// SpanKind names what a trace span measures.
+type SpanKind = obs.SpanKind
+
+// Span kinds recorded by the engine.
+const (
+	SpanJob           = obs.SpanJob
+	SpanGhostReadSync = obs.SpanGhostReadSync
+	SpanBarrier       = obs.SpanBarrier
+	SpanTaskPhase     = obs.SpanTaskPhase
+	SpanWriteDrain    = obs.SpanWriteDrain
+	SpanGhostMerge    = obs.SpanGhostMerge
+	SpanFlush         = obs.SpanFlush
+	SpanReadRTT       = obs.SpanReadRTT
+	SpanCopierServe   = obs.SpanCopierServe
+)
+
 // --- custom kernel API ---------------------------------------------------------
 
 // Ctx is the execution context passed to Task callbacks.
@@ -288,6 +330,18 @@ func (c *Cluster) Shutdown() { c.core.Shutdown() }
 // Core exposes the underlying engine for advanced use (custom properties,
 // RMI, driver-side reductions).
 func (c *Cluster) Core() *core.Cluster { return c.core }
+
+// Observability returns the registry assigned via Config.Obs, or nil when
+// observability is off.
+func (c *Cluster) Observability() *ObsRegistry { return c.core.Obs() }
+
+// LastJobReport returns the most recently completed job's report, or nil
+// when observability is off or no job has run.
+func (c *Cluster) LastJobReport() *JobReport { return c.core.Obs().LastReport() }
+
+// LastAbortDump returns the flight recorder's capture of the most recent
+// job abort, or nil when observability is off or no job has aborted.
+func (c *Cluster) LastAbortDump() *AbortDump { return c.core.Obs().LastAbort() }
 
 // NumNodes returns the loaded graph's node count.
 func (c *Cluster) NumNodes() int { return c.core.NumNodes() }
