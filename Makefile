@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race faults ci bench-comm bench-faults obs
+.PHONY: build test vet race faults wire fuzz-smoke ci bench-comm bench-faults bench-wire obs
 
 build:
 	$(GO) build ./...
@@ -13,15 +13,29 @@ vet:
 
 # Race-detector pass over the concurrency-heavy packages: the comm fabrics
 # (async senders, routers, collectives), the engine core (workers, copiers,
-# read combining), and the observability registry (atomic counters, span
-# rings, snapshot-and-reset).
+# read combining, wire compression), the varint codec, and the observability
+# registry (atomic counters, span rings, snapshot-and-reset).
 race:
-	$(GO) test -race ./internal/comm/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/codec/... ./internal/comm/... ./internal/core/... ./internal/obs/...
 
 # Fault-injection suite under the race detector: every TestFault* case
 # (injector semantics, job aborts over both fabrics, recovery, leak checks).
 faults:
 	$(GO) test -race -run Fault -count=1 ./internal/comm/... ./internal/core/... ./pgxd/...
+
+# Wire compression check: codec + engine compression tests, then a small
+# -exp wire smoke over both fabrics (compressed rows must match uncompressed).
+wire:
+	$(GO) test -count=1 ./internal/codec/... -run .
+	$(GO) test -count=1 -run 'WireCompression|TruncatedCompressed' ./internal/core/...
+	$(GO) run ./cmd/pgxd-bench -exp wire -machines 1,2 -scale 10 -wire-out BENCH_wire_smoke.json
+
+# Short fuzz pass over the codec's decode surfaces — each target gets a few
+# seconds, enough to shake out torn-input and canonicality regressions.
+fuzz-smoke:
+	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzUvarintRoundTrip -fuzztime 5s
+	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzUvarintDecode -fuzztime 5s
+	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzDeltaColumnTorn -fuzztime 5s
 
 ci: test vet race faults
 
@@ -33,6 +47,11 @@ bench-comm:
 # against PageRank, asserting errors surface and buffers come home.
 bench-faults:
 	$(GO) run ./cmd/pgxd-bench -exp faults -machines 1,2 -scale 10
+
+# Regenerate the wire-compression ablation artifact (both fabrics,
+# PageRank-pull + WCC, compression on/off).
+bench-wire:
+	$(GO) run ./cmd/pgxd-bench -exp wire -wire-out BENCH_wire.json
 
 # Observability experiment: instrumentation overhead (registry off vs. on),
 # a fully traced PageRank over TCP (spans + traffic matrix), and the abort

@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults]
+//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults|wire]
 //	           [-scale N] [-machines 1,2,4] [-workers N] [-copiers N] [-quiet]
 //
-// The comm experiment additionally writes its sweep as JSON (-comm-out,
-// default BENCH_comm.json).
+// The comm and wire experiments additionally write their sweeps as JSON
+// (-comm-out / -wire-out, defaults BENCH_comm.json / BENCH_wire.json).
 //
 // Results print as aligned text tables shaped like the paper's originals;
 // EXPERIMENTS.md records a reference run with commentary.
@@ -26,8 +26,9 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs)")
+		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs, wire)")
 		commOut  = flag.String("comm-out", "BENCH_comm.json", "output path for the comm experiment's JSON report")
+		wireOut  = flag.String("wire-out", "BENCH_wire.json", "output path for the wire compression experiment's JSON report")
 		obsOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the observability experiment's JSON report")
 		obsRun   = flag.Bool("obs", false, "also run the observability experiment and write its report")
 		scale    = flag.Int("scale", bench.DefaultScale, "graph scale: datasets have 2^scale nodes")
@@ -205,6 +206,23 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "comm: report written to %s\n", *commOut)
+		}
+	}
+	// The wire experiment ablates the compression layer on both fabrics; like
+	// faults it is engine diagnostics, so it runs only when named explicitly.
+	if *exp == "wire" {
+		ran = true
+		p := machineCounts[len(machineCounts)-1]
+		tbl, rep, err := bench.ExpWire(ds, *scale, p, *prIters, progress)
+		if err != nil {
+			fatalf("wire: %v", err)
+		}
+		fmt.Println(tbl)
+		if err := rep.WriteJSON(*wireOut); err != nil {
+			fatalf("wire: writing %s: %v", *wireOut, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wire: report written to %s\n", *wireOut)
 		}
 	}
 	// The observability experiment measures the engine's own instrumentation

@@ -1,0 +1,113 @@
+// Package codec implements the zero-allocation integer codecs behind the
+// engine's wire compression layer: LEB128-style unsigned varints, zigzag
+// mapping for signed values, and sorted delta columns for node-ID batches.
+//
+// PGX.D's throughput model (paper §2, §4.1) is bandwidth-bound: remote reads
+// and writes saturate min(network BW, DRAM BW), so every byte shaved off a
+// message buffer is throughput gained. Flush buffers batch thousands of
+// records whose ID words share high bits and — once sorted — differ by small
+// gaps, which a delta-varint column encodes in 1-2 bytes instead of 8.
+//
+// All encoders are append-based (the caller owns and recycles the
+// destination slice); all decoders walk the input in place and report torn
+// or overlong input with a non-positive length instead of panicking, so a
+// truncated frame surfaces as a validation error on the consume side.
+package codec
+
+// MaxVarintLen is the worst-case encoded size of one uint64 varint.
+const MaxVarintLen = 10
+
+// AppendUvarint appends v in LEB128 (7 bits per byte, little end first,
+// high bit = continuation) and returns the extended slice.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Uvarint decodes one varint from the start of p. It returns the value and
+// the number of bytes consumed; n == 0 means p was torn mid-varint and
+// n < 0 means the encoding is overlong — longer than 64 bits, or padded with
+// a zero final byte that AppendUvarint would never emit. Accepting only the
+// canonical form means every (value, length) pair is unique, so a validated
+// column re-encodes to exactly the bytes received. Callers must treat n <= 0
+// as a corrupt frame.
+func Uvarint(p []byte) (v uint64, n int) {
+	var shift uint
+	for i, b := range p {
+		if i == MaxVarintLen {
+			return 0, -(i + 1) // longer than any canonical uint64
+		}
+		if b < 0x80 {
+			if i == MaxVarintLen-1 && b > 1 {
+				return 0, -(i + 1) // 10th byte may only contribute bit 63
+			}
+			if b == 0 && i > 0 {
+				return 0, -(i + 1) // zero padding byte: non-canonical
+			}
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0 // ran out of bytes mid-varint
+}
+
+// ZigZag maps a signed value to an unsigned one with small magnitudes small:
+// 0, -1, 1, -2, 2 ... become 0, 1, 2, 3, 4 ...
+func ZigZag(v int64) uint64 {
+	return uint64(v<<1) ^ uint64(v>>63)
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// AppendZigZag appends one zigzag-varint signed value.
+func AppendZigZag(dst []byte, v int64) []byte {
+	return AppendUvarint(dst, ZigZag(v))
+}
+
+// AppendZigZags appends every value of vals as a zigzag-varint column.
+func AppendZigZags(dst []byte, vals []int64) []byte {
+	for _, v := range vals {
+		dst = AppendUvarint(dst, ZigZag(v))
+	}
+	return dst
+}
+
+// AppendDeltaU64s appends vals — which must be sorted ascending — as a
+// delta-varint column: the first value verbatim, every later one as the gap
+// to its predecessor. Sorted node-ID batches have small gaps, so most
+// records take one or two bytes.
+func AppendDeltaU64s(dst []byte, vals []uint64) []byte {
+	prev := uint64(0)
+	for _, v := range vals {
+		dst = AppendUvarint(dst, v-prev)
+		prev = v
+	}
+	return dst
+}
+
+// DecodeDeltaU64s decodes an n-value delta column from the start of p into
+// out (reusing its capacity) and returns the values plus the bytes consumed.
+// Torn or overlong input returns ok == false — the caller rejects the frame
+// rather than misdecoding it.
+func DecodeDeltaU64s(p []byte, n int, out []uint64) (vals []uint64, consumed int, ok bool) {
+	out = out[:0]
+	prev := uint64(0)
+	off := 0
+	for i := 0; i < n; i++ {
+		d, k := Uvarint(p[off:])
+		if k <= 0 {
+			return out, off, false
+		}
+		off += k
+		prev += d
+		out = append(out, prev)
+	}
+	return out, off, true
+}

@@ -148,6 +148,10 @@ type FaultInjector struct {
 
 // NewFaultInjector wraps inner with the given plan. The returned fabric is a
 // drop-in replacement: hand it to the engine via Config.Fabric.
+// InMemory forwards the wrapped fabric's answer so injecting faults does not
+// change the engine's wire-compression decision.
+func (inj *FaultInjector) InMemory() bool { return InMemoryFabric(inj.inner) }
+
 func NewFaultInjector(inner Fabric, plan FaultPlan) *FaultInjector {
 	rules := make([]FaultRule, len(plan.Rules))
 	copy(rules, plan.Rules)

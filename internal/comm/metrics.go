@@ -33,6 +33,12 @@ type Metrics struct {
 	dedupMisses     atomic.Int64
 	dedupBytesSaved atomic.Int64
 
+	// Wire-compression counters (engine-fed): raw is the fixed-width payload
+	// size a batch would have shipped, wire is what actually went out after
+	// the sorted delta-varint encoding (equal when a batch fell back to raw).
+	compressRawBytes  atomic.Int64
+	compressWireBytes atomic.Int64
+
 	// Transport error counters: failed socket writes and corrupt/truncated
 	// inbound frames (a poisoned stream is diagnosable, not a silent hang).
 	sendErrors atomic.Int64
@@ -111,6 +117,20 @@ func (m *Metrics) ReadDedupHitRate() float64 {
 	return float64(h) / float64(h+s)
 }
 
+// RecordCompression folds one batch's wire-compression effect in: raw is
+// the fixed-width payload size, wire the bytes actually sent.
+func (m *Metrics) RecordCompression(raw, wire int64) {
+	m.compressRawBytes.Add(raw)
+	m.compressWireBytes.Add(wire)
+}
+
+// CompressRawBytes returns the fixed-width size of all compression-eligible
+// payloads.
+func (m *Metrics) CompressRawBytes() int64 { return m.compressRawBytes.Load() }
+
+// CompressWireBytes returns the bytes those payloads actually occupied.
+func (m *Metrics) CompressWireBytes() int64 { return m.compressWireBytes.Load() }
+
 // RecordSendError counts one failed socket write.
 func (m *Metrics) RecordSendError() { m.sendErrors.Add(1) }
 
@@ -134,6 +154,9 @@ type Snapshot struct {
 	DedupHits, DedupMisses      int64
 	DedupBytesSaved             int64
 
+	// Wire compression: fixed-width size vs. bytes actually sent.
+	CompressRawBytes, CompressWireBytes int64
+
 	// Transport errors.
 	SendErrors, RecvErrors int64
 }
@@ -141,19 +164,35 @@ type Snapshot struct {
 // Snapshot captures current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		FramesSent:      m.FramesSent(),
-		BytesSent:       m.BytesSent(),
-		FramesRecv:      m.FramesRecv(),
-		BytesRecv:       m.BytesRecv(),
-		DataBytesSent:   m.DataBytesSent(),
-		ReadReqBytes:    m.BytesSentByType(MsgReadReq),
-		ReadRespBytes:   m.BytesSentByType(MsgReadResp),
-		DedupHits:       m.ReadDedupHits(),
-		DedupMisses:     m.ReadDedupMisses(),
-		DedupBytesSaved: m.ReadDedupBytesSaved(),
-		SendErrors:      m.SendErrors(),
-		RecvErrors:      m.RecvErrors(),
+		FramesSent:        m.FramesSent(),
+		BytesSent:         m.BytesSent(),
+		FramesRecv:        m.FramesRecv(),
+		BytesRecv:         m.BytesRecv(),
+		DataBytesSent:     m.DataBytesSent(),
+		ReadReqBytes:      m.BytesSentByType(MsgReadReq),
+		ReadRespBytes:     m.BytesSentByType(MsgReadResp),
+		DedupHits:         m.ReadDedupHits(),
+		DedupMisses:       m.ReadDedupMisses(),
+		DedupBytesSaved:   m.ReadDedupBytesSaved(),
+		CompressRawBytes:  m.CompressRawBytes(),
+		CompressWireBytes: m.CompressWireBytes(),
+		SendErrors:        m.SendErrors(),
+		RecvErrors:        m.RecvErrors(),
 	}
+}
+
+// CompressionRatio returns wire/raw over compression-eligible payloads — 1.0
+// means compression never engaged (or never paid), lower is better.
+func (s Snapshot) CompressionRatio() float64 {
+	if s.CompressRawBytes == 0 {
+		return 1
+	}
+	return float64(s.CompressWireBytes) / float64(s.CompressRawBytes)
+}
+
+// CompressSavedBytes returns the wire bytes elided by compression.
+func (s Snapshot) CompressSavedBytes() int64 {
+	return s.CompressRawBytes - s.CompressWireBytes
 }
 
 // DedupHitRate returns the snapshot's combining hit rate in [0,1].
@@ -167,36 +206,40 @@ func (s Snapshot) DedupHitRate() float64 {
 // Sub returns s - o component-wise.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
-		FramesSent:      s.FramesSent - o.FramesSent,
-		BytesSent:       s.BytesSent - o.BytesSent,
-		FramesRecv:      s.FramesRecv - o.FramesRecv,
-		BytesRecv:       s.BytesRecv - o.BytesRecv,
-		DataBytesSent:   s.DataBytesSent - o.DataBytesSent,
-		ReadReqBytes:    s.ReadReqBytes - o.ReadReqBytes,
-		ReadRespBytes:   s.ReadRespBytes - o.ReadRespBytes,
-		DedupHits:       s.DedupHits - o.DedupHits,
-		DedupMisses:     s.DedupMisses - o.DedupMisses,
-		DedupBytesSaved: s.DedupBytesSaved - o.DedupBytesSaved,
-		SendErrors:      s.SendErrors - o.SendErrors,
-		RecvErrors:      s.RecvErrors - o.RecvErrors,
+		FramesSent:        s.FramesSent - o.FramesSent,
+		BytesSent:         s.BytesSent - o.BytesSent,
+		FramesRecv:        s.FramesRecv - o.FramesRecv,
+		BytesRecv:         s.BytesRecv - o.BytesRecv,
+		DataBytesSent:     s.DataBytesSent - o.DataBytesSent,
+		ReadReqBytes:      s.ReadReqBytes - o.ReadReqBytes,
+		ReadRespBytes:     s.ReadRespBytes - o.ReadRespBytes,
+		DedupHits:         s.DedupHits - o.DedupHits,
+		DedupMisses:       s.DedupMisses - o.DedupMisses,
+		DedupBytesSaved:   s.DedupBytesSaved - o.DedupBytesSaved,
+		CompressRawBytes:  s.CompressRawBytes - o.CompressRawBytes,
+		CompressWireBytes: s.CompressWireBytes - o.CompressWireBytes,
+		SendErrors:        s.SendErrors - o.SendErrors,
+		RecvErrors:        s.RecvErrors - o.RecvErrors,
 	}
 }
 
 // Add returns s + o component-wise.
 func (s Snapshot) Add(o Snapshot) Snapshot {
 	return Snapshot{
-		FramesSent:      s.FramesSent + o.FramesSent,
-		BytesSent:       s.BytesSent + o.BytesSent,
-		FramesRecv:      s.FramesRecv + o.FramesRecv,
-		BytesRecv:       s.BytesRecv + o.BytesRecv,
-		DataBytesSent:   s.DataBytesSent + o.DataBytesSent,
-		ReadReqBytes:    s.ReadReqBytes + o.ReadReqBytes,
-		ReadRespBytes:   s.ReadRespBytes + o.ReadRespBytes,
-		DedupHits:       s.DedupHits + o.DedupHits,
-		DedupMisses:     s.DedupMisses + o.DedupMisses,
-		DedupBytesSaved: s.DedupBytesSaved + o.DedupBytesSaved,
-		SendErrors:      s.SendErrors + o.SendErrors,
-		RecvErrors:      s.RecvErrors + o.RecvErrors,
+		FramesSent:        s.FramesSent + o.FramesSent,
+		BytesSent:         s.BytesSent + o.BytesSent,
+		FramesRecv:        s.FramesRecv + o.FramesRecv,
+		BytesRecv:         s.BytesRecv + o.BytesRecv,
+		DataBytesSent:     s.DataBytesSent + o.DataBytesSent,
+		ReadReqBytes:      s.ReadReqBytes + o.ReadReqBytes,
+		ReadRespBytes:     s.ReadRespBytes + o.ReadRespBytes,
+		DedupHits:         s.DedupHits + o.DedupHits,
+		DedupMisses:       s.DedupMisses + o.DedupMisses,
+		DedupBytesSaved:   s.DedupBytesSaved + o.DedupBytesSaved,
+		CompressRawBytes:  s.CompressRawBytes + o.CompressRawBytes,
+		CompressWireBytes: s.CompressWireBytes + o.CompressWireBytes,
+		SendErrors:        s.SendErrors + o.SendErrors,
+		RecvErrors:        s.RecvErrors + o.RecvErrors,
 	}
 }
 
@@ -206,6 +249,9 @@ func (s Snapshot) String() string {
 		s.FramesSent, s.BytesSent, s.FramesRecv, s.BytesRecv, s.DataBytesSent)
 	if s.DedupHits+s.DedupMisses > 0 {
 		out += fmt.Sprintf(" dedup=%.1f%% (%d B saved)", 100*s.DedupHitRate(), s.DedupBytesSaved)
+	}
+	if s.CompressRawBytes > 0 {
+		out += fmt.Sprintf(" compress=%.2f (%d B saved)", s.CompressionRatio(), s.CompressSavedBytes())
 	}
 	if s.SendErrors+s.RecvErrors > 0 {
 		out += fmt.Sprintf(" errors=%d send/%d recv", s.SendErrors, s.RecvErrors)

@@ -98,6 +98,21 @@ func (f *InProcFabric) Endpoint(m int) (Endpoint, error) {
 // no-op provided for interface symmetry with wire transports.
 func (f *InProcFabric) Close() error { return nil }
 
+// InMemory marks this fabric as delivering frames by reference: a sent
+// buffer is handed to the destination inbox without serialization, so frame
+// size costs nothing here.
+func (f *InProcFabric) InMemory() bool { return true }
+
+// InMemoryFabric reports whether f hands frames to receivers by reference
+// within one process. The engine gates wire compression on this: shrinking
+// a buffer nobody serializes is pure CPU loss, while on a wire transport the
+// bytes saved are bandwidth gained. Wrappers (fault injectors) forward the
+// answer of the fabric they wrap; unknown fabrics count as real wires.
+func InMemoryFabric(f Fabric) bool {
+	im, ok := f.(interface{ InMemory() bool })
+	return ok && im.InMemory()
+}
+
 type inProcEndpoint struct {
 	fabric  *InProcFabric
 	machine int

@@ -58,6 +58,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.fabric = comm.NewInProcFabric(cfg.NumMachines, cfg.NumMachines*perMachine+16)
 		c.ownFabric = true
 	}
+	if comm.InMemoryFabric(c.fabric) {
+		// Frames on an in-memory fabric are handed over by reference —
+		// there is no wire to save bytes on, so the compression codec would
+		// be pure CPU loss. Force the ablation flag; machines read c.cfg.
+		c.cfg.DisableWireCompression = true
+	}
 	// Size the registry before any endpoint wrapping so record paths find
 	// their machine slots from the first frame.
 	c.cfg.Obs.Attach(cfg.NumMachines)

@@ -68,6 +68,14 @@ type Config struct {
 	// as the unmodified paper protocol does. The ablation flag for the
 	// communication fast path; combining is on by default.
 	DisableReadCombining bool
+	// DisableWireCompression turns off the wire compression layer: flush
+	// buffers and ghost-merge reductions then ship fixed-width 8-byte
+	// records, as the unmodified paper protocol does. The ablation flag for
+	// the sorted delta-varint batch encoding; compression is on by default
+	// on wire transports. On an in-memory fabric (comm.InMemoryFabric) the
+	// engine forces this on regardless — frames pass by reference there, so
+	// the codec would spend CPU shrinking buffers nobody serializes.
+	DisableWireCompression bool
 	// RequestTimeout bounds every wait on a remote response or drained
 	// buffer pool inside a job (worker response waits, the write-drain
 	// loop, driver RMI calls). Zero waits forever. It is the detector for
@@ -134,6 +142,11 @@ func (c *Config) validate() error {
 	}
 	if c.BufferSize < comm.HeaderSize+16 {
 		return fmt.Errorf("core: BufferSize %d too small", c.BufferSize)
+	}
+	// Record counts must fit the 24-bit header field; the smallest record is
+	// 8 bytes, so cap the buffer well below 8 * 2^24.
+	if c.BufferSize > 64<<20 {
+		return fmt.Errorf("core: BufferSize %d exceeds the 64 MiB frame limit", c.BufferSize)
 	}
 	if c.ReqBuffers == 0 {
 		// Enough for every worker to have a frame in flight toward every

@@ -22,9 +22,10 @@ import (
 func (m *Machine) copierLoop() {
 	defer m.copierWG.Done()
 	reg := m.cfg.Obs
+	dec := new(wireDec) // per-copier scratch for compressed frames
 	for buf := range m.router.ReqQueue() {
 		if reg == nil {
-			if err := m.serveRequest(buf); err != nil {
+			if err := m.serveRequest(buf, dec); err != nil {
 				m.ep.Metrics().RecordRecvError()
 				m.abortCurrent(fmt.Errorf("core: machine %d copier: %w", m.id, err))
 			}
@@ -37,7 +38,7 @@ func (m *Machine) copierLoop() {
 			jobID = jr.id
 		}
 		t := reg.Clock()
-		err := m.serveRequest(buf)
+		err := m.serveRequest(buf, dec)
 		reg.Span(m.id, obs.WorkerCopier, obs.SpanCopierServe, jobID, t, src<<48|typ)
 		reg.Observe(m.id, obs.HistServe, time.Duration(reg.Clock()-t))
 		if err != nil {
@@ -52,20 +53,20 @@ func (m *Machine) copierLoop() {
 // released on every exit path; response buffers are either handed to the
 // transport (which owns them from Send on, success or failure) or released
 // here before an error return.
-func (m *Machine) serveRequest(buf *comm.Buffer) error {
+func (m *Machine) serveRequest(buf *comm.Buffer, dec *wireDec) error {
 	defer buf.Release()
 	h := buf.Header()
 	payload := buf.Payload()
 	switch h.Type {
 	case comm.MsgWriteReq:
-		if err := m.applyWrites(payload, int(h.Count)); err != nil {
+		if err := m.applyWrites(h, payload, dec); err != nil {
 			return err
 		}
 		m.writesApplied.Add(int64(h.Count))
 		m.cfg.Obs.Add(m.id, obs.CtrWritesApplied, int64(h.Count))
 		return nil
 	case comm.MsgReadReq:
-		if err := m.serveReads(h, payload); err != nil {
+		if err := m.serveReads(h, payload, dec); err != nil {
 			return err
 		}
 		m.cfg.Obs.Add(m.id, obs.CtrReadsServed, int64(h.Count))
@@ -82,10 +83,30 @@ func (m *Machine) serveRequest(buf *comm.Buffer) error {
 }
 
 // applyWrites decodes and applies count write records:
-// meta word (prop<<48 | op<<40 | offset) followed by the value word.
-// Records are validated before any is applied so a truncated or corrupt
-// frame surfaces as an error without a partial, out-of-bounds apply.
-func (m *Machine) applyWrites(payload []byte, count int) error {
+// meta word (prop<<48 | op<<40 | offset) followed by the value word, either
+// fixed width or — under FlagCompressed — as sorted delta-varint meta and
+// type-aware value columns. Records are validated before any is applied so
+// a truncated or corrupt frame surfaces as an error without a partial,
+// out-of-bounds apply.
+func (m *Machine) applyWrites(h comm.Header, payload []byte, dec *wireDec) error {
+	count := int(h.Count)
+	if h.Flags&comm.FlagCompressed != 0 {
+		keys, vals, err := m.decodeWriteRecs(payload, count, dec)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < count; i++ {
+			prop := PropID(keys[i] >> 48)
+			if int(uint32(keys[i])) >= len(m.cols[prop].vals) {
+				return fmt.Errorf("write record %d offset %d out of range for property %d", i, uint32(keys[i]), prop)
+			}
+		}
+		for i := 0; i < count; i++ {
+			meta := keys[i]
+			m.cols[PropID(meta>>48)].applyWord(int(uint32(meta)), reduce.Op(meta>>40), vals[i])
+		}
+		return nil
+	}
 	if len(payload) < writeRecSize*count {
 		return fmt.Errorf("truncated write frame: %d records need %d bytes, have %d", count, writeRecSize*count, len(payload))
 	}
@@ -117,12 +138,24 @@ func (m *Machine) applyWrites(payload []byte, count int) error {
 // combining the records are already deduplicated — each word here may fan
 // out to many continuations on the requester, which is exactly where the
 // READ_RESP byte saving comes from.
-func (m *Machine) serveReads(h comm.Header, payload []byte) error {
-	if len(payload) < readRecSize*int(h.Count) {
-		return fmt.Errorf("truncated read frame: %d records need %d bytes, have %d", h.Count, readRecSize*int(h.Count), len(payload))
+func (m *Machine) serveReads(h comm.Header, payload []byte, dec *wireDec) error {
+	var keys []uint64
+	if h.Flags&comm.FlagCompressed != 0 {
+		var err error
+		if keys, err = decodeReadKeys(payload, int(h.Count), dec); err != nil {
+			return err
+		}
+	} else {
+		if len(payload) < readRecSize*int(h.Count) {
+			return fmt.Errorf("truncated read frame: %d records need %d bytes, have %d", h.Count, readRecSize*int(h.Count), len(payload))
+		}
+		keys = dec.keys[:0]
+		for i := 0; i < int(h.Count); i++ {
+			keys = append(keys, leU64(payload[readRecSize*i:]))
+		}
+		dec.keys = keys
 	}
-	for i := 0; i < int(h.Count); i++ {
-		rec := leU64(payload[readRecSize*i:])
+	for i, rec := range keys {
 		prop := PropID(rec >> 48)
 		offset := uint32(rec)
 		if int(prop) >= len(m.cols) || m.cols[prop] == nil {
@@ -140,11 +173,8 @@ func (m *Machine) serveReads(h comm.Header, payload []byte) error {
 		Count:  h.Count,
 		Aux:    h.Aux,
 	})
-	for i := 0; i < int(h.Count); i++ {
-		rec := leU64(payload[readRecSize*i:])
-		prop := PropID(rec >> 48)
-		offset := uint32(rec)
-		resp.AppendU64(m.cols[prop].load(int(offset)))
+	for _, rec := range keys {
+		resp.AppendU64(m.cols[PropID(rec>>48)].load(int(uint32(rec))))
 	}
 	if err := m.ep.Send(int(h.Src), resp); err != nil {
 		return fmt.Errorf("responding to %d: %w", h.Src, err)

@@ -84,6 +84,10 @@ func newMachine(cfg *Config, id int, ep comm.Endpoint) *Machine {
 		CtrlDepth: 4*cfg.NumMachines + 8,
 	})
 	m.col = comm.NewCollectives(ep, m.router.Ctrl(), m.ctrlPool)
+	// Ghost-merge reductions ride int64 allreduces; compress them with the
+	// same ablation switch as the flush paths. SPMD: every machine of the
+	// cluster shares one Config, so the setting always agrees.
+	m.col.SetCompression(!cfg.DisableWireCompression)
 	m.workers = make([]*worker, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		m.workers[w] = newWorker(m, w)

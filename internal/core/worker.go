@@ -65,6 +65,15 @@ type worker struct {
 	// size.
 	maxSide int
 
+	// Wire compression (sorted delta-varint batch encoding, see compress.go):
+	// worker-owned scratch so the flush hot path allocates nothing.
+	compress    bool
+	keyScratch  []uint64
+	tagScratch  []uint64
+	slotScratch []uint64
+	encScratch  []byte
+	sorter      u64PairSorter
+
 	// outstanding counts in-flight request frames awaiting a response.
 	outstanding int
 
@@ -128,6 +137,7 @@ func newWorker(m *Machine, id int) *worker {
 		stale:     make(map[uint32]struct{}),
 		curSide:   make([][]sideRec, m.cfg.NumMachines),
 		combine:   !m.cfg.DisableReadCombining,
+		compress:  !m.cfg.DisableWireCompression,
 		dedup:     make([]map[uint64]uint32, m.cfg.NumMachines),
 		reg:       m.cfg.Obs,
 	}
@@ -657,7 +667,13 @@ func (w *worker) flushRead(dst int) {
 	w.readBufs[dst] = nil
 	// Count is the number of wire records (unique addresses), which under
 	// combining can be fewer than the side records awaiting the response.
-	buf.SetCount(uint32(len(buf.Payload()) / readRecSize))
+	nrec := len(buf.Payload()) / readRecSize
+	if w.compress && nrec >= wireCompressMinRecords {
+		// Must run before the side log is registered under the seq: it
+		// remaps the log's slots through the sort permutation.
+		w.compressReadBatch(buf, nrec, dst)
+	}
+	buf.SetCount(uint32(nrec))
 	clear(w.dedup[dst])
 	w.seq++
 	buf.SetAux(uint64(w.seq))
@@ -684,6 +700,9 @@ func (w *worker) flushWrite(dst int) {
 	}
 	w.writeBufs[dst] = nil
 	n := len(buf.Payload()) / writeRecSize
+	if w.compress && n >= wireCompressMinRecords {
+		w.compressWriteBatch(buf, n, dst)
+	}
 	buf.SetCount(uint32(n))
 	w.m.writesSent.Add(int64(n))
 	if w.reg == nil {

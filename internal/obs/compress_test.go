@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCompressionAccounting: Registry.Compressed feeds the per-destination
+// matrices, both lifetime counters, the job report's savings summary, and the
+// /debug/metrics compression block.
+func TestCompressionAccounting(t *testing.T) {
+	r := NewRegistry()
+	r.Attach(2)
+	r.BeginJob(1, "compress")
+	r.Compressed(0, 1, 8000, 2000)
+	r.Compressed(1, 0, 1000, 1000) // a batch that fell back to raw
+	rep := r.EndJob(1, time.Millisecond)
+
+	if rep.WireRawBytes[0][1] != 8000 || rep.WireBytes[0][1] != 2000 {
+		t.Errorf("matrix cell (0,1) = %d/%d, want 8000/2000",
+			rep.WireRawBytes[0][1], rep.WireBytes[0][1])
+	}
+	raw, wire, ratio := rep.WireSavings()
+	if raw != 9000 || wire != 3000 {
+		t.Errorf("WireSavings = %d/%d, want 9000/3000", raw, wire)
+	}
+	if ratio < 0.33 || ratio > 0.34 {
+		t.Errorf("ratio = %v, want 3000/9000", ratio)
+	}
+	if line := rep.Line(); !strings.Contains(line, "compress=") {
+		t.Errorf("Line lacks compression summary: %q", line)
+	}
+	ms := rep.CompressionMatrixString()
+	if !strings.Contains(ms, "0.25") || !strings.Contains(ms, "total ratio") {
+		t.Errorf("CompressionMatrixString missing cells:\n%s", ms)
+	}
+	lt := r.LifetimeCounters()
+	if lt[CtrWireRawBytes.String()] != 9000 || lt[CtrWireBytes.String()] != 3000 {
+		t.Errorf("lifetime counters = %d/%d, want 9000/3000",
+			lt[CtrWireRawBytes.String()], lt[CtrWireBytes.String()])
+	}
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	var payload struct {
+		Compression *struct {
+			RawBytes   int64   `json:"raw_bytes"`
+			WireBytes  int64   `json:"wire_bytes"`
+			SavedBytes int64   `json:"saved_bytes"`
+			Ratio      float64 `json:"ratio"`
+		} `json:"compression"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("metrics payload is not JSON: %v", err)
+	}
+	if payload.Compression == nil {
+		t.Fatal("/debug/metrics has no compression block")
+	}
+	if payload.Compression.RawBytes != 9000 || payload.Compression.SavedBytes != 6000 {
+		t.Errorf("compression block = %+v", payload.Compression)
+	}
+
+	// A job with no compression activity reports ratio 1 and stays silent.
+	r.BeginJob(2, "quiet")
+	rep = r.EndJob(2, time.Millisecond)
+	if raw, _, ratio := rep.WireSavings(); raw != 0 || ratio != 1 {
+		t.Errorf("idle job WireSavings = %d ratio %v", raw, ratio)
+	}
+	if strings.Contains(rep.Line(), "compress=") {
+		t.Error("idle job Line still mentions compression")
+	}
+
+	// Nil registry: Compressed must be a no-op, not a panic.
+	var nilReg *Registry
+	nilReg.Compressed(0, 1, 10, 5)
+}

@@ -57,6 +57,13 @@ const (
 	CtrRMIServed
 	// CtrFlushes counts request messages flushed by workers.
 	CtrFlushes
+	// CtrWireRawBytes / CtrWireBytes measure the wire compression layer:
+	// raw is the fixed-width payload size compression-eligible batches
+	// would have shipped, wire what they actually occupied after the
+	// sorted delta-varint encoding (equal for batches that fell back to
+	// raw). wire/raw is the compression ratio.
+	CtrWireRawBytes
+	CtrWireBytes
 
 	numCounters
 )
@@ -75,6 +82,8 @@ var counterNames = [numCounters]string{
 	CtrWritesApplied:   "writes_applied",
 	CtrRMIServed:       "rmi_served",
 	CtrFlushes:         "flushes",
+	CtrWireRawBytes:    "wire_raw_bytes",
+	CtrWireBytes:       "wire_bytes",
 }
 
 // String implements fmt.Stringer.
@@ -224,6 +233,12 @@ type machineObs struct {
 	trafficBytes  []atomic.Int64
 	trafficFrames []atomic.Int64
 
+	// wireRawBytes[d] / wireBytes[d] accumulate the compression layer's
+	// raw-vs-wire payload sizes toward machine d — the per-(src,dst)
+	// compression ratio of the traffic matrix.
+	wireRawBytes []atomic.Int64
+	wireBytes    []atomic.Int64
+
 	trace traceRing
 }
 
@@ -301,6 +316,8 @@ func (r *Registry) Attach(p int) {
 		mo := &machineObs{
 			trafficBytes:  make([]atomic.Int64, p),
 			trafficFrames: make([]atomic.Int64, p),
+			wireRawBytes:  make([]atomic.Int64, p),
+			wireBytes:     make([]atomic.Int64, p),
 		}
 		mo.trace.init(r.traceDepth)
 		st.machines[m] = mo
@@ -358,6 +375,22 @@ func (r *Registry) Traffic(src, dst, n int) {
 	mo.counters[CtrFramesSent].Add(1)
 }
 
+// Compressed records one compression-eligible batch from src toward dst:
+// raw is its fixed-width payload size, wire the bytes it actually shipped.
+func (r *Registry) Compressed(src, dst int, raw, wire int64) {
+	if r == nil {
+		return
+	}
+	mo := r.machine(src)
+	if mo == nil || dst < 0 || dst >= len(mo.wireRawBytes) {
+		return
+	}
+	mo.wireRawBytes[dst].Add(raw)
+	mo.wireBytes[dst].Add(wire)
+	mo.counters[CtrWireRawBytes].Add(raw)
+	mo.counters[CtrWireBytes].Add(wire)
+}
+
 // Observe records one latency sample into histogram h on machine m.
 func (r *Registry) Observe(m int, h HistID, d time.Duration) {
 	if r == nil {
@@ -397,6 +430,8 @@ func (r *Registry) drainToLifetime(rep *JobReport) {
 		rep.PerMachine = make([]map[string]int64, p)
 		rep.TrafficBytes = make([][]int64, p)
 		rep.TrafficFrames = make([][]int64, p)
+		rep.WireRawBytes = make([][]int64, p)
+		rep.WireBytes = make([][]int64, p)
 		rep.Histograms = make(map[string]HistSnapshot, int(numHists))
 	}
 	var hists [numHists]HistSnapshot
@@ -421,14 +456,20 @@ func (r *Registry) drainToLifetime(rep *JobReport) {
 		}
 		rowB := make([]int64, len(mo.trafficBytes))
 		rowF := make([]int64, len(mo.trafficFrames))
+		rowWR := make([]int64, len(mo.wireRawBytes))
+		rowW := make([]int64, len(mo.wireBytes))
 		for d := range mo.trafficBytes {
 			rowB[d] = mo.trafficBytes[d].Swap(0)
 			rowF[d] = mo.trafficFrames[d].Swap(0)
+			rowWR[d] = mo.wireRawBytes[d].Swap(0)
+			rowW[d] = mo.wireBytes[d].Swap(0)
 		}
 		if rep != nil {
 			rep.PerMachine[m] = perM
 			rep.TrafficBytes[m] = rowB
 			rep.TrafficFrames[m] = rowF
+			rep.WireRawBytes[m] = rowWR
+			rep.WireBytes[m] = rowW
 		}
 	}
 	if rep != nil {

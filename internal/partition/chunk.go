@@ -1,5 +1,7 @@
 package partition
 
+import "sort"
+
 // Chunk is a half-open range [Begin, End) of local node indices handed to a
 // worker as one unit of RTC task scheduling (paper §3.2/§3.3: "tasks are
 // grouped into chunks, which in return are allocated to worker threads").
@@ -49,12 +51,15 @@ func EdgeChunks(rows []int64, targetEdges int64) []Chunk {
 	var chunks []Chunk
 	lo := 0
 	for lo < n {
-		hi := lo + 1
-		// Extend while the chunk stays under target. The first node always
-		// joins, so over-degree vertices form singleton chunks.
-		for hi < n && rows[hi+1]-rows[lo] <= targetEdges {
-			hi++
-		}
+		// The first node always joins, so over-degree vertices form singleton
+		// chunks. Beyond it, rows is a nondecreasing prefix sum, so "the chunk
+		// stays under target" is a monotone predicate and the boundary is a
+		// binary search — O(c log n) instead of O(n) per pass, which matters on
+		// skewed partitions where one pass emits thousands of tiny chunks next
+		// to a handful of giant ones.
+		hi := lo + 1 + sort.Search(n-lo-1, func(i int) bool {
+			return rows[lo+2+i]-rows[lo] > targetEdges
+		})
 		chunks = append(chunks, Chunk{Begin: uint32(lo), End: uint32(hi)})
 		lo = hi
 	}

@@ -1,0 +1,104 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// edgeChunksLinear is the pre-binary-search reference implementation: extend
+// each chunk one node at a time while it stays under target.
+func edgeChunksLinear(rows []int64, targetEdges int64) []Chunk {
+	n := len(rows) - 1
+	if n <= 0 {
+		return nil
+	}
+	if targetEdges < 1 {
+		targetEdges = 1
+	}
+	var chunks []Chunk
+	lo := 0
+	for lo < n {
+		hi := lo + 1
+		for hi < n && rows[hi+1]-rows[lo] <= targetEdges {
+			hi++
+		}
+		chunks = append(chunks, Chunk{Begin: uint32(lo), End: uint32(hi)})
+		lo = hi
+	}
+	return chunks
+}
+
+func chunksEqual(a, b []Chunk) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The binary-search EdgeChunks must produce exactly the chunks the linear
+// scan does, degree pattern and target regardless.
+func TestEdgeChunksMatchesLinearReference(t *testing.T) {
+	f := func(degrees []uint8, targetRaw uint16) bool {
+		rows := make([]int64, len(degrees)+1)
+		for i, d := range degrees {
+			rows[i+1] = rows[i] + int64(d)
+		}
+		target := int64(targetRaw % 300)
+		return chunksEqual(EdgeChunks(rows, target), edgeChunksLinear(rows, target))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+
+	// Directed cases the fuzzer rarely hits: heavy hubs adjacent to long
+	// zero-degree runs (the shape skewed RMAT partitions take).
+	hub := make([]int64, 4097)
+	for i := 1; i <= 4096; i++ {
+		hub[i] = hub[i-1]
+		switch {
+		case i%1024 == 1:
+			hub[i] += 100000
+		case i%7 == 0:
+			hub[i] += 3
+		}
+	}
+	for _, target := range []int64{0, 1, 2, 100, 99999, 100000, 1 << 40} {
+		if !chunksEqual(EdgeChunks(hub, target), edgeChunksLinear(hub, target)) {
+			t.Errorf("hub rows diverge from linear reference at target %d", target)
+		}
+	}
+}
+
+// skewedRows builds a CSR row prefix sum with Zipf-like degrees: a few
+// enormous hubs, a long tail of degree 0-2 nodes — the partition shape edge
+// chunking exists for, and the worst case for the old linear boundary scan
+// (each giant target makes it walk thousands of tail nodes per chunk).
+func skewedRows(n int) []int64 {
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, 1<<16)
+	rows := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		rows[i] = rows[i-1] + int64(zipf.Uint64())
+	}
+	return rows
+}
+
+func benchmarkEdgeChunks(b *testing.B, f func([]int64, int64) []Chunk) {
+	rows := skewedRows(1 << 18)
+	target := rows[len(rows)-1] / 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f(rows, target) == nil {
+			b.Fatal("no chunks")
+		}
+	}
+}
+
+func BenchmarkEdgeChunksSkewed(b *testing.B)       { benchmarkEdgeChunks(b, EdgeChunks) }
+func BenchmarkEdgeChunksSkewedLinear(b *testing.B) { benchmarkEdgeChunks(b, edgeChunksLinear) }

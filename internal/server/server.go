@@ -671,11 +671,14 @@ func (s *Server) handleStats() Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var transportErrors, jobs, aborts int64
+	var wireRaw, wireBytes int64
 	var lastAbort *AbortSummary
 	var lastWhen time.Time
 	for _, inst := range s.instances {
 		snap := inst.cluster.TrafficSnapshot()
 		transportErrors += snap.SendErrors + snap.RecvErrors
+		wireRaw += snap.CompressRawBytes
+		wireBytes += snap.CompressWireBytes
 		jobs += inst.reg.JobsObserved()
 		aborts += inst.reg.AbortsObserved()
 		if d := inst.reg.LastAbort(); d != nil && d.When.After(lastWhen) {
@@ -691,20 +694,28 @@ func (s *Server) handleStats() Response {
 		}
 	}
 	p50, p90, p99 := s.runPercentiles()
+	compressionRatio := 1.0
+	if wireRaw > 0 {
+		compressionRatio = float64(wireBytes) / float64(wireRaw)
+	}
 	return Response{OK: true, Stats: &ServerStats{
-		LoadedGraphs:    len(s.instances),
-		ResidentEdges:   s.resident,
-		MaxEdges:        s.cfg.MaxResidentEdges,
-		RunsServed:      s.runsServed.Load(),
-		FailedRuns:      s.failedRuns.Load(),
-		ActiveAnalyses:  int(s.active.Load()),
-		TransportErrors: transportErrors,
-		UptimeSeconds:   time.Since(s.start).Seconds(),
-		RunP50Millis:    p50,
-		RunP90Millis:    p90,
-		RunP99Millis:    p99,
-		JobsObserved:    jobs,
-		AbortsSeen:      aborts,
-		LastAbort:       lastAbort,
+		LoadedGraphs:     len(s.instances),
+		ResidentEdges:    s.resident,
+		MaxEdges:         s.cfg.MaxResidentEdges,
+		RunsServed:       s.runsServed.Load(),
+		FailedRuns:       s.failedRuns.Load(),
+		ActiveAnalyses:   int(s.active.Load()),
+		TransportErrors:  transportErrors,
+		WireRawBytes:     wireRaw,
+		WireBytes:        wireBytes,
+		WireSavedBytes:   wireRaw - wireBytes,
+		CompressionRatio: compressionRatio,
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		RunP50Millis:     p50,
+		RunP90Millis:     p90,
+		RunP99Millis:     p99,
+		JobsObserved:     jobs,
+		AbortsSeen:       aborts,
+		LastAbort:        lastAbort,
 	}}
 }
