@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race faults wire fuzz-smoke ci bench-comm bench-faults bench-wire obs
+.PHONY: build test vet race faults wire fuzz-smoke ci bench-comm bench-faults bench-wire obs direction bench-direction
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,11 @@ vet:
 
 # Race-detector pass over the concurrency-heavy packages: the comm fabrics
 # (async senders, routers, collectives), the engine core (workers, copiers,
-# read combining, wire compression), the varint codec, and the observability
-# registry (atomic counters, span rings, snapshot-and-reset).
+# frontiers with copier-side write-activation, read combining, wire
+# compression), the traversal algorithms (adaptive direction switching), the
+# varint codec, and the observability registry.
 race:
-	$(GO) test -race ./internal/codec/... ./internal/comm/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/codec/... ./internal/comm/... ./internal/core/... ./internal/algorithms/... ./internal/obs/...
 
 # Fault-injection suite under the race detector: every TestFault* case
 # (injector semantics, job aborts over both fabrics, recovery, leak checks).
@@ -52,6 +53,19 @@ bench-faults:
 # PageRank-pull + WCC, compression on/off).
 bench-wire:
 	$(GO) run ./cmd/pgxd-bench -exp wire -wire-out BENCH_wire.json
+
+# Frontier/direction check: frontier representation and write-activation
+# tests, the adaptive-vs-fixed bit-identity suite over both fabrics, then a
+# small -exp direction smoke.
+direction:
+	$(GO) test -count=1 -run 'Frontier|ActivateInto|TraversalsAdaptive' ./internal/core/... ./internal/algorithms/...
+	$(GO) run ./cmd/pgxd-bench -exp direction -machines 4 -scale 10 -quiet -direction-out BENCH_direction_smoke.json
+
+# Regenerate the push/pull direction-switching ablation artifact
+# (BFS/SSSP/WCC/PageRank x {fixed-push, fixed-pull, adaptive, dense} on RMAT
+# and road-shaped graphs).
+bench-direction:
+	$(GO) run ./cmd/pgxd-bench -exp direction -machines 4 -scale 14 -direction-out BENCH_direction.json
 
 # Observability experiment: instrumentation overhead (registry off vs. on),
 # a fully traced PageRank over TCP (spans + traffic matrix), and the abort

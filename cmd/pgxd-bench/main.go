@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults|wire]
+//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults|wire|direction]
 //	           [-scale N] [-machines 1,2,4] [-workers N] [-copiers N] [-quiet]
 //
-// The comm and wire experiments additionally write their sweeps as JSON
-// (-comm-out / -wire-out, defaults BENCH_comm.json / BENCH_wire.json).
+// The comm, wire, and direction experiments additionally write their sweeps
+// as JSON (-comm-out / -wire-out / -direction-out, defaults BENCH_comm.json /
+// BENCH_wire.json / BENCH_direction.json).
 //
 // Results print as aligned text tables shaped like the paper's originals;
 // EXPERIMENTS.md records a reference run with commentary.
@@ -26,9 +27,10 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs, wire)")
+		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs, wire, direction)")
 		commOut  = flag.String("comm-out", "BENCH_comm.json", "output path for the comm experiment's JSON report")
 		wireOut  = flag.String("wire-out", "BENCH_wire.json", "output path for the wire compression experiment's JSON report")
+		dirOut   = flag.String("direction-out", "BENCH_direction.json", "output path for the direction switching experiment's JSON report")
 		obsOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the observability experiment's JSON report")
 		obsRun   = flag.Bool("obs", false, "also run the observability experiment and write its report")
 		scale    = flag.Int("scale", bench.DefaultScale, "graph scale: datasets have 2^scale nodes")
@@ -223,6 +225,23 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wire: report written to %s\n", *wireOut)
+		}
+	}
+	// The direction experiment ablates the adaptive push/pull traversal; it
+	// boots many clusters per cell, so it runs only when named explicitly.
+	if *exp == "direction" {
+		ran = true
+		p := machineCounts[len(machineCounts)-1]
+		tbl, rep, err := bench.ExpDirection(ds, *scale, p, *prIters, progress)
+		if err != nil {
+			fatalf("direction: %v", err)
+		}
+		fmt.Println(tbl)
+		if err := rep.WriteJSON(*dirOut); err != nil {
+			fatalf("direction: writing %s: %v", *dirOut, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "direction: report written to %s\n", *dirOut)
 		}
 	}
 	// The observability experiment measures the engine's own instrumentation

@@ -29,6 +29,11 @@ type Metrics struct {
 	Breakdown core.Breakdown
 	// Traffic aggregates the transport deltas of all jobs.
 	Traffic comm.Snapshot
+	// PushSteps / PullSteps count traversal supersteps by direction (only
+	// the direction-optimizing traversals populate them; the dense ablation
+	// path counts every superstep as push).
+	PushSteps int
+	PullSteps int
 }
 
 // PerIteration returns the average wall time per iteration, the number the
@@ -61,15 +66,31 @@ type runner struct {
 }
 
 func (r *runner) run(spec core.JobSpec) {
+	r.runStats(spec)
+}
+
+// runStats runs one job and returns its stats (zero value after an error) —
+// for callers that feed JobStats.Frontiers or Traffic back into a policy.
+func (r *runner) runStats(spec core.JobSpec) core.JobStats {
 	if r.err != nil {
-		return
+		return core.JobStats{}
 	}
 	st, err := r.c.RunJob(spec)
 	if err != nil {
 		r.err = err
-		return
+		return core.JobStats{}
 	}
 	r.met.track(st)
+	return st
+}
+
+// dirStep counts one traversal superstep in the chosen direction.
+func (r *runner) dirStep(d core.Direction) {
+	if d == core.DirPull {
+		r.met.PullSteps++
+	} else {
+		r.met.PushSteps++
+	}
 }
 
 func (r *runner) propF64(name string) core.PropID {

@@ -1,0 +1,143 @@
+package algorithms
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// dirCluster boots a cluster for one direction variant over the requested
+// transport. delayFaults additionally wraps the fabric in an injector that
+// delays every 7th frame — a tolerated fault that perturbs message timing, so
+// bit-identical results across variants also demonstrate the traversals are
+// deterministic under reordering.
+func dirCluster(t *testing.T, g *graph.Graph, p int, useTCP, delayFaults bool, variant string) *core.Cluster {
+	t.Helper()
+	cfg := core.DefaultConfig(p)
+	cfg.GhostThreshold = 64
+	cfg.BufferSize = 8 << 10
+	cfg.ReqBuffers = 2*cfg.Workers*p + 4
+	cfg.RespBuffers = 2*cfg.Copiers*p + 4
+	cfg.RequestTimeout = 10 * time.Second
+	cfg.CollectiveTimeout = 10 * time.Second
+	switch variant {
+	case "adaptive":
+	case "fixed-push":
+		cfg.DisableDirectionSwitching = true
+		cfg.FixedDirection = core.DirPush
+	case "fixed-pull":
+		cfg.DisableDirectionSwitching = true
+		cfg.FixedDirection = core.DirPull
+	default:
+		t.Fatalf("unknown variant %q", variant)
+	}
+	if useTCP {
+		f, err := comm.NewTCPFabric(p, p*(cfg.ReqBuffers+cfg.Workers*p)+64, cfg.BufferSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Fabric = f
+	}
+	if delayFaults {
+		if cfg.Fabric == nil {
+			perMachine := cfg.ReqBuffers + cfg.RespBuffers + 4*p + 8 + p + 2
+			cfg.Fabric = comm.NewInProcFabric(p, p*perMachine+16)
+		}
+		cfg.Fabric = comm.NewFaultInjector(cfg.Fabric, comm.FaultPlan{
+			Seed: 7,
+			Rules: []comm.FaultRule{{
+				Src: comm.AnyMachine, Dst: comm.AnyMachine, Type: comm.AnyType,
+				Kind: comm.FaultDelay, Every: 7, Delay: 200 * time.Microsecond,
+			}},
+		})
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	if err := c.Load(g); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// eachTransport runs body over in-proc, TCP, and TCP-with-delay-faults.
+func eachTransport(t *testing.T, body func(t *testing.T, useTCP, faults bool)) {
+	t.Run("inproc", func(t *testing.T) { body(t, false, false) })
+	t.Run("tcp", func(t *testing.T) { body(t, true, false) })
+	t.Run("tcp-faults", func(t *testing.T) { body(t, true, true) })
+}
+
+// assertBitsF64 requires exact bit equality — traversal equivalence across
+// push/pull is bit-identical, not merely close.
+func assertBitsF64(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d] = %x, want %x", name, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestTraversalsAdaptiveMatchesFixed: BFS, SSSP, and WCC produce bit-identical
+// results whether the direction is adaptive, pinned to push, or pinned to
+// pull — on a small-world RMAT and a high-diameter grid, over both fabrics,
+// and with injected frame delays perturbing delivery order.
+func TestTraversalsAdaptiveMatchesFixed(t *testing.T) {
+	rmat := testGraph(t).WithUniformWeights(1, 10, 7)
+	grid, err := graph.Grid(20, 20, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid = grid.WithUniformWeights(1, 10, 7)
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{{"rmat", rmat}, {"grid", grid}}
+
+	eachTransport(t, func(t *testing.T, useTCP, faults bool) {
+		for _, tg := range graphs {
+			t.Run(tg.name, func(t *testing.T) {
+				root := graph.NodeID(0)
+				type result struct {
+					hop []int64
+					sp  []float64
+					wcc []int64
+				}
+				results := map[string]result{}
+				for _, variant := range []string{"fixed-push", "fixed-pull", "adaptive"} {
+					c := dirCluster(t, tg.g, 3, useTCP, faults, variant)
+					hop, _, err := HopDist(c, root, c.NumNodes())
+					if err != nil {
+						t.Fatalf("%s hopdist: %v", variant, err)
+					}
+					sp, _, err := SSSP(c, root, c.NumNodes())
+					if err != nil {
+						t.Fatalf("%s sssp: %v", variant, err)
+					}
+					wcc, _, err := WCC(c, c.NumNodes())
+					if err != nil {
+						t.Fatalf("%s wcc: %v", variant, err)
+					}
+					results[variant] = result{hop: hop, sp: sp, wcc: wcc}
+				}
+				ref := results["fixed-push"]
+				for _, variant := range []string{"fixed-pull", "adaptive"} {
+					got := results[variant]
+					assertEqualI64(t, fmt.Sprintf("%s hopdist", variant), got.hop, ref.hop)
+					assertBitsF64(t, fmt.Sprintf("%s sssp", variant), got.sp, ref.sp)
+					assertEqualI64(t, fmt.Sprintf("%s wcc", variant), got.wcc, ref.wcc)
+				}
+			})
+		}
+	})
+}

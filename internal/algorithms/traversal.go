@@ -8,8 +8,21 @@ import (
 	"repro/internal/reduce"
 )
 
+// The traversal algorithms (WCC, SSSP, hop distance) run on the frontier API:
+// an explicit active-vertex set drives each superstep (JobSpec.Source), the
+// kernel of the adopt phase collects the next frontier (Ctx.Activate), and a
+// DirectionPolicy picks push or pull per superstep. The frontier size and
+// degree sums come back piggybacked on the job's termination allreduce, so no
+// per-superstep ReduceI64 collective remains on this path.
+//
+// The pre-frontier formulation — dense i64 "active" properties, a full O(V)
+// filter scan per superstep, and a ReduceI64(active, Sum) convergence check —
+// is kept verbatim below (wccDense, ssspDense, hopDistDense) and selected by
+// Config.DisableSparseFrontier. It is the ablation baseline BENCH_direction
+// measures the frontier machinery against.
+
 // minLabelPush propagates the node's current label to the neighbor's next
-// label with a MIN reduction — the shared kernel of WCC (labels), SSSP
+// label with a MIN reduction — the shared push kernel of WCC (labels), SSSP
 // (distances via dist+weight), and hop distance (dist+1).
 type minLabelPush struct {
 	core.NoReads
@@ -21,7 +34,8 @@ func (k *minLabelPush) Run(c *core.Ctx) {
 }
 
 // minAdoptKernel adopts labelNxt when it improves label and records whether
-// the node changed (the activity bit for the next round).
+// the node changed in a dense activity property (the ablation path's activity
+// tracking).
 type minAdoptKernel struct {
 	core.NoReads
 	label, labelNxt, active core.PropID
@@ -37,13 +51,114 @@ func (k *minAdoptKernel) Run(c *core.Ctx) {
 	}
 }
 
-// WCC computes weakly connected components by iterative min-label
-// propagation over both edge orientations (weak connectivity ignores edge
-// direction), with vertex deactivation between rounds: "In WCC, a
+// --- WCC ---------------------------------------------------------------------
+
+// wccPullKernel is the pull form of min-label propagation: every node scans
+// its neighbors (both orientations) and folds their labels into its own
+// labelNxt locally — remote reads instead of remote reductions.
+type wccPullKernel struct {
+	label, labelNxt core.PropID
+}
+
+func (k *wccPullKernel) Run(c *core.Ctx) {
+	c.NbrRead(k.label)
+}
+
+func (k *wccPullKernel) ReadDone(c *core.Ctx, val uint64) {
+	if v := core.I64Word(val); v < c.GetI64(k.labelNxt) {
+		c.SetI64(k.labelNxt, v)
+	}
+}
+
+// wccAdoptKernel adopts an improved label and activates the node into the
+// next frontier.
+type wccAdoptKernel struct {
+	core.NoReads
+	label, labelNxt core.PropID
+}
+
+func (k *wccAdoptKernel) Run(c *core.Ctx) {
+	nxt := c.GetI64(k.labelNxt)
+	if nxt < c.GetI64(k.label) {
+		c.SetI64(k.label, nxt)
+		c.Activate(0)
+	}
+}
+
+// WCC computes weakly connected components by iterative min-label propagation
+// over both edge orientations (weak connectivity ignores edge direction),
+// with an explicit frontier of just-improved nodes and per-superstep
+// push/pull selection: push scatters frontier labels with MIN reductions,
+// pull has every node gather neighbor labels with reads. "In WCC, a
 // deactivated node can later be active again" — adopting a smaller label
-// reactivates the node. Returns the component label per node (the minimum
+// re-enters the frontier. Returns the component label per node (the minimum
 // global id in the component).
 func WCC(c *core.Cluster, maxIter int) ([]int64, Metrics, error) {
+	if c.Config().DisableSparseFrontier {
+		return wccDense(c, maxIter)
+	}
+	r := &runner{c: c}
+	label := r.propI64("wcc")
+	labelNxt := r.propI64("wcc_nxt")
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	defer c.DropProps(labelNxt)
+	c.FillByNodeI64(label, func(v graph.NodeID) int64 { return int64(v) })
+	c.FillByNodeI64(labelNxt, func(v graph.NodeID) int64 { return int64(v) })
+
+	cur := c.NewFrontier("wcc_cur")
+	cur.Fill(nil) // every node starts with its own label to propagate
+	stats := cur.Stats()
+	policy := c.NewDirectionPolicy()
+	if c.Config().DirectionAlpha <= 0 {
+		// Min-label pull has no early exit (every neighbor label must be
+		// folded in), so a pull superstep pays its full 2E scan: only prefer
+		// it when frontier edge work genuinely rivals that, not at the
+		// BFS-tuned 1/alpha fraction.
+		policy.Alpha = 1
+	}
+	dir := core.DirPush
+	pullEdges := 2 * c.NumEdges() // a pull superstep scans both orientations
+
+	start := nowFn()
+	for it := 0; it < maxIter && r.err == nil; it++ {
+		if stats.Count == 0 {
+			break
+		}
+		dir = policy.Choose(dir, stats.Count, stats.OutDeg+stats.InDeg, pullEdges)
+		r.dirStep(dir)
+		if dir == core.DirPush {
+			st := r.runStats(core.JobSpec{Name: "wcc-push", Iter: core.IterBothEdges,
+				Source:     cur,
+				Task:       &minLabelPush{label: label, labelNxt: labelNxt},
+				WriteProps: []core.WriteSpec{{Prop: labelNxt, Op: reduce.Min}}})
+			policy.Observe(core.DirPush, stats.OutDeg+stats.InDeg, st.Traffic.BytesSent)
+		} else {
+			st := r.runStats(core.JobSpec{Name: "wcc-pull", Iter: core.IterBothEdges,
+				Task:      &wccPullKernel{label: label, labelNxt: labelNxt},
+				ReadProps: []core.PropID{label}})
+			policy.Observe(core.DirPull, pullEdges, st.Traffic.BytesSent)
+		}
+		adopt := r.runStats(core.JobSpec{Name: "wcc-adopt", Iter: core.IterNodes,
+			Task:  &wccAdoptKernel{label: label, labelNxt: labelNxt},
+			Build: []*core.Frontier{cur}})
+		r.met.Iterations++
+		if r.err != nil {
+			break
+		}
+		stats = adopt.Frontiers[0]
+	}
+	r.met.Total = nowFn().Sub(start)
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	return c.GatherI64(label), r.met, nil
+}
+
+// wccDense is the pre-frontier WCC: dense activity property, full filter
+// scan, ReduceI64 convergence check (the DisableSparseFrontier ablation).
+func wccDense(c *core.Cluster, maxIter int) ([]int64, Metrics, error) {
 	r := &runner{c: c}
 	label := r.propI64("wcc")
 	labelNxt := r.propI64("wcc_nxt")
@@ -67,6 +182,7 @@ func WCC(c *core.Cluster, maxIter int) ([]int64, Metrics, error) {
 		r.run(core.JobSpec{Name: "wcc-adopt", Iter: core.IterNodes,
 			Task: &minAdoptKernel{label: label, labelNxt: labelNxt, active: active}})
 		r.met.Iterations++
+		r.met.PushSteps++
 		remaining, err := c.ReduceI64(active, reduce.Sum)
 		if err != nil {
 			r.err = err
@@ -86,7 +202,7 @@ func WCC(c *core.Cluster, maxIter int) ([]int64, Metrics, error) {
 // --- SSSP (Bellman-Ford) -----------------------------------------------------
 
 // distRelaxKernel relaxes each out-edge: nbr.distNxt = min(nbr.distNxt,
-// dist + weight). Only active (just-improved) nodes relax.
+// dist + weight). Only frontier (just-improved) nodes relax.
 type distRelaxKernel struct {
 	core.NoReads
 	dist, distNxt core.PropID
@@ -94,6 +210,39 @@ type distRelaxKernel struct {
 
 func (k *distRelaxKernel) Run(c *core.Ctx) {
 	c.NbrWriteF64(k.distNxt, reduce.Min, c.GetF64(k.dist)+c.EdgeWeight())
+}
+
+// ssspPullKernel is the pull form of edge relaxation: every node scans its
+// in-edges and folds dist(u)+w(u,v) into its own distNxt. The sum uses the
+// same operands in the same order as the push kernel, so the two directions
+// produce bit-identical floats.
+type ssspPullKernel struct {
+	dist, distNxt core.PropID
+}
+
+func (k *ssspPullKernel) Run(c *core.Ctx) {
+	c.Aux = core.WordF64(c.EdgeWeight())
+	c.NbrRead(k.dist)
+}
+
+func (k *ssspPullKernel) ReadDone(c *core.Ctx, val uint64) {
+	if d := core.F64Word(val) + core.F64Word(c.Aux); d < c.GetF64(k.distNxt) {
+		c.SetF64(k.distNxt, d)
+	}
+}
+
+// ssspAdoptKernel adopts an improved distance and activates the node.
+type ssspAdoptKernel struct {
+	core.NoReads
+	dist, distNxt core.PropID
+}
+
+func (k *ssspAdoptKernel) Run(c *core.Ctx) {
+	nxt := c.GetF64(k.distNxt)
+	if nxt < c.GetF64(k.dist) {
+		c.SetF64(k.dist, nxt)
+		c.Activate(0)
+	}
 }
 
 type distAdoptKernel struct {
@@ -112,10 +261,78 @@ func (k *distAdoptKernel) Run(c *core.Ctx) {
 }
 
 // SSSP computes single-source shortest path distances with the iterative
-// Bellman-Ford scheme the paper uses; unreachable nodes report +Inf. Edge
-// weights come from the loaded graph ("we generated these values using a
-// uniform random distribution").
+// Bellman-Ford scheme the paper uses, driven by a frontier of just-improved
+// nodes with per-round push/pull selection; unreachable nodes report +Inf.
+// Edge weights come from the loaded graph ("we generated these values using
+// a uniform random distribution").
 func SSSP(c *core.Cluster, source graph.NodeID, maxIter int) ([]float64, Metrics, error) {
+	if c.Config().DisableSparseFrontier {
+		return ssspDense(c, source, maxIter)
+	}
+	r := &runner{c: c}
+	dist := r.propF64("sssp")
+	distNxt := r.propF64("sssp_nxt")
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	defer c.DropProps(distNxt)
+	inf := math.Inf(1)
+	c.FillF64(dist, inf)
+	c.FillF64(distNxt, inf)
+	c.SetNodeF64(source, dist, 0)
+	c.SetNodeF64(source, distNxt, 0)
+
+	cur := c.NewFrontier("sssp_cur")
+	cur.Add(source)
+	stats := cur.Stats()
+	policy := c.NewDirectionPolicy()
+	if c.Config().DirectionAlpha <= 0 {
+		// Edge relaxation has no early exit in pull form (min over every
+		// in-edge), so a pull superstep pays its full E scan: only prefer it
+		// when frontier edge work rivals that, not at the BFS-tuned 1/alpha
+		// fraction.
+		policy.Alpha = 1
+	}
+	dir := core.DirPush
+	pullEdges := c.NumEdges() // a pull superstep scans every in-edge once
+
+	start := nowFn()
+	for it := 0; it < maxIter && r.err == nil; it++ {
+		if stats.Count == 0 {
+			break
+		}
+		dir = policy.Choose(dir, stats.Count, stats.OutDeg, pullEdges)
+		r.dirStep(dir)
+		if dir == core.DirPush {
+			st := r.runStats(core.JobSpec{Name: "sssp-relax", Iter: core.IterOutEdges,
+				Source:     cur,
+				Task:       &distRelaxKernel{dist: dist, distNxt: distNxt},
+				WriteProps: []core.WriteSpec{{Prop: distNxt, Op: reduce.Min}}})
+			policy.Observe(core.DirPush, stats.OutDeg, st.Traffic.BytesSent)
+		} else {
+			st := r.runStats(core.JobSpec{Name: "sssp-pull", Iter: core.IterInEdges,
+				Task:      &ssspPullKernel{dist: dist, distNxt: distNxt},
+				ReadProps: []core.PropID{dist}})
+			policy.Observe(core.DirPull, pullEdges, st.Traffic.BytesSent)
+		}
+		adopt := r.runStats(core.JobSpec{Name: "sssp-adopt", Iter: core.IterNodes,
+			Task:  &ssspAdoptKernel{dist: dist, distNxt: distNxt},
+			Build: []*core.Frontier{cur}})
+		r.met.Iterations++
+		if r.err != nil {
+			break
+		}
+		stats = adopt.Frontiers[0]
+	}
+	r.met.Total = nowFn().Sub(start)
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	return c.GatherF64(dist), r.met, nil
+}
+
+// ssspDense is the pre-frontier SSSP (the DisableSparseFrontier ablation).
+func ssspDense(c *core.Cluster, source graph.NodeID, maxIter int) ([]float64, Metrics, error) {
 	r := &runner{c: c}
 	dist := r.propF64("sssp")
 	distNxt := r.propF64("sssp_nxt")
@@ -142,6 +359,7 @@ func SSSP(c *core.Cluster, source graph.NodeID, maxIter int) ([]float64, Metrics
 		r.run(core.JobSpec{Name: "sssp-adopt", Iter: core.IterNodes,
 			Task: &distAdoptKernel{dist: dist, distNxt: distNxt, active: active}})
 		r.met.Iterations++
+		r.met.PushSteps++
 		remaining, err := c.ReduceI64(active, reduce.Sum)
 		if err != nil {
 			r.err = err
@@ -170,9 +388,130 @@ func (k *hopRelaxKernel) Run(c *core.Ctx) {
 	c.NbrWriteI64(k.distNxt, reduce.Min, c.GetI64(k.dist)+1)
 }
 
+// hopPushKernel is the top-down BFS step: frontier nodes (all at the current
+// level) push level+1 into each out-neighbor's dist with a MIN reduction.
+// The write spec's ActivateInto makes the engine activate every node whose
+// dist the reduction actually changed — exactly the unvisited nodes claimed
+// this level — so the next frontier is a receiver-side by-product of the
+// relaxation and no separate adopt pass runs.
+type hopPushKernel struct {
+	core.NoReads
+	dist  core.PropID
+	level int64
+}
+
+func (k *hopPushKernel) Run(c *core.Ctx) {
+	c.NbrWriteI64(k.dist, reduce.Min, k.level+1)
+}
+
+// hopPullKernel is the bottom-up BFS step (the direction-optimizing pull):
+// each still-unvisited node scans its in-neighbors for one on the current
+// level and claims level+1 for itself, activating into the next frontier.
+// The scan stops at the first hit (SkipNode) — the early exit that makes
+// pull win on dense levels. Remote in-neighbors resolve asynchronously and
+// cannot stop the scan, but their continuations still claim the level, so
+// the result is unaffected. Claims are deterministic: only values that were
+// exactly level at job start can match, and a mid-superstep self-claim
+// writes level+1, which no reader can mistake for level.
+type hopPullKernel struct {
+	dist  core.PropID
+	level int64
+}
+
+func (k *hopPullKernel) Run(c *core.Ctx) {
+	if c.GetI64(k.dist) == k.level+1 {
+		c.SkipNode() // already claimed by an earlier in-neighbor
+		return
+	}
+	c.NbrRead(k.dist)
+}
+
+func (k *hopPullKernel) ReadDone(c *core.Ctx, val uint64) {
+	if core.I64Word(val) == k.level && c.GetI64(k.dist) != k.level+1 {
+		c.SetI64(k.dist, k.level+1)
+		c.Activate(0)
+		c.SkipNode()
+	}
+}
+
 // HopDist computes breadth-first hop distances from root ("Breadth-first
-// traversal from the root"); unreachable nodes report math.MaxInt64.
+// traversal from the root") with direction-optimizing search: top-down (push)
+// supersteps while the frontier is small, bottom-up (pull) supersteps over
+// the unvisited set once the frontier's out-edge work rivals the unvisited
+// side's in-edge work. Each level is a single job — push builds the next
+// frontier receiver-side (WriteSpec.ActivateInto), pull builds it via
+// self-activation — and the unvisited set is maintained incrementally by
+// subtracting each new frontier. Both directions assign identical levels, so
+// the result is bit-identical to either fixed direction. Unreachable nodes
+// report math.MaxInt64.
 func HopDist(c *core.Cluster, root graph.NodeID, maxIter int) ([]int64, Metrics, error) {
+	if c.Config().DisableSparseFrontier {
+		return hopDistDense(c, root, maxIter)
+	}
+	r := &runner{c: c}
+	dist := r.propI64("hop")
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	unreached := int64(math.MaxInt64) - 1 // headroom so level+1 cannot wrap
+	c.FillI64(dist, unreached)
+	c.SetNodeI64(root, dist, 0)
+
+	cur := c.NewFrontier("hop_cur")
+	unvis := c.NewFrontier("hop_unvis")
+	cur.Add(root)
+	unvis.Fill(func(v graph.NodeID) bool { return v != root })
+	curStats, unvisStats := cur.Stats(), unvis.Stats()
+
+	policy := c.NewDirectionPolicy()
+	dir := core.DirPush
+
+	start := nowFn()
+	for level := int64(0); int(level) < maxIter && r.err == nil; level++ {
+		if curStats.Count == 0 {
+			break
+		}
+		dir = policy.Choose(dir, curStats.Count, curStats.OutDeg, unvisStats.InDeg)
+		r.dirStep(dir)
+		var st core.JobStats
+		if dir == core.DirPush {
+			st = r.runStats(core.JobSpec{Name: "hop-push", Iter: core.IterOutEdges,
+				Source:     cur,
+				Task:       &hopPushKernel{dist: dist, level: level},
+				WriteProps: []core.WriteSpec{{Prop: dist, Op: reduce.Min, ActivateInto: 1}},
+				Build:      []*core.Frontier{cur}})
+			policy.Observe(core.DirPush, curStats.OutDeg, st.Traffic.BytesSent)
+		} else {
+			st = r.runStats(core.JobSpec{Name: "hop-pull", Iter: core.IterInEdges,
+				Source:    unvis,
+				Task:      &hopPullKernel{dist: dist, level: level},
+				ReadProps: []core.PropID{dist},
+				Build:     []*core.Frontier{cur}})
+			policy.Observe(core.DirPull, unvisStats.InDeg, st.Traffic.BytesSent)
+		}
+		r.met.Iterations++
+		if r.err != nil {
+			break
+		}
+		curStats = st.Frontiers[0]
+		unvis.Subtract(cur)
+		unvisStats = unvis.Stats()
+	}
+	r.met.Total = nowFn().Sub(start)
+	if r.err != nil {
+		return nil, r.met, r.err
+	}
+	out := c.GatherI64(dist)
+	for i, v := range out {
+		if v >= unreached {
+			out[i] = math.MaxInt64
+		}
+	}
+	return out, r.met, nil
+}
+
+// hopDistDense is the pre-frontier BFS (the DisableSparseFrontier ablation).
+func hopDistDense(c *core.Cluster, root graph.NodeID, maxIter int) ([]int64, Metrics, error) {
 	r := &runner{c: c}
 	dist := r.propI64("hop")
 	distNxt := r.propI64("hop_nxt")
@@ -199,6 +538,7 @@ func HopDist(c *core.Cluster, root graph.NodeID, maxIter int) ([]int64, Metrics,
 		r.run(core.JobSpec{Name: "hop-adopt", Iter: core.IterNodes,
 			Task: &minAdoptKernel{label: dist, labelNxt: distNxt, active: active}})
 		r.met.Iterations++
+		r.met.PushSteps++
 		remaining, err := c.ReduceI64(active, reduce.Sum)
 		if err != nil {
 			r.err = err

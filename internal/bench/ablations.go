@@ -93,7 +93,84 @@ func ExpAblations(ds *Datasets, scale, machines int, prog Progress) (*Table, err
 		fmt.Sprintf("raw %s", fmtSecs(noCombT.Seconds())),
 		fmt.Sprintf("%.2f", combT.Seconds()/noCombT.Seconds()))
 
-	// 4. Per-step overhead: barrier vs full (empty) job.
+	// 4. Direction switching: adaptive BFS vs fixed push (both on the
+	// frontier machinery; only the per-superstep heuristic differs).
+	prog.log("ablations: direction switching")
+	runBFS := func(cfg core.Config) (time.Duration, error) {
+		c, err := core.NewCluster(cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Shutdown()
+		if err := c.Load(g); err != nil {
+			return 0, err
+		}
+		_, met, err := algorithms.HopDist(c, 0, c.NumNodes())
+		return met.Total, err
+	}
+	adaptT, err := runBFS(core.DefaultConfig(machines))
+	if err != nil {
+		return nil, err
+	}
+	cfgFixed := core.DefaultConfig(machines)
+	cfgFixed.DisableDirectionSwitching = true
+	cfgFixed.FixedDirection = core.DirPush
+	fixedT, err := runBFS(cfgFixed)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("direction switching vs fixed push (BFS)",
+		fmt.Sprintf("adaptive %s", fmtSecs(adaptT.Seconds())),
+		fmt.Sprintf("push %s", fmtSecs(fixedT.Seconds())),
+		fmt.Sprintf("%.2f", adaptT.Seconds()/fixedT.Seconds()))
+
+	// 5. Sparse frontier: frontier-driven BFS (fixed push, so only the
+	// iteration machinery differs) vs the dense active-property path with its
+	// full filter scans and per-step allreduce.
+	prog.log("ablations: sparse frontier")
+	cfgDense := core.DefaultConfig(machines)
+	cfgDense.DisableSparseFrontier = true
+	denseT, err := runBFS(cfgDense)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("sparse frontier vs dense filter scan (BFS)",
+		fmt.Sprintf("frontier %s", fmtSecs(fixedT.Seconds())),
+		fmt.Sprintf("dense %s", fmtSecs(denseT.Seconds())),
+		fmt.Sprintf("%.2f", fixedT.Seconds()/denseT.Seconds()))
+
+	// 6. Write combining: WCC's min-label pushes produce duplicate
+	// (prop, op, offset) records whenever several frontier nodes share a
+	// remote neighbor — the case the sender-side combiner folds in place.
+	prog.log("ablations: write combining")
+	runWCC := func(cfg core.Config) (time.Duration, error) {
+		c, err := core.NewCluster(cfg)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Shutdown()
+		if err := c.Load(g); err != nil {
+			return 0, err
+		}
+		_, met, err := algorithms.WCC(c, 100000)
+		return met.Total, err
+	}
+	combWT, err := runWCC(core.DefaultConfig(machines))
+	if err != nil {
+		return nil, err
+	}
+	cfgNoW := core.DefaultConfig(machines)
+	cfgNoW.DisableWriteCombining = true
+	noCombWT, err := runWCC(cfgNoW)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("write combining vs raw write records (WCC)",
+		fmt.Sprintf("combined %s", fmtSecs(combWT.Seconds())),
+		fmt.Sprintf("raw %s", fmtSecs(noCombWT.Seconds())),
+		fmt.Sprintf("%.2f", combWT.Seconds()/noCombWT.Seconds()))
+
+	// 7. Per-step overhead: barrier vs full (empty) job.
 	prog.log("ablations: per-step overhead")
 	c, err := core.NewCluster(core.DefaultConfig(machines))
 	if err != nil {

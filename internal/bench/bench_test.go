@@ -272,7 +272,7 @@ func TestExpAblationsSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 4 {
+	if len(tbl.Rows) != 7 {
 		t.Fatalf("got %d rows", len(tbl.Rows))
 	}
 }

@@ -33,6 +33,10 @@ const (
 	DSLive    = "LJ'"
 	DSWiki    = "WIK'"
 	DSUniform = "UNI'"
+	// DSRoad is a high-diameter road-network stand-in (near-square grid with
+	// a few long-range shortcuts) — the graph class where direction switching
+	// must know to stay top-down, since no BFS level ever gets dense.
+	DSRoad = "ROAD'"
 )
 
 // Datasets caches generated graphs by (name, scale) so multi-experiment runs
@@ -78,6 +82,10 @@ func generate(name string, scale int) (*graph.Graph, error) {
 	case DSUniform:
 		n := 1 << scale
 		return graph.Uniform(n, n*EdgeFactor, 20151119)
+	case DSRoad:
+		rows := 1 << (scale / 2)
+		cols := (1 << scale) / rows
+		return graph.Grid(rows, cols, (1<<scale)/64, 20151121)
 	default:
 		return nil, fmt.Errorf("bench: unknown dataset %q", name)
 	}

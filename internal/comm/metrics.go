@@ -39,6 +39,14 @@ type Metrics struct {
 	compressRawBytes  atomic.Int64
 	compressWireBytes atomic.Int64
 
+	// Write-combining counters (engine-fed): a sender-side hit is a remote
+	// write merged into an already-buffered record for the same
+	// (prop, op, offset); receiver-side combines are duplicate records in one
+	// sorted compressed batch merged before the column apply.
+	writeCombineHits       atomic.Int64
+	writeCombineSavedBytes atomic.Int64
+	recvWritesCombined     atomic.Int64
+
 	// Transport error counters: failed socket writes and corrupt/truncated
 	// inbound frames (a poisoned stream is diagnosable, not a silent hang).
 	sendErrors atomic.Int64
@@ -131,6 +139,28 @@ func (m *Metrics) CompressRawBytes() int64 { return m.compressRawBytes.Load() }
 // CompressWireBytes returns the bytes those payloads actually occupied.
 func (m *Metrics) CompressWireBytes() int64 { return m.compressWireBytes.Load() }
 
+// RecordWriteCombine folds one job's sender-side write combining in: hits
+// are remote writes merged into an already-buffered record, saved the
+// request bytes those records would have occupied.
+func (m *Metrics) RecordWriteCombine(hits, saved int64) {
+	m.writeCombineHits.Add(hits)
+	m.writeCombineSavedBytes.Add(saved)
+}
+
+// WriteCombineHits returns how many remote writes were merged sender-side.
+func (m *Metrics) WriteCombineHits() int64 { return m.writeCombineHits.Load() }
+
+// WriteCombineSavedBytes returns request bytes elided by sender-side write
+// combining.
+func (m *Metrics) WriteCombineSavedBytes() int64 { return m.writeCombineSavedBytes.Load() }
+
+// RecordRecvCombine counts n duplicate write records merged receiver-side
+// within one sorted compressed batch.
+func (m *Metrics) RecordRecvCombine(n int64) { m.recvWritesCombined.Add(n) }
+
+// RecvWritesCombined returns how many write records were merged receiver-side.
+func (m *Metrics) RecvWritesCombined() int64 { return m.recvWritesCombined.Load() }
+
 // RecordSendError counts one failed socket write.
 func (m *Metrics) RecordSendError() { m.sendErrors.Add(1) }
 
@@ -157,6 +187,11 @@ type Snapshot struct {
 	// Wire compression: fixed-width size vs. bytes actually sent.
 	CompressRawBytes, CompressWireBytes int64
 
+	// Write combining: sender-side merges (and bytes they saved) plus
+	// receiver-side merges within sorted compressed batches.
+	WriteCombineHits, WriteCombineSavedBytes int64
+	RecvWritesCombined                       int64
+
 	// Transport errors.
 	SendErrors, RecvErrors int64
 }
@@ -164,20 +199,23 @@ type Snapshot struct {
 // Snapshot captures current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		FramesSent:        m.FramesSent(),
-		BytesSent:         m.BytesSent(),
-		FramesRecv:        m.FramesRecv(),
-		BytesRecv:         m.BytesRecv(),
-		DataBytesSent:     m.DataBytesSent(),
-		ReadReqBytes:      m.BytesSentByType(MsgReadReq),
-		ReadRespBytes:     m.BytesSentByType(MsgReadResp),
-		DedupHits:         m.ReadDedupHits(),
-		DedupMisses:       m.ReadDedupMisses(),
-		DedupBytesSaved:   m.ReadDedupBytesSaved(),
-		CompressRawBytes:  m.CompressRawBytes(),
-		CompressWireBytes: m.CompressWireBytes(),
-		SendErrors:        m.SendErrors(),
-		RecvErrors:        m.RecvErrors(),
+		FramesSent:             m.FramesSent(),
+		BytesSent:              m.BytesSent(),
+		FramesRecv:             m.FramesRecv(),
+		BytesRecv:              m.BytesRecv(),
+		DataBytesSent:          m.DataBytesSent(),
+		ReadReqBytes:           m.BytesSentByType(MsgReadReq),
+		ReadRespBytes:          m.BytesSentByType(MsgReadResp),
+		DedupHits:              m.ReadDedupHits(),
+		DedupMisses:            m.ReadDedupMisses(),
+		DedupBytesSaved:        m.ReadDedupBytesSaved(),
+		CompressRawBytes:       m.CompressRawBytes(),
+		CompressWireBytes:      m.CompressWireBytes(),
+		WriteCombineHits:       m.WriteCombineHits(),
+		WriteCombineSavedBytes: m.WriteCombineSavedBytes(),
+		RecvWritesCombined:     m.RecvWritesCombined(),
+		SendErrors:             m.SendErrors(),
+		RecvErrors:             m.RecvErrors(),
 	}
 }
 
@@ -206,40 +244,46 @@ func (s Snapshot) DedupHitRate() float64 {
 // Sub returns s - o component-wise.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
-		FramesSent:        s.FramesSent - o.FramesSent,
-		BytesSent:         s.BytesSent - o.BytesSent,
-		FramesRecv:        s.FramesRecv - o.FramesRecv,
-		BytesRecv:         s.BytesRecv - o.BytesRecv,
-		DataBytesSent:     s.DataBytesSent - o.DataBytesSent,
-		ReadReqBytes:      s.ReadReqBytes - o.ReadReqBytes,
-		ReadRespBytes:     s.ReadRespBytes - o.ReadRespBytes,
-		DedupHits:         s.DedupHits - o.DedupHits,
-		DedupMisses:       s.DedupMisses - o.DedupMisses,
-		DedupBytesSaved:   s.DedupBytesSaved - o.DedupBytesSaved,
-		CompressRawBytes:  s.CompressRawBytes - o.CompressRawBytes,
-		CompressWireBytes: s.CompressWireBytes - o.CompressWireBytes,
-		SendErrors:        s.SendErrors - o.SendErrors,
-		RecvErrors:        s.RecvErrors - o.RecvErrors,
+		FramesSent:             s.FramesSent - o.FramesSent,
+		BytesSent:              s.BytesSent - o.BytesSent,
+		FramesRecv:             s.FramesRecv - o.FramesRecv,
+		BytesRecv:              s.BytesRecv - o.BytesRecv,
+		DataBytesSent:          s.DataBytesSent - o.DataBytesSent,
+		ReadReqBytes:           s.ReadReqBytes - o.ReadReqBytes,
+		ReadRespBytes:          s.ReadRespBytes - o.ReadRespBytes,
+		DedupHits:              s.DedupHits - o.DedupHits,
+		DedupMisses:            s.DedupMisses - o.DedupMisses,
+		DedupBytesSaved:        s.DedupBytesSaved - o.DedupBytesSaved,
+		CompressRawBytes:       s.CompressRawBytes - o.CompressRawBytes,
+		CompressWireBytes:      s.CompressWireBytes - o.CompressWireBytes,
+		WriteCombineHits:       s.WriteCombineHits - o.WriteCombineHits,
+		WriteCombineSavedBytes: s.WriteCombineSavedBytes - o.WriteCombineSavedBytes,
+		RecvWritesCombined:     s.RecvWritesCombined - o.RecvWritesCombined,
+		SendErrors:             s.SendErrors - o.SendErrors,
+		RecvErrors:             s.RecvErrors - o.RecvErrors,
 	}
 }
 
 // Add returns s + o component-wise.
 func (s Snapshot) Add(o Snapshot) Snapshot {
 	return Snapshot{
-		FramesSent:        s.FramesSent + o.FramesSent,
-		BytesSent:         s.BytesSent + o.BytesSent,
-		FramesRecv:        s.FramesRecv + o.FramesRecv,
-		BytesRecv:         s.BytesRecv + o.BytesRecv,
-		DataBytesSent:     s.DataBytesSent + o.DataBytesSent,
-		ReadReqBytes:      s.ReadReqBytes + o.ReadReqBytes,
-		ReadRespBytes:     s.ReadRespBytes + o.ReadRespBytes,
-		DedupHits:         s.DedupHits + o.DedupHits,
-		DedupMisses:       s.DedupMisses + o.DedupMisses,
-		DedupBytesSaved:   s.DedupBytesSaved + o.DedupBytesSaved,
-		CompressRawBytes:  s.CompressRawBytes + o.CompressRawBytes,
-		CompressWireBytes: s.CompressWireBytes + o.CompressWireBytes,
-		SendErrors:        s.SendErrors + o.SendErrors,
-		RecvErrors:        s.RecvErrors + o.RecvErrors,
+		FramesSent:             s.FramesSent + o.FramesSent,
+		BytesSent:              s.BytesSent + o.BytesSent,
+		FramesRecv:             s.FramesRecv + o.FramesRecv,
+		BytesRecv:              s.BytesRecv + o.BytesRecv,
+		DataBytesSent:          s.DataBytesSent + o.DataBytesSent,
+		ReadReqBytes:           s.ReadReqBytes + o.ReadReqBytes,
+		ReadRespBytes:          s.ReadRespBytes + o.ReadRespBytes,
+		DedupHits:              s.DedupHits + o.DedupHits,
+		DedupMisses:            s.DedupMisses + o.DedupMisses,
+		DedupBytesSaved:        s.DedupBytesSaved + o.DedupBytesSaved,
+		CompressRawBytes:       s.CompressRawBytes + o.CompressRawBytes,
+		CompressWireBytes:      s.CompressWireBytes + o.CompressWireBytes,
+		WriteCombineHits:       s.WriteCombineHits + o.WriteCombineHits,
+		WriteCombineSavedBytes: s.WriteCombineSavedBytes + o.WriteCombineSavedBytes,
+		RecvWritesCombined:     s.RecvWritesCombined + o.RecvWritesCombined,
+		SendErrors:             s.SendErrors + o.SendErrors,
+		RecvErrors:             s.RecvErrors + o.RecvErrors,
 	}
 }
 
@@ -252,6 +296,10 @@ func (s Snapshot) String() string {
 	}
 	if s.CompressRawBytes > 0 {
 		out += fmt.Sprintf(" compress=%.2f (%d B saved)", s.CompressionRatio(), s.CompressSavedBytes())
+	}
+	if s.WriteCombineHits+s.RecvWritesCombined > 0 {
+		out += fmt.Sprintf(" wcombine=%d send (%d B saved)/%d recv",
+			s.WriteCombineHits, s.WriteCombineSavedBytes, s.RecvWritesCombined)
 	}
 	if s.SendErrors+s.RecvErrors > 0 {
 		out += fmt.Sprintf(" errors=%d send/%d recv", s.SendErrors, s.RecvErrors)

@@ -238,6 +238,14 @@ func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
 	if err := spec.validate(c.meta); err != nil {
 		return JobStats{}, err
 	}
+	if spec.Source != nil && spec.Source.c != c {
+		return JobStats{}, fmt.Errorf("core: job %q sources frontier %q from another cluster", spec.Name, spec.Source.name)
+	}
+	for i, f := range spec.Build {
+		if f == nil || f.c != c {
+			return JobStats{}, fmt.Errorf("core: job %q build slot %d is nil or from another cluster", spec.Name, i)
+		}
+	}
 	before := c.TrafficSnapshot()
 	results := make([]machineJobStats, len(c.machines))
 	c.jobSeq++
@@ -261,6 +269,7 @@ func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
 		Duration:  time.Since(start),
 		Traffic:   c.TrafficSnapshot().Sub(before),
 		Breakdown: results[0].breakdown,
+		Frontiers: results[0].frontiers,
 	}
 	// The driver-side duration includes goroutine fan-out; prefer the
 	// engine-measured duration plus its share of the difference as Sync.

@@ -76,6 +76,42 @@ type Config struct {
 	// engine forces this on regardless — frames pass by reference there, so
 	// the codec would spend CPU shrinking buffers nobody serializes.
 	DisableWireCompression bool
+	// DisableSparseFrontier makes frontier-sourced jobs fall back to the
+	// dense path: full chunk lists with a per-node bitmap filter, never the
+	// sparse vertex list and never the empty-machine dispatch skip. The
+	// ablation flag for the frontier abstraction itself.
+	DisableSparseFrontier bool
+	// DisableDirectionSwitching pins every DirectionPolicy to FixedDirection
+	// instead of the per-superstep push/pull heuristic — the ablation flag
+	// for direction-optimizing traversal.
+	DisableDirectionSwitching bool
+	// FixedDirection is the direction used when DisableDirectionSwitching is
+	// set (DirPush by default).
+	FixedDirection Direction
+	// DisableWriteCombining turns off both halves of the write combiner: the
+	// sender-side in-buffer merge of repeated (prop, op, offset) reduction
+	// records within one message window, and the receiver-side merge of
+	// adjacent duplicate records in sorted (compressed) write batches. The
+	// ablation flag for the push-path combiner; combining is on by default.
+	DisableWriteCombining bool
+	// FrontierDenseFraction is the local frontier density at which a
+	// machine's frontier representation flips from sorted sparse list to
+	// bitmap (fraction of the machine's local node count). Zero or negative
+	// uses the default (1/32).
+	FrontierDenseFraction float64
+	// DirectionAlpha is the push→pull threshold of the direction heuristic:
+	// switch to pull when the frontier's outgoing edge work exceeds
+	// unvisited-in-degree/alpha. Zero uses the default (2). Beamer's
+	// shared-memory constant is 14, but in this engine a push superstep's
+	// per-edge cost (buffered remote reductions) is far below a pull
+	// superstep's (remote reads + responses), so pull must promise a larger
+	// work reduction before it pays: alpha=2 keeps high-diameter road-shaped
+	// graphs all-push while still flipping the two dense levels of
+	// small-world graphs.
+	DirectionAlpha float64
+	// DirectionBeta is the pull→push threshold: switch back to push when the
+	// frontier shrinks below numNodes/beta. Zero uses the default (24).
+	DirectionBeta float64
 	// RequestTimeout bounds every wait on a remote response or drained
 	// buffer pool inside a job (worker response waits, the write-drain
 	// loop, driver RMI calls). Zero waits forever. It is the detector for
@@ -113,6 +149,16 @@ func DefaultConfig(p int) Config {
 		GhostThreshold: GhostAuto,
 	}
 }
+
+// Defaults for the frontier/direction tunables (zero in Config selects
+// them). The dense fraction matches the usual bitmap break-even point; beta
+// is Beamer's direction-optimizing BFS constant, alpha is re-tuned for this
+// engine's push/pull cost ratio (see Config.DirectionAlpha).
+const (
+	defaultFrontierDenseFraction = 1.0 / 32
+	defaultDirectionAlpha        = 2.0
+	defaultDirectionBeta         = 24.0
+)
 
 // Sentinel GhostThreshold values.
 const (
@@ -164,6 +210,15 @@ func (c *Config) validate() error {
 	}
 	if c.GhostCount < 0 {
 		return fmt.Errorf("core: GhostCount %d must be >= 0", c.GhostCount)
+	}
+	if c.FrontierDenseFraction < 0 || c.FrontierDenseFraction > 1 {
+		return fmt.Errorf("core: FrontierDenseFraction %v must be in [0, 1]", c.FrontierDenseFraction)
+	}
+	if c.DirectionAlpha < 0 || c.DirectionBeta < 0 {
+		return fmt.Errorf("core: direction thresholds must be >= 0 (alpha=%v beta=%v)", c.DirectionAlpha, c.DirectionBeta)
+	}
+	if c.FixedDirection > DirPull {
+		return fmt.Errorf("core: FixedDirection %d unknown", c.FixedDirection)
 	}
 	if c.RequestTimeout < 0 || c.CollectiveTimeout < 0 {
 		return fmt.Errorf("core: timeouts must be >= 0 (RequestTimeout=%v CollectiveTimeout=%v)",

@@ -90,6 +90,41 @@ func (m *Machine) serveRequest(buf *comm.Buffer, dec *wireDec) error {
 // out-of-bounds apply.
 func (m *Machine) applyWrites(h comm.Header, payload []byte, dec *wireDec) error {
 	count := int(h.Count)
+	// Write-activation (WriteSpec.ActivateInto): when the running job
+	// activates on some of its write props, applies that change the stored
+	// word collect into per-slot lists and buffer onto the build frontiers.
+	// serveRequest advances writesApplied only after this returns, so the
+	// termination allreduce's acquire of that counter also acquires these
+	// activations.
+	var jr *jobRuntime
+	var act []int8
+	if j := m.curJob.Load(); j != nil && j.activate != nil {
+		jr, act = j, j.activate
+	}
+	var acts [][]uint32
+	flush := func() {
+		for s, ns := range acts {
+			if len(ns) > 0 {
+				jr.builds[s].remoteActivate(ns)
+			}
+		}
+	}
+	apply := func(meta, word uint64) {
+		prop := PropID(meta >> 48)
+		op := reduce.Op(meta >> 40)
+		if act != nil {
+			if s := act[prop]; s >= 0 {
+				if m.cols[prop].applyWordChanged(int(uint32(meta)), op, word) {
+					if acts == nil {
+						acts = make([][]uint32, len(jr.builds))
+					}
+					acts[s] = append(acts[s], uint32(meta))
+				}
+				return
+			}
+		}
+		m.cols[prop].applyWord(int(uint32(meta)), op, word)
+	}
 	if h.Flags&comm.FlagCompressed != 0 {
 		keys, vals, err := m.decodeWriteRecs(payload, count, dec)
 		if err != nil {
@@ -101,10 +136,32 @@ func (m *Machine) applyWrites(h comm.Header, payload []byte, dec *wireDec) error
 				return fmt.Errorf("write record %d offset %d out of range for property %d", i, uint32(keys[i]), prop)
 			}
 		}
-		for i := 0; i < count; i++ {
-			meta := keys[i]
-			m.cols[PropID(meta>>48)].applyWord(int(uint32(meta)), reduce.Op(meta>>40), vals[i])
+		// Receiver-side write combining: compressed batches arrive sorted by
+		// meta word, so duplicate (prop, op, offset) records are adjacent —
+		// merge them with the reduction's own arithmetic before touching the
+		// column, turning k atomic applies into one. The sender's h.Count is
+		// still what writesApplied advances by (serveRequest), since the
+		// termination protocol counts records shipped, not applies performed.
+		if !m.cfg.DisableWriteCombining && count > 1 {
+			at := 0
+			for i := 1; i < count; i++ {
+				if keys[i] == keys[at] {
+					vals[at] = m.cols[PropID(keys[at]>>48)].mergeWords(reduce.Op(keys[at]>>40), vals[at], vals[i])
+					continue
+				}
+				at++
+				keys[at], vals[at] = keys[i], vals[i]
+			}
+			if merged := count - at - 1; merged > 0 {
+				count = at + 1
+				m.ep.Metrics().RecordRecvCombine(int64(merged))
+				m.cfg.Obs.Add(m.id, obs.CtrRecvWritesCombined, int64(merged))
+			}
 		}
+		for i := 0; i < count; i++ {
+			apply(keys[i], vals[i])
+		}
+		flush()
 		return nil
 	}
 	if len(payload) < writeRecSize*count {
@@ -122,13 +179,9 @@ func (m *Machine) applyWrites(h comm.Header, payload []byte, dec *wireDec) error
 		}
 	}
 	for i := 0; i < count; i++ {
-		meta := leU64(payload[writeRecSize*i:])
-		word := leU64(payload[writeRecSize*i+8:])
-		prop := PropID(meta >> 48)
-		op := reduce.Op(meta >> 40)
-		offset := uint32(meta)
-		m.cols[prop].applyWord(int(offset), op, word)
+		apply(leU64(payload[writeRecSize*i:]), leU64(payload[writeRecSize*i+8:]))
 	}
+	flush()
 	return nil
 }
 

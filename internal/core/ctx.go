@@ -30,6 +30,12 @@ type Ctx struct {
 	nbr     int64
 	edge    int64
 	weights []float64 // weights of the orientation currently iterated
+
+	// skip is set by SkipNode to end the current node's edge loop early;
+	// the worker resets it per node. It lives in Ctx so the wholesale
+	// save/restore at re-entrancy points (drainResponsesSafe, acquireReq)
+	// protects it from interleaved continuations.
+	skip bool
 }
 
 // F64Word converts a raw 8-byte value (as delivered to ReadDone) to float64.
@@ -134,6 +140,10 @@ func (c *Ctx) NbrRead(p PropID) {
 // ref (a value previously obtained from NbrRef).
 func (c *Ctx) WriteRef(ref int64, p PropID, op reduce.Op, word uint64) {
 	w := c.w
+	if act := w.job.activate; act != nil && act[p] >= 0 {
+		w.writeActivating(ref, p, op, word, int(act[p]))
+		return
+	}
 	if ref >= 0 {
 		if int(ref) >= w.m.store.numLocal {
 			if seg := w.privSeg[p]; seg != nil {
@@ -160,6 +170,24 @@ func (c *Ctx) ReadRef(ref int64, p PropID) {
 	mach, off := unpackRemote(ref)
 	w.bufferRead(mach, p, off, c.Node, c.Aux)
 }
+
+// --- frontier interaction ---------------------------------------------------
+
+// Activate marks the current node as a member of the job's Build[slot]
+// frontier. Idempotent per node (duplicates are merged when the frontier is
+// finalized); valid in Run and in continuations, where Node is restored.
+func (c *Ctx) Activate(slot int) {
+	b := c.w.job.builds[slot]
+	b.shards[c.w.id] = append(b.shards[c.w.id], c.Node)
+}
+
+// SkipNode ends the current node's remaining edge invocations: the worker
+// breaks out of the edge loop after the current Run returns. Pull kernels
+// use it to stop scanning in-neighbors once the value they were looking for
+// arrived — effective when neighbors are local or ghosted (their ReadDone
+// runs synchronously); buffered remote reads resolve after the loop has
+// moved on, so they cannot trigger an early exit. No-op on node iterators.
+func (c *Ctx) SkipNode() { c.skip = true }
 
 // CallRMI invokes registered method id on machine dst with the given
 // payload. The response is delivered to the task's RMIDone on this worker,

@@ -81,6 +81,16 @@ func (NoReads) ReadDone(c *Ctx, val uint64) {
 type WriteSpec struct {
 	Prop PropID
 	Op   reduce.Op
+	// ActivateInto, when positive, activates the destination node into the
+	// job's Build[ActivateInto-1] frontier whenever a reduce-write through
+	// this spec changes the stored word (1-based so the zero value means no
+	// activation). This is receiver-side frontier generation: a push
+	// superstep's improved nodes become the next frontier with no separate
+	// adopt pass. Writes to such a property bypass ghost accumulation —
+	// ghosted targets ship as explicit records to their owner — so every
+	// activation lands (and is counted) before the job's termination
+	// allreduce carries the frontier stats.
+	ActivateInto int
 }
 
 // JobSpec describes one parallel region.
@@ -103,6 +113,19 @@ type JobSpec struct {
 	// copies start at the operator's bottom and partials merge back to
 	// owners after the region.
 	WriteProps []WriteSpec
+	// Source, when non-nil, restricts the iteration to the frontier's
+	// members: each machine iterates only its local frontier (sparse vertex
+	// list or bitmap-filtered chunks), and machines whose local frontier is
+	// empty skip worker dispatch entirely. Nil iterates all owned nodes.
+	Source *Frontier
+	// Build lists frontiers the job populates: Ctx.Activate(slot) marks the
+	// current node as a member of Build[slot]'s next membership. Each listed
+	// frontier is rebuilt from scratch (a frontier may appear in both Source
+	// and Build — the old membership drives iteration, the new one replaces
+	// it after the task phase), and its cluster-wide FrontierStats come back
+	// in JobStats.Frontiers, carried by the termination-detection allreduce
+	// at no extra collective cost.
+	Build []*Frontier
 }
 
 // JobStats reports one job execution.
@@ -114,6 +137,9 @@ type JobStats struct {
 	Traffic comm.Snapshot
 	// Breakdown decomposes Duration as in Figure 6c.
 	Breakdown Breakdown
+	// Frontiers holds the cluster-wide stats of each spec.Build frontier
+	// (same order), as of the end of the job.
+	Frontiers []FrontierStats
 }
 
 // Breakdown splits a job's wall time into the paper's Figure 6c components:
@@ -163,6 +189,9 @@ func (spec *JobSpec) validate(props []propMeta) error {
 			// and tells users to make temporary copies; this engine rejects
 			// it outright so the hazard cannot be hit silently.
 			return fmt.Errorf("core: job %q both reads and writes property %d; use a temporary copy", spec.Name, w.Prop)
+		}
+		if w.ActivateInto < 0 || w.ActivateInto > len(spec.Build) {
+			return fmt.Errorf("core: job %q activates property %d into build slot %d of %d", spec.Name, w.Prop, w.ActivateInto, len(spec.Build))
 		}
 	}
 	return nil

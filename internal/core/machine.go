@@ -227,6 +227,7 @@ func (m *Machine) addProp(meta propMeta) {
 type machineJobStats struct {
 	duration  time.Duration
 	breakdown Breakdown
+	frontiers []FrontierStats
 }
 
 // runJob executes one parallel region on this machine. Every machine's main
@@ -291,6 +292,54 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 		jr.rows2, jr.refs2, jr.weights2 = m.store.inRows, m.store.inRefs, m.store.inWeights
 	}
 
+	// Frontier-sourced iteration: restrict the chunk list to this machine's
+	// local frontier. Sparse frontiers get an edge-balanced cut of the
+	// member list; dense ones keep node-id chunks, dropping those whose
+	// bitmap range is all-inactive. An empty local frontier skips worker
+	// dispatch entirely — but every collective below still runs, because the
+	// machine's peers may have members and the SPMD schedule must agree.
+	emptySkip := false
+	if spec.Source != nil {
+		srcMF := spec.Source.machines[m.id]
+		switch {
+		case m.cfg.DisableSparseFrontier:
+			// Ablation: dense-filter fallback — scan every chunk, test the
+			// membership bit per node, never skip an empty machine.
+			jr.frontBits = srcMF.bits
+		case srcMF.count == 0:
+			emptySkip = true
+			jr.chunks = nil
+		case srcMF.dense:
+			jr.frontBits = srcMF.bits
+			jr.chunks = srcMF.denseChunks(jr.chunks)
+		default:
+			jr.frontList = srcMF.sparse
+			jr.chunks = srcMF.listChunks(spec.Iter, m.cfg.Workers)
+		}
+	}
+	if len(spec.Build) > 0 {
+		jr.builds = make([]*machineFrontier, len(spec.Build))
+		for i, f := range spec.Build {
+			bf := f.machines[m.id]
+			bf.beginBuild()
+			jr.builds[i] = bf
+		}
+	}
+	// Write-activation (WriteSpec.ActivateInto): a per-property slot index
+	// copiers and workers consult on every reduce-write apply. Nil when the
+	// job has no activating specs, keeping the common write path branchless.
+	for _, ws := range spec.WriteProps {
+		if ws.ActivateInto > 0 {
+			if jr.activate == nil {
+				jr.activate = make([]int8, len(m.cols))
+				for i := range jr.activate {
+					jr.activate[i] = -1
+				}
+			}
+			jr.activate[ws.Prop] = int8(ws.ActivateInto - 1)
+		}
+	}
+
 	// Publish the job before any traffic so copiers and the abort watcher
 	// can fail it, and point the collectives at its abort channel. A remote
 	// abort announcement may already be parked if a fast peer failed before
@@ -317,14 +366,28 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 			reg.Span(m.id, obs.WorkerMain, obs.SpanGhostReadSync, jobID, syncClock, uint64(p))
 		}
 		for _, ws := range spec.WriteProps {
+			if ws.ActivateInto > 0 {
+				continue // activating writes bypass ghost accumulation
+			}
 			col := m.cols[ws.Prop]
 			bottom := col.bottomWord(ws.Op)
 			for s := 0; s < numGhost; s++ {
 				col.store(col.numLocal+s, bottom)
 			}
 		}
-		if !m.cfg.DisableGhostPrivatization {
-			jr.privProps = spec.WriteProps
+		// With an empty local frontier the workers never run, so their
+		// private ghost segments stay stale from an earlier job — they must
+		// not be merged. The shared ghost copies were just re-bottomed, so
+		// stage two still contributes clean identity partials. Activating
+		// specs never privatize: their writes must reach the owner (and
+		// activate there) before the termination allreduce, not sit in ghost
+		// partials until after it.
+		if !m.cfg.DisableGhostPrivatization && !emptySkip {
+			for _, ws := range spec.WriteProps {
+				if ws.ActivateInto == 0 {
+					jr.privProps = append(jr.privProps, ws)
+				}
+			}
 		}
 	}
 
@@ -334,17 +397,29 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	t0 := time.Now()
 	taskClock := reg.Clock()
 
-	jr.wg.Add(len(m.workers))
-	for _, w := range m.workers {
-		w.jobCh <- jr
+	if !emptySkip {
+		jr.wg.Add(len(m.workers))
+		for _, w := range m.workers {
+			w.jobCh <- jr
+		}
+		jr.wg.Wait()
 	}
-	jr.wg.Wait()
 	reg.Span(m.id, obs.WorkerMain, obs.SpanTaskPhase, jobID, taskClock, 0)
 
 	// Workers unwound on failure without an error return path; the job
 	// runtime carries the root cause.
 	if err := jr.Err(); err != nil {
 		return machineJobStats{}, err
+	}
+
+	// Built frontiers finalize now: kernel activations (Ctx.Activate) come
+	// only from this machine's own workers, so the shard merge is final once
+	// the local task phase joined. Write-activations from remote machines may
+	// still be in flight — they buffer copier-side and drain into the
+	// membership once per allreduce round below, so the converging round's
+	// stats are complete.
+	for _, bf := range jr.builds {
+		bf.finalize()
 	}
 
 	if err := m.obsBarrier(jobID, 1); err != nil {
@@ -356,13 +431,31 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	// until the cluster-wide applied count catches up. The deadline is the
 	// fault detector: a write frame lost on the wire would otherwise keep
 	// this loop (and hence the whole cluster) spinning forever.
+	//
+	// Built-frontier stats piggyback on the same allreduce — three extra
+	// lanes per Build slot instead of the separate O(V)-scan ReduceI64 the
+	// traversal algorithms used for convergence checks. The locals are
+	// re-staged each round (the allreduce overwrites the vector with sums),
+	// and each round first drains copier-buffered write-activations: loading
+	// writesApplied (acquire) before taking the buffer's lock means a round
+	// that observes the final applied count also observes every activation
+	// those applies buffered, so the converging round's stats are complete.
 	var drainDeadline time.Time
 	if m.cfg.RequestTimeout > 0 {
 		drainDeadline = time.Now().Add(m.cfg.RequestTimeout)
 	}
 	drainClock := reg.Clock()
+	vals := make([]int64, 2+3*len(jr.builds))
 	for {
-		vals := []int64{m.writesSent.Load(), m.writesApplied.Load()}
+		vals[0], vals[1] = m.writesSent.Load(), m.writesApplied.Load()
+		for i, bf := range jr.builds {
+			if jr.activate != nil {
+				bf.drainRemote()
+			}
+			vals[2+3*i] = int64(bf.count)
+			vals[3+3*i] = bf.outDegSum
+			vals[4+3*i] = bf.inDegSum
+		}
 		if err := m.col.AllReduceI64(vals, reduce.Sum); err != nil {
 			return machineJobStats{}, m.jobFail(jr, err)
 		}
@@ -390,15 +483,21 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 
 	// Breakdown (Figure 6c) from per-worker end times, folded into a single
 	// Min-allreduce: min worker end (fully-parallel boundary), min machine
-	// end (inter-machine boundary), and -max machine end (job end).
+	// end (inter-machine boundary), and -max machine end (job end). A
+	// machine that skipped dispatch contributes zero (its workers' end times
+	// are stale from an earlier job).
 	eMin, eMax := int64(1<<62), int64(0)
-	for _, w := range m.workers {
-		d := w.endTime.Sub(t0).Nanoseconds()
-		if d < eMin {
-			eMin = d
-		}
-		if d > eMax {
-			eMax = d
+	if emptySkip {
+		eMin = 0
+	} else {
+		for _, w := range m.workers {
+			d := w.endTime.Sub(t0).Nanoseconds()
+			if d < eMin {
+				eMin = d
+			}
+			if d > eMax {
+				eMax = d
+			}
 		}
 	}
 	tv := []int64{eMin, eMax, -eMax}
@@ -407,6 +506,12 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	}
 	fully, minMachineEnd, jobEnd := tv[0], tv[1], -tv[2]
 	st := machineJobStats{duration: total}
+	if n := len(jr.builds); n > 0 {
+		st.frontiers = make([]FrontierStats, n)
+		for i := range st.frontiers {
+			st.frontiers[i] = FrontierStats{Count: vals[2+3*i], OutDeg: vals[3+3*i], InDeg: vals[4+3*i]}
+		}
+	}
 	st.breakdown = Breakdown{
 		FullyParallel: time.Duration(fully),
 		IntraMachine:  time.Duration(minMachineEnd - fully),
@@ -477,6 +582,9 @@ func (m *Machine) mergeGhostWrites(jr *jobRuntime) error {
 	ng := m.store.ghosts.Len()
 	maxVals := (m.cfg.BufferSize - comm.HeaderSize) / 8
 	for _, ws := range jr.spec.WriteProps {
+		if ws.ActivateInto > 0 {
+			continue // bypassed ghost accumulation; nothing to merge
+		}
 		col := m.cols[ws.Prop]
 		if len(jr.privProps) > 0 {
 			for _, w := range m.workers {

@@ -102,6 +102,23 @@ func (c *column) applyWord(i int, op reduce.Op, w uint64) {
 	}
 }
 
+// applyWordChanged is applyWord, additionally reporting whether the stored
+// word changed — the signal write-activation (WriteSpec.ActivateInto) keys
+// on. A lost CAS retries, so "unchanged" means the reduction was truly a
+// no-op against the winning value.
+func (c *column) applyWordChanged(i int, op reduce.Op, w uint64) bool {
+	for {
+		old := c.vals[i].Load()
+		next := c.mergeWords(op, old, w)
+		if next == old {
+			return false
+		}
+		if c.vals[i].CompareAndSwap(old, next) {
+			return true
+		}
+	}
+}
+
 // bottomWord returns op's identity element encoded for this column's kind.
 func (c *column) bottomWord(op reduce.Op) uint64 {
 	switch c.kind {

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	mathbits "math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,16 @@ type worker struct {
 	dedup       []map[uint64]uint32
 	dedupHits   int64
 	dedupMisses int64
+
+	// Write combining (sender side): wdedup[dst] maps a write record's meta
+	// word (prop, op, offset) to the byte offset of its value word in the
+	// currently open write message toward dst. A repeated reduction to the
+	// same address within one message window folds into the buffered value
+	// in place — zero additional wire records — which is what keeps dense
+	// push supersteps from flooding the write channels.
+	wcombine  bool
+	wdedup    []map[uint64]int
+	wcombHits int64
 
 	// maxSide caps side-structure growth per message: all-duplicate windows
 	// never fill the wire buffer, so without a cap the side log (and the
@@ -139,6 +150,8 @@ func newWorker(m *Machine, id int) *worker {
 		combine:   !m.cfg.DisableReadCombining,
 		compress:  !m.cfg.DisableWireCompression,
 		dedup:     make([]map[uint64]uint32, m.cfg.NumMachines),
+		wcombine:  !m.cfg.DisableWriteCombining,
+		wdedup:    make([]map[uint64]int, m.cfg.NumMachines),
 		reg:       m.cfg.Obs,
 	}
 	if w.reg != nil {
@@ -201,6 +214,9 @@ func (w *worker) abortCleanup() {
 		if w.dedup[d] != nil {
 			clear(w.dedup[d])
 		}
+		if w.wdedup[d] != nil {
+			clear(w.wdedup[d])
+		}
 		if side := w.curSide[d]; side != nil {
 			w.sideRecycle(side)
 			w.curSide[d] = nil
@@ -213,6 +229,7 @@ func (w *worker) abortCleanup() {
 	}
 	w.outstanding = 0
 	w.dedupHits, w.dedupMisses = 0, 0
+	w.wcombHits = 0
 	if w.rttStart != nil {
 		clear(w.rttStart) // the seqs moved to the stale set; no RTT to record
 	}
@@ -255,37 +272,31 @@ func (w *worker) runJob(jr *jobRuntime) {
 			w.unwind()
 		}
 		ch := jr.chunks[chunkIdx]
-		for node := ch.Begin; node < ch.End; node++ {
-			ctx.Node = node
-			ctx.Aux = 0
-			if spec.Filter != nil && !spec.Filter(ctx) {
-				continue
+		switch {
+		case jr.frontList != nil:
+			// Sparse frontier: chunk indices address the sorted member list.
+			for i := ch.Begin; i < ch.End; i++ {
+				w.runNode(jr, spec, ctx, jr.frontList[i])
 			}
-			switch spec.Iter {
-			case IterNodes:
-				ctx.nbr = 0
-				ctx.edge = -1
-				spec.Task.Run(ctx)
-			case IterBothEdges:
-				ctx.weights = jr.weights
-				for e := jr.rows[node]; e < jr.rows[node+1]; e++ {
-					ctx.nbr = jr.refs[e]
-					ctx.edge = e
-					spec.Task.Run(ctx)
+		case jr.frontBits != nil:
+			// Dense frontier: node-id chunks, word-skipping bitmap scan.
+			bits := jr.frontBits
+			for n := ch.Begin; n < ch.End; {
+				word := bits[n>>6] >> (n & 63)
+				if word == 0 {
+					n = (n | 63) + 1
+					continue
 				}
-				ctx.weights = jr.weights2
-				for e := jr.rows2[node]; e < jr.rows2[node+1]; e++ {
-					ctx.nbr = jr.refs2[e]
-					ctx.edge = e
-					spec.Task.Run(ctx)
+				n += uint32(trailingZeros64(word))
+				if n >= ch.End {
+					break
 				}
-				ctx.weights = jr.weights
-			default: // IterOutEdges / IterInEdges: jr carries the orientation
-				for e := jr.rows[node]; e < jr.rows[node+1]; e++ {
-					ctx.nbr = jr.refs[e]
-					ctx.edge = e
-					spec.Task.Run(ctx)
-				}
+				w.runNode(jr, spec, ctx, n)
+				n++
+			}
+		default:
+			for node := ch.Begin; node < ch.End; node++ {
+				w.runNode(jr, spec, ctx, node)
 			}
 		}
 		// Opportunistically run continuations between chunks so response
@@ -320,9 +331,65 @@ func (w *worker) runJob(jr *jobRuntime) {
 		w.reg.Add(w.m.id, obs.CtrDedupBytesSaved, dedupSavedPerHit*w.dedupHits)
 		w.dedupHits, w.dedupMisses = 0, 0
 	}
+	if w.wcombHits != 0 {
+		w.m.ep.Metrics().RecordWriteCombine(w.wcombHits, writeRecSize*w.wcombHits)
+		w.reg.Add(w.m.id, obs.CtrWriteCombineHits, w.wcombHits)
+		w.reg.Add(w.m.id, obs.CtrWriteCombineBytesSaved, writeRecSize*w.wcombHits)
+		w.wcombHits = 0
+	}
 	w.endTime = time.Now()
 	w.job = nil
 }
+
+// runNode drives the job's task over one node: filter, then the iterator's
+// Run invocations. A task calling Ctx.SkipNode ends the node's remaining
+// edge invocations early (the pull path's exit once its answer arrived).
+func (w *worker) runNode(jr *jobRuntime, spec *JobSpec, ctx *Ctx, node uint32) {
+	ctx.Node = node
+	ctx.Aux = 0
+	ctx.skip = false
+	if spec.Filter != nil && !spec.Filter(ctx) {
+		return
+	}
+	switch spec.Iter {
+	case IterNodes:
+		ctx.nbr = 0
+		ctx.edge = -1
+		spec.Task.Run(ctx)
+	case IterBothEdges:
+		for e := jr.rows[node]; e < jr.rows[node+1]; e++ {
+			ctx.nbr = jr.refs[e]
+			ctx.edge = e
+			spec.Task.Run(ctx)
+			if ctx.skip {
+				return
+			}
+		}
+		ctx.weights = jr.weights2
+		for e := jr.rows2[node]; e < jr.rows2[node+1]; e++ {
+			ctx.nbr = jr.refs2[e]
+			ctx.edge = e
+			spec.Task.Run(ctx)
+			if ctx.skip {
+				break
+			}
+		}
+		ctx.weights = jr.weights
+	default: // IterOutEdges / IterInEdges: jr carries the orientation
+		for e := jr.rows[node]; e < jr.rows[node+1]; e++ {
+			ctx.nbr = jr.refs[e]
+			ctx.edge = e
+			spec.Task.Run(ctx)
+			if ctx.skip {
+				return
+			}
+		}
+	}
+}
+
+// trailingZeros64 is math/bits.TrailingZeros64 (local name so the bitmap
+// scan can shadow "bits" for the slice).
+func trailingZeros64(x uint64) int { return mathbits.TrailingZeros64(x) }
 
 // drainResponses runs all currently queued continuations without blocking.
 func (w *worker) drainResponses() {
@@ -613,26 +680,99 @@ func (w *worker) appendCombined(dst int, slot uint32, node uint32, aux uint64) {
 	}
 }
 
-// bufferWrite appends a write (reduction) record toward machine dst.
+// bufferWrite appends a write (reduction) record toward machine dst. With
+// write combining on, a repeated (prop, op, offset) within the open message
+// window folds into the already-buffered value word in place — the record
+// count, the wire bytes, and the receiver's atomic applies all shrink, which
+// is what makes dense push supersteps affordable.
 func (w *worker) bufferWrite(dst int, p PropID, op reduce.Op, offset uint32, word uint64) {
+	meta := uint64(p)<<48 | uint64(op)<<40 | uint64(offset)
+	if w.wcombine && w.tryCombineWrite(dst, p, op, meta, word) {
+		return
+	}
 	buf := w.writeBufs[dst]
 	if buf == nil {
 		nb := w.acquireReq()
-		// Re-check as in bufferRead: acquireReq is a re-entrancy point.
+		// Re-check as in bufferRead: acquireReq is a re-entrancy point. A
+		// continuation may have installed a message toward dst — and may
+		// even have buffered this very address, so the combine index must
+		// be consulted again.
 		if w.writeBufs[dst] != nil {
 			nb.Release()
 			buf = w.writeBufs[dst]
+			if w.wcombine && w.tryCombineWrite(dst, p, op, meta, word) {
+				return
+			}
 		} else {
 			nb.Reset(comm.Header{Type: comm.MsgWriteReq, Worker: uint8(w.id), Src: uint16(w.m.id)})
 			w.writeBufs[dst] = nb
 			buf = nb
 		}
 	}
-	buf.AppendU64(uint64(p)<<48 | uint64(op)<<40 | uint64(offset))
+	if w.wcombine {
+		idx := w.wdedup[dst]
+		if idx == nil {
+			idx = make(map[uint64]int, 256)
+			w.wdedup[dst] = idx
+		}
+		idx[meta] = len(buf.Payload()) + 8 // the value word follows the meta word
+	}
+	buf.AppendU64(meta)
 	buf.AppendU64(word)
 	if buf.Room() < writeRecSize {
 		w.flushWrite(dst)
 	}
+}
+
+// writeActivating is the WriteRef path for properties with
+// WriteSpec.ActivateInto: owned-local targets apply immediately and, when the
+// stored word changed, activate into this worker's build shard; ghosted
+// targets bypass ghost accumulation and ship as explicit records to the
+// owner, whose copier applies and activates them before the termination
+// allreduce. slot is the 0-based build slot.
+func (w *worker) writeActivating(ref int64, p PropID, op reduce.Op, word uint64, slot int) {
+	st := w.m.store
+	if ref >= 0 {
+		if int(ref) < st.numLocal {
+			if w.cols[p].applyWordChanged(int(ref), op, word) {
+				b := w.job.builds[slot]
+				b.shards[w.id] = append(b.shards[w.id], uint32(ref))
+			}
+			return
+		}
+		// A ghost ref: route around the ghost copy. If this machine owns the
+		// original (its own hub, ghosted cluster-wide), apply in place.
+		g := int32(ref) - int32(st.numLocal)
+		if own := w.m.ghostOwned[g]; own >= 0 {
+			if w.cols[p].applyWordChanged(int(own), op, word) {
+				b := w.job.builds[slot]
+				b.shards[w.id] = append(b.shards[w.id], uint32(own))
+			}
+			return
+		}
+		global := st.ghosts.Node(g)
+		w.bufferWrite(st.layout.Owner(global), p, op, uint32(st.layout.LocalOffset(global)), word)
+		return
+	}
+	mach, off := unpackRemote(ref)
+	w.bufferWrite(mach, p, op, off, word)
+}
+
+// tryCombineWrite folds word into the open write message's buffered value
+// for meta, if one exists. Payload() exposes the live frame, so the merge is
+// an in-place 8-byte rewrite using the column's reduction arithmetic.
+func (w *worker) tryCombineWrite(dst int, p PropID, op reduce.Op, meta, word uint64) bool {
+	if w.writeBufs[dst] == nil {
+		return false
+	}
+	off, ok := w.wdedup[dst][meta]
+	if !ok {
+		return false
+	}
+	pl := w.writeBufs[dst].Payload()
+	putLeU64(pl[off:], w.cols[p].mergeWords(op, leU64(pl[off:]), word))
+	w.wcombHits++
+	return true
 }
 
 // bufferRMI sends one RMI request frame toward machine dst.
@@ -699,6 +839,9 @@ func (w *worker) flushWrite(dst int) {
 		return
 	}
 	w.writeBufs[dst] = nil
+	if w.wdedup[dst] != nil {
+		clear(w.wdedup[dst])
+	}
 	n := len(buf.Payload()) / writeRecSize
 	if w.compress && n >= wireCompressMinRecords {
 		w.compressWriteBatch(buf, n, dst)
@@ -749,8 +892,21 @@ type jobRuntime struct {
 	rows2    []int64
 	refs2    []int64
 	weights2 []float64
-	cursor   atomic.Int64
-	wg       sync.WaitGroup
+
+	// Frontier-sourced iteration state (spec.Source): exactly one of
+	// frontList (sparse: chunks index the sorted member list) and frontBits
+	// (dense: node-id chunks filtered through the bitmap) is set, or neither
+	// for a full scan. builds are this machine's partitions of the
+	// frontiers the job populates via Ctx.Activate, in spec.Build order.
+	// activate maps PropID → build-slot for WriteSpec.ActivateInto specs
+	// (-1 elsewhere); nil when the job has none.
+	frontList []uint32
+	frontBits []uint64
+	builds    []*machineFrontier
+	activate  []int8
+
+	cursor atomic.Int64
+	wg     sync.WaitGroup
 
 	// id is the cluster-wide job sequence number, carried in MsgAbort
 	// frames so a machine never aborts the wrong job on a stale
@@ -799,4 +955,9 @@ func (jr *jobRuntime) aborted() bool {
 // leU64 decodes a little-endian uint64 at the start of p.
 func leU64(p []byte) uint64 {
 	return binary.LittleEndian.Uint64(p)
+}
+
+// putLeU64 encodes v little-endian at the start of p.
+func putLeU64(p []byte, v uint64) {
+	binary.LittleEndian.PutUint64(p, v)
 }

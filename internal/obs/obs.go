@@ -64,26 +64,45 @@ const (
 	// raw). wire/raw is the compression ratio.
 	CtrWireRawBytes
 	CtrWireBytes
+	// CtrWriteCombineHits / CtrWriteCombineBytesSaved count sender-side
+	// write combining: remote writes merged into an already-buffered record
+	// for the same (prop, op, offset) and the request bytes that saved.
+	CtrWriteCombineHits
+	CtrWriteCombineBytesSaved
+	// CtrRecvWritesCombined counts receiver-side write combining: duplicate
+	// records in one sorted compressed write batch merged before the column
+	// apply.
+	CtrRecvWritesCombined
+	// CtrFrontierNodes / CtrFrontierEdges accumulate the global frontier size
+	// (nodes, out-edges) observed at each direction decision — the data the
+	// push/pull heuristic acted on.
+	CtrFrontierNodes
+	CtrFrontierEdges
 
 	numCounters
 )
 
 var counterNames = [numCounters]string{
-	CtrBytesSent:       "bytes_sent",
-	CtrFramesSent:      "frames_sent",
-	CtrBytesRecv:       "bytes_recv",
-	CtrFramesRecv:      "frames_recv",
-	CtrDedupHits:       "dedup_hits",
-	CtrDedupMisses:     "dedup_misses",
-	CtrDedupBytesSaved: "dedup_bytes_saved",
-	CtrSendErrors:      "send_errors",
-	CtrRecvErrors:      "recv_errors",
-	CtrReadsServed:     "reads_served",
-	CtrWritesApplied:   "writes_applied",
-	CtrRMIServed:       "rmi_served",
-	CtrFlushes:         "flushes",
-	CtrWireRawBytes:    "wire_raw_bytes",
-	CtrWireBytes:       "wire_bytes",
+	CtrBytesSent:              "bytes_sent",
+	CtrFramesSent:             "frames_sent",
+	CtrBytesRecv:              "bytes_recv",
+	CtrFramesRecv:             "frames_recv",
+	CtrDedupHits:              "dedup_hits",
+	CtrDedupMisses:            "dedup_misses",
+	CtrDedupBytesSaved:        "dedup_bytes_saved",
+	CtrSendErrors:             "send_errors",
+	CtrRecvErrors:             "recv_errors",
+	CtrReadsServed:            "reads_served",
+	CtrWritesApplied:          "writes_applied",
+	CtrRMIServed:              "rmi_served",
+	CtrFlushes:                "flushes",
+	CtrWireRawBytes:           "wire_raw_bytes",
+	CtrWireBytes:              "wire_bytes",
+	CtrWriteCombineHits:       "write_combine_hits",
+	CtrWriteCombineBytesSaved: "write_combine_bytes_saved",
+	CtrRecvWritesCombined:     "recv_writes_combined",
+	CtrFrontierNodes:          "frontier_nodes",
+	CtrFrontierEdges:          "frontier_edges",
 }
 
 // String implements fmt.Stringer.

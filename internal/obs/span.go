@@ -36,6 +36,10 @@ const (
 	// SpanCopierServe is one inbound request served by a copier (Arg packs
 	// src<<48|msgType).
 	SpanCopierServe
+	// SpanDirection is one push/pull direction decision by an adaptive
+	// traversal (Arg packs direction<<62 | step<<48 | frontierSize, with the
+	// frontier size saturating at 2^48-1).
+	SpanDirection
 
 	numSpanKinds
 )
@@ -50,6 +54,7 @@ var spanKindNames = [numSpanKinds]string{
 	SpanFlush:         "flush",
 	SpanReadRTT:       "read_rtt",
 	SpanCopierServe:   "copier_serve",
+	SpanDirection:     "direction_decision",
 }
 
 // String implements fmt.Stringer.

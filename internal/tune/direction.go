@@ -1,0 +1,99 @@
+package tune
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// DirectionCandidate is one (alpha, beta) threshold pair for the
+// direction-optimizing traversal heuristic: alpha gates push→pull (switch
+// when frontier edge work exceeds pullEdges/alpha), beta gates pull→push
+// (switch when the frontier shrinks under totalNodes/beta).
+type DirectionCandidate struct {
+	Alpha float64
+	Beta  float64
+}
+
+// DefaultDirectionCandidates spans the grid around Beamer's classic
+// (14, 24) operating point.
+func DefaultDirectionCandidates() []DirectionCandidate {
+	return []DirectionCandidate{
+		{2, 24}, {7, 24}, {14, 24}, {28, 24},
+		{14, 8}, {14, 64}, {28, 8},
+	}
+}
+
+// DirectionTrial records one probed threshold pair.
+type DirectionTrial struct {
+	Alpha float64
+	Beta  float64
+	Cost  time.Duration
+}
+
+// DirectionResult is the tuning outcome: base with the winning thresholds
+// filled in, plus every trial for inspection.
+type DirectionResult struct {
+	Best   core.Config
+	Trials []DirectionTrial
+}
+
+// DefaultDirectionProbe runs one full breadth-first traversal from node 0 —
+// the workload whose push/pull switching the thresholds govern.
+func DefaultDirectionProbe(c *core.Cluster) (time.Duration, error) {
+	_, met, err := algorithms.HopDist(c, 0, c.NumNodes())
+	return met.Total, err
+}
+
+// Direction probes each (alpha, beta) candidate on g — each on a fresh
+// cluster built from base, so the policy's learned cost model starts cold
+// every time — and returns base with the fastest thresholds filled in. probe
+// nil uses DefaultDirectionProbe. Each candidate is probed twice and the
+// better time kept, damping warm-up noise.
+func Direction(g *graph.Graph, base core.Config, candidates []DirectionCandidate, probe Probe) (DirectionResult, error) {
+	if len(candidates) == 0 {
+		candidates = DefaultDirectionCandidates()
+	}
+	if probe == nil {
+		probe = DefaultDirectionProbe
+	}
+	var res DirectionResult
+	best := time.Duration(0)
+	for _, cand := range candidates {
+		if cand.Alpha <= 0 || cand.Beta <= 0 {
+			return res, fmt.Errorf("tune: direction candidate %+v invalid", cand)
+		}
+		cfg := base
+		cfg.DirectionAlpha = cand.Alpha
+		cfg.DirectionBeta = cand.Beta
+		c, err := core.NewCluster(cfg)
+		if err != nil {
+			return res, fmt.Errorf("tune: boot %+v: %w", cand, err)
+		}
+		if err := c.Load(g); err != nil {
+			c.Shutdown()
+			return res, fmt.Errorf("tune: load %+v: %w", cand, err)
+		}
+		cost := time.Duration(0)
+		for trial := 0; trial < 2; trial++ {
+			d, err := probe(c)
+			if err != nil {
+				c.Shutdown()
+				return res, fmt.Errorf("tune: probe %+v: %w", cand, err)
+			}
+			if trial == 0 || d < cost {
+				cost = d
+			}
+		}
+		c.Shutdown()
+		res.Trials = append(res.Trials, DirectionTrial{Alpha: cand.Alpha, Beta: cand.Beta, Cost: cost})
+		if best == 0 || cost < best {
+			best = cost
+			res.Best = cfg
+		}
+	}
+	return res, nil
+}
