@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race faults wire fuzz-smoke ci bench-comm bench-faults bench-wire obs direction bench-direction
+.PHONY: build test vet race faults wire fuzz-smoke ci bench-comm bench-faults bench-wire obs direction bench-direction serve bench-serve
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,11 @@ vet:
 # Race-detector pass over the concurrency-heavy packages: the comm fabrics
 # (async senders, routers, collectives), the engine core (workers, copiers,
 # frontiers with copier-side write-activation, read combining, wire
-# compression), the traversal algorithms (adaptive direction switching), the
-# varint codec, and the observability registry.
+# compression, job cancellation), the traversal algorithms (adaptive
+# direction switching), the varint codec, the observability registry, and
+# the serving layer (admission scheduler, engine pools, deadlines).
 race:
-	$(GO) test -race ./internal/codec/... ./internal/comm/... ./internal/core/... ./internal/algorithms/... ./internal/obs/...
+	$(GO) test -race ./internal/codec/... ./internal/comm/... ./internal/core/... ./internal/algorithms/... ./internal/obs/... ./internal/server/...
 
 # Fault-injection suite under the race detector: every TestFault* case
 # (injector semantics, job aborts over both fabrics, recovery, leak checks).
@@ -72,3 +73,16 @@ bench-direction:
 # flight recorder under fault injection. Writes BENCH_obs.json.
 obs:
 	$(GO) run ./cmd/pgxd-bench -exp obs -obs-out BENCH_obs.json
+
+# Serving-layer check: scheduler/cancellation unit+regression tests under
+# the race detector, then a small -exp serve smoke (multi-tenant load,
+# deadline abort, no-starvation, engine-pool concurrency).
+serve:
+	$(GO) test -race -count=1 ./internal/server/...
+	$(GO) test -race -count=1 -run 'Cancel' ./internal/core/...
+	$(GO) run ./cmd/pgxd-bench -exp serve -machines 2 -scale 10 -serve-out BENCH_serve_smoke.json
+
+# Regenerate the serving-layer load-test artifact (latency percentiles,
+# jobs/sec, queue-wait percentiles, pool concurrency, deadline accounting).
+bench-serve:
+	$(GO) run ./cmd/pgxd-bench -exp serve -machines 4 -serve-out BENCH_serve.json

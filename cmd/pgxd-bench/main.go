@@ -3,12 +3,15 @@
 //
 // Usage:
 //
-//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults|wire|direction]
+//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults|wire|direction|serve]
 //	           [-scale N] [-machines 1,2,4] [-workers N] [-copiers N] [-quiet]
 //
-// The comm, wire, and direction experiments additionally write their sweeps
-// as JSON (-comm-out / -wire-out / -direction-out, defaults BENCH_comm.json /
-// BENCH_wire.json / BENCH_direction.json).
+// The comm, wire, direction, and serve experiments additionally write their
+// sweeps as JSON (-comm-out / -wire-out / -direction-out / -serve-out,
+// defaults BENCH_comm.json / BENCH_wire.json / BENCH_direction.json /
+// BENCH_serve.json). The serve experiment load-tests the multi-tenant
+// serving layer: admission latency percentiles, jobs/sec, engine-pool
+// scaling on one graph, and deadline/cancellation behaviour.
 //
 // Results print as aligned text tables shaped like the paper's originals;
 // EXPERIMENTS.md records a reference run with commentary.
@@ -27,7 +30,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs, wire, direction)")
+		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs, wire, direction, serve)")
+		serveOut = flag.String("serve-out", "BENCH_serve.json", "output path for the serving-layer experiment's JSON report")
 		commOut  = flag.String("comm-out", "BENCH_comm.json", "output path for the comm experiment's JSON report")
 		wireOut  = flag.String("wire-out", "BENCH_wire.json", "output path for the wire compression experiment's JSON report")
 		dirOut   = flag.String("direction-out", "BENCH_direction.json", "output path for the direction switching experiment's JSON report")
@@ -264,6 +268,24 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "obs: report written to %s\n", *obsOut)
+		}
+	}
+	// The serve experiment load-tests the multi-tenant serving layer over
+	// its TCP protocol; it is system diagnostics rather than a paper figure,
+	// so it runs only when named explicitly.
+	if *exp == "serve" {
+		ran = true
+		p := machineCounts[len(machineCounts)-1]
+		tbl, rep, err := bench.ExpServe(*scale, p, 4, 6, progress)
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+		fmt.Println(tbl)
+		if err := rep.WriteJSON(*serveOut); err != nil {
+			fatalf("serve: writing %s: %v", *serveOut, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "serve: report written to %s\n", *serveOut)
 		}
 	}
 	if !ran {

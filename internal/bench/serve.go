@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ServeReport is the JSON artifact (BENCH_serve.json) of the serving-layer
+// load test: end-to-end client latency percentiles and throughput under
+// mixed multi-tenant load, the same-graph concurrency scaling the engine
+// pool buys, a deadline-exceeded run aborting its engine job in place, and
+// the busy-graph non-starvation check.
+type ServeReport struct {
+	Scale    int `json:"scale"`
+	Machines int `json:"machines"`
+
+	// Load section: Tenants clients x RunsPerTenant runs of short PageRank
+	// against one server.
+	Tenants        int     `json:"tenants"`
+	RunsPerTenant  int     `json:"runs_per_tenant"`
+	PoolSize       int     `json:"pool_size"`
+	MaxConcurrent  int     `json:"max_concurrent"`
+	JobsPerSec     float64 `json:"jobs_per_sec"`
+	LatP50Millis   float64 `json:"lat_p50_millis"`
+	LatP99Millis   float64 `json:"lat_p99_millis"`
+	QueueP50Millis float64 `json:"queue_p50_millis"`
+	QueueP99Millis float64 `json:"queue_p99_millis"`
+
+	// Scaling section: a fixed batch of same-graph analyses with one engine
+	// vs. a pool. PeakConcurrency is the highest ActiveAnalyses the server
+	// reported mid-batch: pool=1 pins it at 1, pool=N reaching >=2 shows
+	// read-only analyses on one graph genuinely in flight together (wall
+	// times only improve with it on multi-core hosts; on one core the
+	// analyses time-slice).
+	Pool1Seconds         float64 `json:"pool1_seconds"`
+	PoolNSeconds         float64 `json:"pooln_seconds"`
+	ScalingFactor        float64 `json:"scaling_factor"`
+	Pool1PeakConcurrency int     `json:"pool1_peak_concurrency"`
+	PoolNPeakConcurrency int     `json:"pooln_peak_concurrency"`
+
+	// Deadline section: a run with a tight deadline must fail with a
+	// deadline error while the server keeps serving.
+	DeadlineErr       string  `json:"deadline_err"`
+	DeadlineAborted   bool    `json:"deadline_aborted"`
+	DeadlineRunsAfter int64   `json:"deadline_runs_after"`
+	PostDeadlineMs    float64 `json:"post_deadline_run_millis"`
+
+	// Starvation section: latency of a run on an idle graph while another
+	// graph's only engine is held by a long job. Bounded queueing here was
+	// the admission bug this layer fixes.
+	BusyOtherGraphMs float64 `json:"busy_other_graph_millis"`
+}
+
+// pctl returns the nearest-rank q-quantile of unsorted samples.
+func pctl(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	i := int(q*float64(len(s))+0.999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// ExpServe load-tests the serving layer end to end over its TCP protocol:
+// multi-tenant admission, the per-graph engine pool, deadlines firing the
+// engine cancellation latch, and the no-starvation admission property.
+func ExpServe(scale, machines, tenants, runsPerTenant int, prog Progress) (*Table, *ServeReport, error) {
+	const poolSize = 2
+	rep := &ServeReport{
+		Scale: scale, Machines: machines,
+		Tenants: tenants, RunsPerTenant: runsPerTenant,
+		PoolSize: poolSize, MaxConcurrent: 2 * poolSize,
+	}
+	t := &Table{Title: fmt.Sprintf("Serving layer (scale %d, %d machines, pool %d)", scale, machines, poolSize)}
+	t.Header = []string{"section", "config", "metric", "detail"}
+
+	newServer := func(pool, maxConc int) (*server.Server, *server.Client, error) {
+		cfg := server.DefaultServerConfig()
+		cfg.AnalysisPoolSize = pool
+		cfg.MaxConcurrentAnalyses = maxConc
+		cfg.DefaultMachines = machines
+		s, err := server.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := server.Dial(s.Addr())
+		if err != nil {
+			s.Close()
+			return nil, nil, err
+		}
+		return s, c, nil
+	}
+
+	// --- 1: mixed multi-tenant load ----------------------------------------
+	prog.log("serve: %d tenants x %d runs", tenants, runsPerTenant)
+	s, admin, err := newServer(poolSize, 2*poolSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := admin.Generate(server.Request{Graph: "twt", Kind: "rmat", Scale: scale, EdgeFactor: 8, Seed: 7}); err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	var mu sync.Mutex
+	var lats []float64
+	var firstErr error
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ten := 0; ten < tenants; ten++ {
+		wg.Add(1)
+		go func(ten int) {
+			defer wg.Done()
+			cl, err := server.Dial(s.Addr())
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			tenant := fmt.Sprintf("tenant-%d", ten)
+			for r := 0; r < runsPerTenant; r++ {
+				req := server.Request{
+					Graph: "twt", Algo: "pagerank", Iterations: 3,
+					Tenant: tenant, Priority: ten % 3,
+				}
+				t0 := time.Now()
+				_, err := cl.Run(req)
+				lat := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("%s run %d: %w", tenant, r, err)
+				}
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}(ten)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		s.Close()
+		return nil, nil, firstErr
+	}
+	st, err := admin.Stats()
+	if err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	total := tenants * runsPerTenant
+	rep.JobsPerSec = float64(total) / elapsed.Seconds()
+	rep.LatP50Millis = pctl(lats, 0.50)
+	rep.LatP99Millis = pctl(lats, 0.99)
+	rep.QueueP50Millis = st.QueueP50Millis
+	rep.QueueP99Millis = st.QueueP99Millis
+	if st.RunsServed != int64(total) {
+		s.Close()
+		return nil, nil, fmt.Errorf("serve: runs served %d, want %d", st.RunsServed, total)
+	}
+	t.AddRow("load", fmt.Sprintf("%dx%d runs", tenants, runsPerTenant),
+		fmt.Sprintf("%.1f jobs/s", rep.JobsPerSec),
+		fmt.Sprintf("lat p50=%.1fms p99=%.1fms queue p50<=%.2fms p99<=%.2fms",
+			rep.LatP50Millis, rep.LatP99Millis, rep.QueueP50Millis, rep.QueueP99Millis))
+
+	// --- 2: deadline fires the engine cancellation latch --------------------
+	prog.log("serve: deadline abort")
+	_, derr := admin.Run(server.Request{Graph: "twt", Algo: "pagerank", Iterations: 100000, TimeoutMillis: 200})
+	if derr == nil {
+		s.Close()
+		return nil, nil, fmt.Errorf("serve: deadline run completed, want abort")
+	}
+	rep.DeadlineErr = derr.Error()
+	rep.DeadlineAborted = strings.Contains(derr.Error(), "deadline exceeded")
+	// The same engine pool serves the next run: the abort killed the job,
+	// not the server.
+	after, err := admin.Run(server.Request{Graph: "twt", Algo: "pagerank", Iterations: 3})
+	if err != nil {
+		s.Close()
+		return nil, nil, fmt.Errorf("serve: run after deadline abort: %w", err)
+	}
+	rep.PostDeadlineMs = after.Millis
+	if st, err = admin.Stats(); err == nil {
+		rep.DeadlineRunsAfter = st.DeadlineExceededRuns
+	}
+	t.AddRow("deadline", "200ms budget", fmt.Sprintf("aborted=%v", rep.DeadlineAborted),
+		fmt.Sprintf("next run %.1fms, deadline_exceeded=%d", rep.PostDeadlineMs, rep.DeadlineRunsAfter))
+
+	// --- 3: busy graph does not starve others -------------------------------
+	prog.log("serve: no starvation across graphs")
+	if _, err := admin.Generate(server.Request{Graph: "other", Kind: "rmat", Scale: scale, EdgeFactor: 8, Seed: 8}); err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	longDone := make(chan error, 1)
+	go func() {
+		cl, err := server.Dial(s.Addr())
+		if err != nil {
+			longDone <- err
+			return
+		}
+		defer cl.Close()
+		// Occupies graph "twt" until the tag cancel below.
+		_, _ = cl.Run(server.Request{Graph: "twt", Algo: "pagerank", Iterations: 100000, Tag: "hog"})
+		longDone <- nil
+	}()
+	time.Sleep(100 * time.Millisecond) // let the hog admit
+	t0 := time.Now()
+	if _, err := admin.Run(server.Request{Graph: "other", Algo: "pagerank", Iterations: 3}); err != nil {
+		s.Close()
+		return nil, nil, fmt.Errorf("serve: run on idle graph while other busy: %w", err)
+	}
+	rep.BusyOtherGraphMs = float64(time.Since(t0).Microseconds()) / 1000
+	if _, err := admin.Cancel("hog", ""); err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	<-longDone
+	s.Close()
+	t.AddRow("starvation", "hog on twt", fmt.Sprintf("other graph %.1fms", rep.BusyOtherGraphMs),
+		"idle graph admitted while busy graph queued")
+
+	// --- 4: same-graph concurrency via the engine pool ----------------------
+	const batch = 8
+	runBatch := func(pool int) (time.Duration, int, error) {
+		s, admin, err := newServer(pool, 2*poolSize)
+		if err != nil {
+			return 0, 0, err
+		}
+		defer s.Close()
+		defer admin.Close()
+		if _, err := admin.Generate(server.Request{Graph: "g", Kind: "rmat", Scale: scale, EdgeFactor: 8, Seed: 7}); err != nil {
+			return 0, 0, err
+		}
+		// Sample ActiveAnalyses while the batch is in flight: the peak is
+		// how many same-graph analyses the server truly ran at once.
+		peak := 0
+		stopSampler := make(chan struct{})
+		samplerDone := make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			for {
+				select {
+				case <-stopSampler:
+					return
+				case <-time.After(time.Millisecond):
+				}
+				if st, err := admin.Stats(); err == nil && st.ActiveAnalyses > peak {
+					peak = st.ActiveAnalyses
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		errs := make(chan error, batch)
+		t0 := time.Now()
+		for i := 0; i < batch; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cl, err := server.Dial(s.Addr())
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer cl.Close()
+				if _, err := cl.Run(server.Request{Graph: "g", Algo: "pagerank", Iterations: 20}); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(t0)
+		close(stopSampler)
+		<-samplerDone
+		close(errs)
+		for err := range errs {
+			return 0, 0, err
+		}
+		return elapsed, peak, nil
+	}
+	prog.log("serve: same-graph concurrency, pool=1")
+	t1, peak1, err := runBatch(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog.log("serve: same-graph concurrency, pool=%d", poolSize)
+	tn, peakN, err := runBatch(poolSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep.Pool1Seconds = t1.Seconds()
+	rep.PoolNSeconds = tn.Seconds()
+	rep.ScalingFactor = t1.Seconds() / tn.Seconds()
+	rep.Pool1PeakConcurrency = peak1
+	rep.PoolNPeakConcurrency = peakN
+	if peak1 > 1 {
+		return nil, nil, fmt.Errorf("serve: pool=1 reached %d concurrent analyses on one graph", peak1)
+	}
+	if peakN < 2 {
+		return nil, nil, fmt.Errorf("serve: pool=%d never exceeded 1 concurrent analysis on one graph", poolSize)
+	}
+	t.AddRow("scaling", fmt.Sprintf("%d runs, pool 1->%d", batch, poolSize),
+		fmt.Sprintf("peak %d -> %d in flight", peak1, peakN),
+		fmt.Sprintf("wall %s -> %s (%.2fx)", fmtSecs(rep.Pool1Seconds), fmtSecs(rep.PoolNSeconds), rep.ScalingFactor))
+
+	t.Notes = append(t.Notes,
+		"latencies are end-to-end over the TCP protocol, including admission queueing",
+		"the deadline abort kills the engine job through the cancellation latch; the pool engine is reused",
+		"peak in-flight >1 with a pool shows same-graph read-only analyses truly overlapping; wall-clock gains need multiple cores")
+	return t, rep, nil
+}
+
+// WriteJSON writes the report to path (the BENCH_serve.json artifact).
+func (r *ServeReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrJobCanceled marks jobs that failed because the cluster was canceled
+// from outside the engine — a serving-layer deadline, an explicit client
+// cancel, or server shutdown — rather than by a transport fault. It always
+// appears wrapped inside ErrJobAborted (cancellation rides the same
+// job-scoped abort latch and recovery path as wire faults), so callers test
+// errors.Is(err, ErrJobCanceled) to distinguish "told to stop" from "broke".
+var ErrJobCanceled = errors.New("core: job canceled")
+
+// Cancel marks the cluster canceled: the in-flight job (if any) aborts via
+// the job-scoped abort latch exactly as on a transport fault — workers
+// unwind, buffers recover, the flight recorder dumps — and every subsequent
+// RunJob fails fast with ErrJobCanceled until Uncancel. cause, when non-nil,
+// is attached to the error chain (e.g. a deadline description). Idempotent:
+// the first cause wins. Safe to call from any goroutine, including timers.
+//
+// This is the serving layer's hook for per-request deadlines and client
+// cancellation: a multi-superstep algorithm is a sequence of RunJob calls,
+// so firing the latch kills the current superstep and the fail-fast check
+// stops the driver loop from launching the next one.
+func (c *Cluster) Cancel(cause error) {
+	err := error(ErrJobCanceled)
+	if cause != nil {
+		err = fmt.Errorf("%w: %w", ErrJobCanceled, cause)
+	}
+	c.cancelMu.Lock()
+	if c.cancelErr != nil {
+		c.cancelMu.Unlock()
+		return
+	}
+	c.cancelErr = err
+	if c.cancelCh == nil {
+		c.cancelCh = make(chan struct{})
+	}
+	close(c.cancelCh)
+	c.cancelMu.Unlock()
+	// Best-effort immediate abort; the per-run watcher retries until the
+	// machines have actually published the job, closing the race where
+	// Cancel lands during RunJob's fan-out.
+	for _, m := range c.machines {
+		m.abortCurrent(err)
+	}
+}
+
+// Uncancel clears a previous Cancel so the cluster accepts jobs again — the
+// serving layer calls it when recycling an engine into its pool after a
+// canceled or deadline-exceeded run.
+func (c *Cluster) Uncancel() {
+	c.cancelMu.Lock()
+	c.cancelErr = nil
+	c.cancelCh = nil
+	c.cancelMu.Unlock()
+}
+
+// CancelCause returns the sticky cancellation error installed by Cancel, or
+// nil while the cluster is accepting jobs.
+func (c *Cluster) CancelCause() error {
+	c.cancelMu.Lock()
+	defer c.cancelMu.Unlock()
+	return c.cancelErr
+}
+
+// cancelWait returns a channel closed when (or if already) canceled.
+func (c *Cluster) cancelWait() <-chan struct{} {
+	c.cancelMu.Lock()
+	defer c.cancelMu.Unlock()
+	if c.cancelCh == nil {
+		c.cancelCh = make(chan struct{})
+	}
+	return c.cancelCh
+}
+
+// watchCancel runs for the duration of one RunJob: it waits for either the
+// job to finish (stop) or a Cancel, and on cancel keeps firing the abort
+// latch on every machine until the job actually unwinds. The retry loop
+// matters: a machine publishes its jobRuntime a little after RunJob starts,
+// so a single abortCurrent could land in the window where curJob is still
+// nil and be lost.
+func (c *Cluster) watchCancel(stop <-chan struct{}, done *sync.WaitGroup) {
+	defer done.Done()
+	select {
+	case <-stop:
+		return
+	case <-c.cancelWait():
+	}
+	err := c.CancelCause()
+	if err == nil {
+		err = ErrJobCanceled
+	}
+	for {
+		for _, m := range c.machines {
+			m.abortCurrent(err)
+		}
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// TestCancelAbortsRunningJob: Cancel fires the job-scoped abort latch, so a
+// driver loop issuing jobs stops promptly with ErrJobCanceled; the latch is
+// sticky until Uncancel, after which the same cluster computes again.
+func TestCancelAbortsRunningJob(t *testing.T) {
+	g, err := graph.RMAT(8, 6, graph.TwitterLike(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bootCluster(t, g, DefaultConfig(2))
+	src, _ := c.AddPropF64("src")
+	dst, _ := c.AddPropF64("dst")
+	c.FillF64(src, 1)
+
+	spec := JobSpec{
+		Name:      "cancel-pull",
+		Iter:      IterInEdges,
+		Task:      &pullSumTask{src: src, dst: dst},
+		ReadProps: []PropID{src},
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		// An algorithm-style driver loop: without cancellation this would
+		// run for a long time.
+		for i := 0; i < 100000; i++ {
+			if _, err := c.RunJob(spec); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cause := errors.New("operator said stop")
+	c.Cancel(cause)
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("driver loop ran to completion despite Cancel")
+		}
+		if !errors.Is(err, ErrJobCanceled) {
+			t.Fatalf("error %v does not wrap ErrJobCanceled", err)
+		}
+		if !errors.Is(err, ErrJobAborted) {
+			t.Fatalf("error %v does not wrap ErrJobAborted", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("driver loop did not stop within 10s of Cancel")
+	}
+
+	// The latch is sticky: new jobs fail fast without running.
+	if _, err := c.RunJob(spec); !errors.Is(err, ErrJobCanceled) {
+		t.Fatalf("RunJob while canceled = %v, want ErrJobCanceled", err)
+	}
+	if cc := c.CancelCause(); !errors.Is(cc, ErrJobCanceled) {
+		t.Fatalf("CancelCause = %v, want ErrJobCanceled wrap", cc)
+	}
+
+	// Uncancel restores the cluster for the next lease.
+	c.Uncancel()
+	if cc := c.CancelCause(); cc != nil {
+		t.Fatalf("CancelCause after Uncancel = %v, want nil", cc)
+	}
+	settleQuiescent(t, c)
+	if err := runPull(t, c, g, src, dst, true); err != nil {
+		t.Fatalf("clean run after Uncancel: %v", err)
+	}
+}
+
+// TestCancelBeforeRun: cancellation between jobs is caught by the RunJob
+// entry check — no machine ever starts the job.
+func TestCancelBeforeRun(t *testing.T) {
+	g, err := graph.RMAT(7, 4, graph.TwitterLike(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := bootCluster(t, g, DefaultConfig(2))
+	src, _ := c.AddPropF64("src")
+	dst, _ := c.AddPropF64("dst")
+
+	c.Cancel(errors.New("pre-canceled"))
+	_, err = c.RunJob(JobSpec{
+		Name:      "never-runs",
+		Iter:      IterInEdges,
+		Task:      &pullSumTask{src: src, dst: dst},
+		ReadProps: []PropID{src},
+	})
+	if !errors.Is(err, ErrJobCanceled) {
+		t.Fatalf("RunJob = %v, want ErrJobCanceled", err)
+	}
+	c.Uncancel()
+	if err := runPull(t, c, g, src, dst, true); err != nil {
+		t.Fatalf("run after Uncancel: %v", err)
+	}
+}

@@ -32,6 +32,12 @@ type Cluster struct {
 	loaded    bool
 	shut      bool
 	jobSeq    uint64
+
+	// External cancellation latch (Cancel/Uncancel): cancelErr is the sticky
+	// cause, cancelCh is closed on Cancel so the per-run watcher wakes.
+	cancelMu  sync.Mutex
+	cancelErr error
+	cancelCh  chan struct{}
 }
 
 // ErrJobAborted wraps every error RunJob returns for a job that started and
@@ -246,22 +252,39 @@ func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
 			return JobStats{}, fmt.Errorf("core: job %q build slot %d is nil or from another cluster", spec.Name, i)
 		}
 	}
+	// Fail fast when canceled: a multi-superstep algorithm is a RunJob loop,
+	// so this check is what stops the driver after Cancel fires mid-run.
+	if cause := c.CancelCause(); cause != nil {
+		return JobStats{}, fmt.Errorf("job %q: %w: %w", spec.Name, ErrJobAborted, cause)
+	}
 	before := c.TrafficSnapshot()
 	results := make([]machineJobStats, len(c.machines))
 	c.jobSeq++
 	jobID := c.jobSeq
 	c.cfg.Obs.BeginJob(jobID, spec.Name)
 	start := time.Now()
+	stopWatch := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go c.watchCancel(stopWatch, &watchWG)
 	err := c.parallel(func(m *Machine) error {
 		st, err := m.runJob(&spec, jobID)
 		results[m.id] = st
 		return err
 	})
+	close(stopWatch)
+	watchWG.Wait()
 	if err != nil {
 		c.recoverAfterAbort()
 		// The flight recorder snapshots after recovery so it sees the final
 		// counter state of everything that did arrive before the abort.
 		c.cfg.Obs.RecordAbort(jobID, spec.Name, err)
+		// A broadcast abort flattens the originating error to a string, so
+		// the winning machine error may have lost the cancellation cause;
+		// if the latch is set, splice it back into the returned chain.
+		if cause := c.CancelCause(); cause != nil && !errors.Is(err, ErrJobCanceled) {
+			return JobStats{}, fmt.Errorf("job %q: %w: %w: %v", spec.Name, ErrJobAborted, cause, err)
+		}
 		return JobStats{}, fmt.Errorf("job %q: %w: %w", spec.Name, ErrJobAborted, err)
 	}
 	c.cfg.Obs.EndJob(jobID, time.Since(start))

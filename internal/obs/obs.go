@@ -129,15 +129,24 @@ const (
 	HistFlush
 	// HistServe is the copier-side cost of serving one inbound request.
 	HistServe
+	// HistQueueWait is the serving layer's admission latency: a run request
+	// enters the scheduler queue to the moment it is granted an engine.
+	// Recorded by internal/server (machine slot 0 of a 1-slot registry).
+	HistQueueWait
+	// HistRunLatency is the serving layer's end-to-end analysis latency
+	// (queue wait + engine execution), recorded per completed run.
+	HistRunLatency
 
 	numHists
 )
 
 var histNames = [numHists]string{
-	HistReadRTT: "read_rtt_ns",
-	HistBarrier: "barrier_wait_ns",
-	HistFlush:   "flush_send_ns",
-	HistServe:   "copier_serve_ns",
+	HistReadRTT:    "read_rtt_ns",
+	HistBarrier:    "barrier_wait_ns",
+	HistFlush:      "flush_send_ns",
+	HistServe:      "copier_serve_ns",
+	HistQueueWait:  "admit_queue_wait_ns",
+	HistRunLatency: "run_latency_ns",
 }
 
 // String implements fmt.Stringer.

@@ -97,6 +97,23 @@ func (c *Client) Run(req Request) (*RunResult, error) {
 	return resp.Result, nil
 }
 
+// Cancel kills queued and running analyses labeled tag (op=run's Tag
+// field), optionally restricted to one tenant. Returns how many runs
+// matched. Issue it from a second connection: the canceled run's own
+// connection is blocked waiting for its response.
+func (c *Client) Cancel(tag, tenant string) (int, error) {
+	resp, err := c.do(Request{Op: "cancel", Tag: tag, Tenant: tenant})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Result == nil {
+		return 0, fmt.Errorf("client: malformed cancel response")
+	}
+	var n int
+	fmt.Sscanf(resp.Result.Extra, "%d", &n)
+	return n, nil
+}
+
 // Mutate applies an edge batch to a loaded graph and reloads the engine
 // from a fresh snapshot. Returns the updated graph info.
 func (c *Client) Mutate(name string, add, remove []EdgeSpec) (GraphInfo, error) {

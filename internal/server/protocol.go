@@ -3,12 +3,15 @@
 // That is, each client can load up multiple graph instances and execute
 // different analysis algorithms on them in an interactive manner."
 //
-// The server keeps a registry of named graph instances, each backed by its
-// own engine cluster. Requests arrive as JSON lines over TCP; analyses on
-// different graphs run concurrently while analyses on one graph serialize
-// (one engine, one job stream). Admission control caps resident graph
-// memory and concurrent analyses — the resource-fairness questions the
-// paper raises, answered simply.
+// The server keeps a registry of named graph instances, each backed by a
+// small pool of engine clusters over one shared immutable graph, so
+// read-only analyses on the same graph run concurrently (analyses never
+// mutate the graph, only their own job-scoped properties). Requests arrive
+// as JSON lines over TCP and pass through an admission scheduler: a global
+// concurrency cap, per-tenant quotas, priorities with aging, and
+// per-request deadlines/cancellation that abort the engine job through the
+// core cancellation latch — the resource-fairness questions the paper
+// raises, answered with an explicit multi-tenant job scheduler.
 package server
 
 import (
@@ -19,11 +22,33 @@ import (
 // Request is one client command. Op selects the action; the remaining
 // fields are op-specific.
 type Request struct {
-	// Op is one of: load, generate, run, list, drop, stats.
+	// Op is one of: load, generate, run, cancel, list, mutate, drop, stats.
 	Op string `json:"op"`
 
 	// Graph names the target instance (load, generate, run, drop).
 	Graph string `json:"graph,omitempty"`
+
+	// Tenant identifies the client for admission accounting and per-tenant
+	// concurrency quotas (op=run, optionally op=cancel). Empty maps to
+	// "default".
+	Tenant string `json:"tenant,omitempty"`
+
+	// Priority biases admission order (op=run): higher runs sooner, default
+	// 0, clamped to [-8, 8]. Queued requests age one level per
+	// Config.PriorityAging waited, so low-priority work cannot starve.
+	Priority int `json:"priority,omitempty"`
+
+	// TimeoutMillis, when positive, is the request's end-to-end deadline
+	// (op=run): queue wait plus execution. A request still queued when it
+	// expires is rejected; a running one has its engine job canceled through
+	// the abort latch and returns a deadline error.
+	TimeoutMillis int64 `json:"timeout_millis,omitempty"`
+
+	// Tag is a client-chosen label for a run (op=run) so another connection
+	// can cancel it (op=cancel): cancel removes queued runs with the tag and
+	// aborts running ones via the engine's cancellation latch. With Tenant
+	// set on the cancel, only that tenant's runs match.
+	Tag string `json:"tag,omitempty"`
 
 	// Path is a graph file to load (op=load); .bin selects binary format.
 	Path string `json:"path,omitempty"`
@@ -95,6 +120,12 @@ type RunResult struct {
 	Millis      float64     `json:"millis"`
 	Extra       string      `json:"extra,omitempty"`
 	TopVertices []TopVertex `json:"top,omitempty"`
+
+	// JobID is the server-assigned admission sequence number of this run.
+	JobID uint64 `json:"job_id,omitempty"`
+	// QueueMillis is how long the run waited for admission before an engine
+	// was granted (Millis measures execution only).
+	QueueMillis float64 `json:"queue_millis,omitempty"`
 }
 
 // TopVertex is one entry of an analysis' top-K ranking.
@@ -136,9 +167,35 @@ type ServerStats struct {
 	JobsObserved  int64   `json:"jobs_observed"`
 	AbortsSeen    int64   `json:"aborts_seen"`
 
+	// Scheduler accounting: requests waiting for admission right now, the
+	// per-instance engine pool size, runs rejected or aborted by their
+	// deadline, runs canceled explicitly (op=cancel or shutdown), and the
+	// admission-queue wait percentiles from the server's obs histogram
+	// (power-of-two bucket upper bounds).
+	QueuedAnalyses       int     `json:"queued_analyses"`
+	EnginePoolSize       int     `json:"engine_pool_size"`
+	DeadlineExceededRuns int64   `json:"deadline_exceeded_runs"`
+	CanceledRuns         int64   `json:"canceled_runs"`
+	QueueP50Millis       float64 `json:"queue_p50_millis,omitempty"`
+	QueueP99Millis       float64 `json:"queue_p99_millis,omitempty"`
+
+	// Tenants breaks admission accounting down per tenant ID.
+	Tenants map[string]*TenantStats `json:"tenants,omitempty"`
+
 	// LastAbort summarizes the most recent flight-recorder dump across all
 	// loaded instances, or nil when no job has aborted.
 	LastAbort *AbortSummary `json:"last_abort,omitempty"`
+}
+
+// TenantStats is one tenant's slice of the scheduler accounting.
+type TenantStats struct {
+	// Served counts completed analyses; Failed counts error responses
+	// (including canceled and deadline-exceeded runs).
+	Served int64 `json:"served"`
+	Failed int64 `json:"failed"`
+	// Running and Queued are the tenant's current admission state.
+	Running int `json:"running"`
+	Queued  int `json:"queued"`
 }
 
 // AbortSummary is the stats-protocol view of a flight-recorder dump.

@@ -3,12 +3,14 @@ package server
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -23,16 +25,30 @@ import (
 // Config bounds the server's resource usage — the paper's open question
 // "how should the system assign memory and CPU resources between clients
 // while achieving overall fairness and efficiency?" answered with explicit
-// admission control: a cap on resident edges (memory proxy) and a cap on
-// concurrently running analyses (CPU proxy, FIFO-fair via semaphore).
+// admission control: a cap on resident edges (memory proxy), a global cap
+// on concurrently running analyses, per-tenant quotas, and priority-with-
+// aging admission order.
 type Config struct {
 	// Addr is the TCP listen address, e.g. "127.0.0.1:7427". Empty picks
 	// an ephemeral loopback port (tests).
 	Addr string
 	// MaxResidentEdges caps the sum of edges across loaded graphs.
 	MaxResidentEdges int64
-	// MaxConcurrentAnalyses caps simultaneously running algorithms.
+	// MaxConcurrentAnalyses caps simultaneously running algorithms across
+	// all graphs and tenants.
 	MaxConcurrentAnalyses int
+	// AnalysisPoolSize is how many engine clusters each graph instance
+	// boots over its shared immutable graph — the number of read-only
+	// analyses that can run concurrently on one graph. Default 2.
+	AnalysisPoolSize int
+	// TenantQuota caps concurrently running analyses per tenant; <=0
+	// disables the per-tenant cap.
+	TenantQuota int
+	// TenantQuotas overrides TenantQuota for specific tenant IDs.
+	TenantQuotas map[string]int
+	// PriorityAging is how long a queued request waits to gain one
+	// priority level (anti-starvation). Default 250ms; <0 disables aging.
+	PriorityAging time.Duration
 	// DefaultMachines is the simulated cluster size for graphs loaded
 	// without an explicit machine count.
 	DefaultMachines int
@@ -44,6 +60,11 @@ type Config struct {
 	// DisableObservability runs instances without registries: no per-job
 	// reports or flight recorder, and the extended stats fields stay zero.
 	DisableObservability bool
+
+	// runHook, when set, is invoked after a run is admitted (engine held)
+	// and before the algorithm starts. Tests use it to hold an engine busy
+	// deterministically.
+	runHook func(*Request)
 }
 
 // DefaultServerConfig returns modest laptop limits.
@@ -52,23 +73,39 @@ func DefaultServerConfig() Config {
 		Addr:                  "127.0.0.1:0",
 		MaxResidentEdges:      64 << 20,
 		MaxConcurrentAnalyses: 2,
+		AnalysisPoolSize:      2,
 		DefaultMachines:       4,
+		PriorityAging:         250 * time.Millisecond,
 	}
 }
 
-// instance is one loaded graph with its engine. mu serializes analyses on
-// this instance (one engine runs one job stream); different instances run
-// concurrently.
+// instance is one loaded graph with a pool of engine clusters over the
+// shared immutable graph. Read-only analyses lease one engine each and run
+// concurrently; exclusive operations (mutate, drop) collect the whole pool.
 type instance struct {
-	mu       sync.Mutex
 	name     string
-	g        *graph.Graph
-	dyn      *graph.Dynamic
-	cluster  *core.Cluster
 	machines int
-	// reg is this instance's observability registry (its cluster's
-	// Config.Obs); nil when the server runs with observability disabled.
-	reg *obs.Registry
+	pool     *enginePool
+
+	// admin serializes exclusive pool acquisition (mutate, drop) — two
+	// concurrent acquireAll calls would deadlock splitting the pool.
+	admin sync.Mutex
+
+	// gMu guards g and dyn (swapped by mutate while stats may read them).
+	gMu sync.Mutex
+	g   *graph.Graph
+	dyn *graph.Dynamic
+
+	// closed flips when the instance is dropped so queued tickets fail
+	// instead of waiting on a pool that will never refill.
+	closed atomic.Bool
+}
+
+// graphSnapshot returns the instance's current graph.
+func (inst *instance) graphSnapshot() *graph.Graph {
+	inst.gMu.Lock()
+	defer inst.gMu.Unlock()
+	return inst.g
 }
 
 // Server is the long-running multi-tenant engine host.
@@ -81,10 +118,24 @@ type Server struct {
 	resident  int64
 	conns     map[net.Conn]struct{}
 
-	runSem     chan struct{}
-	runsServed atomic.Int64
-	failedRuns atomic.Int64
-	active     atomic.Int64
+	sched *scheduler
+	// doneCh closes when Close begins: queued admissions and exclusive
+	// waits abort with a clean error instead of wedging.
+	doneCh chan struct{}
+
+	runsServed       atomic.Int64
+	failedRuns       atomic.Int64
+	active           atomic.Int64
+	deadlineExceeded atomic.Int64
+	canceledRuns     atomic.Int64
+
+	// tenants accumulates per-tenant served/failed counters.
+	tenantMu sync.Mutex
+	tenants  map[string]*tenantCounters
+
+	// reg is the server's own observability registry (queue-wait and
+	// run-latency histograms); nil with observability disabled.
+	reg *obs.Registry
 
 	start time.Time
 
@@ -101,6 +152,12 @@ type Server struct {
 	closed atomic.Bool
 }
 
+// tenantCounters is the mutable backing of TenantStats.
+type tenantCounters struct {
+	served atomic.Int64
+	failed atomic.Int64
+}
+
 // runDurWindow is the sliding-window size for run-duration percentiles.
 const runDurWindow = 512
 
@@ -112,8 +169,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrentAnalyses < 1 {
 		cfg.MaxConcurrentAnalyses = 1
 	}
+	if cfg.AnalysisPoolSize < 1 {
+		cfg.AnalysisPoolSize = 1
+	}
 	if cfg.DefaultMachines < 1 {
 		cfg.DefaultMachines = 1
+	}
+	if cfg.PriorityAging == 0 {
+		cfg.PriorityAging = 250 * time.Millisecond
 	}
 	l, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -124,8 +187,15 @@ func New(cfg Config) (*Server, error) {
 		listener:  l,
 		instances: make(map[string]*instance),
 		conns:     make(map[net.Conn]struct{}),
-		runSem:    make(chan struct{}, cfg.MaxConcurrentAnalyses),
-		start:     time.Now(),
+		tenants:   make(map[string]*tenantCounters),
+		doneCh:    make(chan struct{}),
+		sched: newScheduler(cfg.MaxConcurrentAnalyses, cfg.TenantQuota,
+			cfg.TenantQuotas, cfg.PriorityAging),
+		start: time.Now(),
+	}
+	if !cfg.DisableObservability {
+		s.reg = obs.NewRegistry()
+		s.reg.Attach(1)
 	}
 	if cfg.DebugAddr != "" {
 		dl, err := net.Listen("tcp", cfg.DebugAddr)
@@ -156,8 +226,9 @@ func (s *Server) DebugAddr() string {
 
 // debugHandler routes the observability debug surface. The registry
 // endpoints dispatch per instance: with one graph loaded it is implicit,
-// otherwise ?graph=<name> selects it. /debug/server reports the same stats
-// as the wire protocol's stats op.
+// otherwise ?graph=<name> selects it; ?engine=<idx> selects a pool engine
+// (default 0). /debug/server reports the same stats as the wire protocol's
+// stats op.
 func (s *Server) debugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/server", func(w http.ResponseWriter, r *http.Request) {
@@ -168,7 +239,7 @@ func (s *Server) debugHandler() http.Handler {
 		enc.Encode(resp.Stats)
 	})
 	forward := func(w http.ResponseWriter, r *http.Request) {
-		reg, err := s.pickRegistry(r.URL.Query().Get("graph"))
+		reg, err := s.pickRegistry(r.URL.Query().Get("graph"), r.URL.Query().Get("engine"))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
@@ -185,9 +256,10 @@ func (s *Server) debugHandler() http.Handler {
 	return mux
 }
 
-// pickRegistry resolves the instance the debug surface should read: the
-// named graph, or the single loaded instance when the name is empty.
-func (s *Server) pickRegistry(name string) (*obs.Registry, error) {
+// pickRegistry resolves the registry the debug surface should read: the
+// named graph (or the single loaded instance when the name is empty), and
+// within it the selected pool engine (default 0).
+func (s *Server) pickRegistry(name, engineIdx string) (*obs.Registry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var inst *instance
@@ -204,16 +276,36 @@ func (s *Server) pickRegistry(name string) (*obs.Registry, error) {
 			inst = i
 		}
 	}
-	if inst.reg == nil {
+	var reg *obs.Registry
+	if engineIdx != "" {
+		idx, err := strconv.Atoi(engineIdx)
+		if err != nil || idx < 0 || idx >= len(inst.pool.all) {
+			return nil, fmt.Errorf("bad engine index %q (pool size %d)", engineIdx, len(inst.pool.all))
+		}
+		reg = inst.pool.all[idx].reg
+	} else {
+		// Default to the pool engine that has executed the most jobs — with
+		// light load the whole history tends to live on one engine.
+		var best int64 = -1
+		for _, eng := range inst.pool.all {
+			if n := eng.reg.JobsObserved(); n > best {
+				best, reg = n, eng.reg
+			}
+		}
+	}
+	if reg == nil {
 		return nil, fmt.Errorf("observability disabled")
 	}
-	return inst.reg, nil
+	return reg, nil
 }
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops accepting, shuts down all engines, and waits for handlers.
+// Close stops accepting, fails queued admissions, cancels running engine
+// jobs, drains handlers, and shuts down all engines. A request parked in
+// the admission queue gets a clean "shutting down" error response before
+// its connection closes — Close never wedges behind a queued run.
 func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
@@ -222,20 +314,46 @@ func (s *Server) Close() {
 	if s.debugSrv != nil {
 		s.debugSrv.Close()
 	}
-	// Unblock handlers parked reading from idle clients.
+	// Wake queued admissions and exclusive waits first: their handlers
+	// write error responses while the write half of each conn still works.
+	close(s.doneCh)
+	// Abort running engine jobs through the cancellation latch so leases
+	// come back promptly instead of after many supersteps.
+	s.sched.cancelAll(errShutdown)
+	// Unblock handlers parked reading from idle clients, keeping the write
+	// half open so in-flight responses (including the shutdown errors
+	// above) can flush.
 	s.mu.Lock()
 	for conn := range s.conns {
-		conn.Close()
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseRead()
+		} else {
+			conn.Close()
+		}
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for name, inst := range s.instances {
-		inst.mu.Lock()
-		inst.cluster.Shutdown()
-		inst.mu.Unlock()
+		inst.closed.Store(true)
+		for _, eng := range inst.pool.all {
+			eng.cluster.Shutdown()
+		}
 		delete(s.instances, name)
+	}
+}
+
+// cancelAll cancels every running engine lease (shutdown path).
+func (s *scheduler) cancelAll(cause error) {
+	s.mu.Lock()
+	engines := make([]*engine, 0, len(s.running))
+	for _, eng := range s.running {
+		engines = append(engines, eng)
+	}
+	s.mu.Unlock()
+	for _, eng := range engines {
+		eng.cluster.Cancel(cause)
 	}
 }
 
@@ -287,6 +405,8 @@ func (s *Server) handle(req *Request) Response {
 		return s.handleGenerate(req)
 	case "run":
 		return s.handleRun(req)
+	case "cancel":
+		return s.handleCancel(req)
 	case "list":
 		return s.handleList()
 	case "mutate":
@@ -300,29 +420,54 @@ func (s *Server) handle(req *Request) Response {
 	}
 }
 
+// bootEngines builds the instance's engine pool: AnalysisPoolSize clusters,
+// each with its own registry, all loaded with the same immutable graph.
+func (s *Server) bootEngines(g *graph.Graph, machines int) ([]*engine, error) {
+	n := s.cfg.AnalysisPoolSize
+	engines := make([]*engine, 0, n)
+	fail := func(err error) ([]*engine, error) {
+		for _, e := range engines {
+			e.cluster.Shutdown()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cfg := core.DefaultConfig(machines)
+		if !s.cfg.DisableObservability {
+			cfg.Obs = obs.NewRegistry()
+		}
+		cluster, err := core.NewCluster(cfg)
+		if err != nil {
+			return fail(fmt.Errorf("boot cluster: %w", err))
+		}
+		engines = append(engines, &engine{idx: i, cluster: cluster, reg: cfg.Obs})
+		if err := cluster.Load(g); err != nil {
+			return fail(fmt.Errorf("distribute graph: %w", err))
+		}
+	}
+	return engines, nil
+}
+
 // admit installs a new instance under the resident-edge budget.
 func (s *Server) admit(name string, g *graph.Graph, machines int) (Response, bool) {
-	cfg := core.DefaultConfig(machines)
-	if !s.cfg.DisableObservability {
-		cfg.Obs = obs.NewRegistry()
-	}
-	cluster, err := core.NewCluster(cfg)
+	engines, err := s.bootEngines(g, machines)
 	if err != nil {
-		return errResp("boot cluster: %v", err), false
+		return errResp("%v", err), false
 	}
-	if err := cluster.Load(g); err != nil {
-		cluster.Shutdown()
-		return errResp("distribute graph: %v", err), false
-	}
-	inst := &instance{name: name, g: g, cluster: cluster, machines: machines, reg: cfg.Obs}
+	inst := &instance{name: name, g: g, machines: machines, pool: newEnginePool(engines)}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	shutdownAll := func() {
+		for _, e := range engines {
+			e.cluster.Shutdown()
+		}
+	}
 	if _, exists := s.instances[name]; exists {
-		cluster.Shutdown()
+		shutdownAll()
 		return errResp("graph %q already loaded", name), false
 	}
 	if s.cfg.MaxResidentEdges > 0 && s.resident+g.NumEdges() > s.cfg.MaxResidentEdges {
-		cluster.Shutdown()
+		shutdownAll()
 		return errResp("resident edge budget exceeded: %d + %d > %d",
 			s.resident, g.NumEdges(), s.cfg.MaxResidentEdges), false
 	}
@@ -332,13 +477,14 @@ func (s *Server) admit(name string, g *graph.Graph, machines int) (Response, boo
 }
 
 func (s *Server) info(inst *instance) GraphInfo {
+	g := inst.graphSnapshot()
 	return GraphInfo{
 		Name:     inst.name,
-		Nodes:    inst.g.NumNodes(),
-		Edges:    inst.g.NumEdges(),
-		Weighted: inst.g.Weighted(),
+		Nodes:    g.NumNodes(),
+		Edges:    g.NumEdges(),
+		Weighted: g.Weighted(),
 		Machines: inst.machines,
-		Ghosts:   inst.cluster.NumGhosts(),
+		Ghosts:   inst.pool.all[0].cluster.NumGhosts(),
 	}
 }
 
@@ -415,6 +561,35 @@ func (s *Server) handleGenerate(req *Request) Response {
 	return resp
 }
 
+// maxPriority clamps client-supplied priorities to [-8, 8].
+const maxPriority = 8
+
+// tenantOf maps the wire tenant field to an accounting key.
+func tenantOf(req *Request) string {
+	if req.Tenant == "" {
+		return "default"
+	}
+	return req.Tenant
+}
+
+// tenantCountersFor returns (creating if needed) tenant's counters.
+func (s *Server) tenantCountersFor(tenant string) *tenantCounters {
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	tc := s.tenants[tenant]
+	if tc == nil {
+		tc = &tenantCounters{}
+		s.tenants[tenant] = tc
+	}
+	return tc
+}
+
+// handleRun admits an analysis through the scheduler, executes it on a
+// leased engine, and classifies the outcome. Admission charges a global
+// slot only when the run can actually execute (idle engine on the target
+// graph, tenant under quota), so a busy graph never starves requests for
+// other graphs. A queued request always has an exit: its deadline, an
+// op=cancel matching its tag, or server shutdown.
 func (s *Server) handleRun(req *Request) Response {
 	s.mu.Lock()
 	inst, ok := s.instances[req.Graph]
@@ -422,29 +597,138 @@ func (s *Server) handleRun(req *Request) Response {
 	if !ok {
 		return errResp("graph %q not loaded", req.Graph)
 	}
-	// FIFO fairness across clients: a bounded semaphore admits analyses in
-	// arrival order.
-	s.runSem <- struct{}{}
+	tenant := tenantOf(req)
+	tc := s.tenantCountersFor(tenant)
+	prio := req.Priority
+	if prio > maxPriority {
+		prio = maxPriority
+	}
+	if prio < -maxPriority {
+		prio = -maxPriority
+	}
+	t := &ticket{
+		tenant:   tenant,
+		tag:      req.Tag,
+		priority: prio,
+		enqueued: time.Now(),
+		inst:     inst,
+		result:   make(chan admitResult, 1),
+	}
+	var deadline <-chan time.Time
+	var deadlineTimer *time.Timer
+	if req.TimeoutMillis > 0 {
+		deadlineTimer = time.NewTimer(time.Duration(req.TimeoutMillis) * time.Millisecond)
+		defer deadlineTimer.Stop()
+		deadline = deadlineTimer.C
+	}
+	jobID := s.sched.enqueue(t)
+
+	fail := func(format string, args ...any) Response {
+		s.failedRuns.Add(1)
+		tc.failed.Add(1)
+		return errResp(format, args...)
+	}
+
+	var admitted admitResult
+	select {
+	case admitted = <-t.result:
+	case <-deadline:
+		if s.sched.remove(t) {
+			s.deadlineExceeded.Add(1)
+			return fail("run on %s: deadline exceeded after %dms in queue",
+				req.Graph, req.TimeoutMillis)
+		}
+		// Admitted concurrently with expiry: take the lease and let the
+		// armed deadline below cancel the run almost immediately.
+		admitted = <-t.result
+	case <-s.doneCh:
+		if !s.sched.remove(t) {
+			// Admitted concurrently with shutdown: hand the lease back.
+			if got := <-t.result; got.eng != nil {
+				s.sched.release(t)
+			}
+		}
+		return fail("run on %s: %v", req.Graph, errShutdown)
+	}
+	if admitted.err != nil {
+		if errors.Is(admitted.err, errRunCanceled) {
+			s.canceledRuns.Add(1)
+		}
+		return fail("run on %s: %v", req.Graph, admitted.err)
+	}
+
+	eng := admitted.eng
+	// Clear stickiness a late-firing deadline timer from a previous lease
+	// may have left on this engine.
+	eng.cluster.Uncancel()
+	queueWait := time.Since(t.enqueued)
+	s.reg.Observe(0, obs.HistQueueWait, queueWait)
 	s.active.Add(1)
 	defer func() {
 		s.active.Add(-1)
-		<-s.runSem
+		// Clear any sticky cancel so the next lease of this engine starts
+		// clean, then return it to the pool.
+		eng.cluster.Uncancel()
+		s.sched.release(t)
 	}()
 
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
-	start := time.Now()
-	result, err := runAlgo(inst, req)
-	if err != nil {
-		// Engine-level job aborts (transport faults, timeouts) surface here
-		// as error responses — the server and its other instances stay up.
-		s.failedRuns.Add(1)
-		return errResp("%s on %s: %v", req.Algo, req.Graph, err)
+	// Arm the remaining deadline against the engine: expiry fires the
+	// core cancellation latch, aborting the job in flight — not the server.
+	var deadlineHit atomic.Bool
+	if req.TimeoutMillis > 0 {
+		remaining := time.Duration(req.TimeoutMillis)*time.Millisecond - queueWait
+		if remaining < 0 {
+			remaining = 0
+		}
+		timer := time.AfterFunc(remaining, func() {
+			deadlineHit.Store(true)
+			eng.cluster.Cancel(fmt.Errorf("deadline exceeded after %dms", req.TimeoutMillis))
+		})
+		defer timer.Stop()
 	}
-	result.Millis = float64(time.Since(start).Microseconds()) / 1000
+	if s.cfg.runHook != nil {
+		s.cfg.runHook(req)
+	}
+
+	start := time.Now()
+	result, err := runAlgo(inst, eng, req)
+	runDur := time.Since(start)
+	if err != nil {
+		// Engine-level job aborts (transport faults, cancellation,
+		// deadlines) surface here as error responses — the server and its
+		// other engines stay up.
+		switch {
+		case deadlineHit.Load() || strings.Contains(err.Error(), "deadline exceeded"):
+			s.deadlineExceeded.Add(1)
+		case errors.Is(err, core.ErrJobCanceled):
+			s.canceledRuns.Add(1)
+		}
+		return fail("%s on %s: %v", req.Algo, req.Graph, err)
+	}
+	s.reg.Observe(0, obs.HistRunLatency, runDur)
+	result.Millis = float64(runDur.Microseconds()) / 1000
+	result.JobID = jobID
+	result.QueueMillis = float64(queueWait.Microseconds()) / 1000
 	s.recordRunDuration(result.Millis)
 	s.runsServed.Add(1)
+	tc.served.Add(1)
 	return Response{OK: true, Result: result}
+}
+
+// handleCancel kills runs carrying req.Tag: queued ones are rejected with
+// a cancel error, running ones have their engine job aborted through the
+// core cancellation latch. With req.Tenant set, only that tenant's runs
+// match.
+func (s *Server) handleCancel(req *Request) Response {
+	if req.Tag == "" {
+		return errResp("cancel needs tag")
+	}
+	cause := fmt.Errorf("canceled by tag %q", req.Tag)
+	n := s.sched.cancelByTag(req.Tag, req.Tenant, cause)
+	return Response{OK: true, Result: &RunResult{
+		Algo:  "cancel",
+		Extra: fmt.Sprintf("%d runs canceled", n),
+	}}
 }
 
 // recordRunDuration appends one analysis duration to the percentile window.
@@ -459,6 +743,25 @@ func (s *Server) recordRunDuration(millis float64) {
 	s.durMu.Unlock()
 }
 
+// nearestRank returns the q-quantile of sorted using the nearest-rank
+// method: the smallest element such that at least q*n elements are <= it,
+// i.e. index ceil(q*n)-1. (The previous int(q*n) truncation was biased one
+// rank high: p50 of two samples returned the max.)
+func nearestRank(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
+}
+
 // runPercentiles returns the (p50, p90, p99) of the duration window, or
 // zeros with no completed runs.
 func (s *Server) runPercentiles() (p50, p90, p99 float64) {
@@ -470,17 +773,10 @@ func (s *Server) runPercentiles() (p50, p90, p99 float64) {
 		return 0, 0, 0
 	}
 	sort.Float64s(window)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(window)))
-		if i >= len(window) {
-			i = len(window) - 1
-		}
-		return window[i]
-	}
-	return at(0.50), at(0.90), at(0.99)
+	return nearestRank(window, 0.50), nearestRank(window, 0.90), nearestRank(window, 0.99)
 }
 
-func runAlgo(inst *instance, req *Request) (*RunResult, error) {
+func runAlgo(inst *instance, eng *engine, req *Request) (*RunResult, error) {
 	iters := req.Iterations
 	if iters <= 0 {
 		iters = 10
@@ -497,7 +793,8 @@ func runAlgo(inst *instance, req *Request) (*RunResult, error) {
 	if topK <= 0 {
 		topK = 5
 	}
-	c := inst.cluster
+	g := inst.graphSnapshot()
+	c := eng.cluster
 	res := &RunResult{Algo: req.Algo}
 	var f64s []float64
 	var i64s []int64
@@ -523,7 +820,7 @@ func runAlgo(inst *instance, req *Request) (*RunResult, error) {
 			res.Extra = fmt.Sprintf("%d components", len(comps))
 		}
 	case "sssp":
-		if !inst.g.Weighted() {
+		if !g.Weighted() {
 			return nil, fmt.Errorf("graph is unweighted")
 		}
 		f64s, met, err = algorithms.SSSP(c, req.Source, 100000)
@@ -539,7 +836,7 @@ func runAlgo(inst *instance, req *Request) (*RunResult, error) {
 		}
 	case "triangles":
 		var total int64
-		total, met, err = algorithms.TriangleCount(c, inst.g)
+		total, met, err = algorithms.TriangleCount(c, g)
 		if err == nil {
 			res.Extra = fmt.Sprintf("%d transitive triads", total)
 		}
@@ -585,8 +882,10 @@ func topVertices(f64s []float64, i64s []int64, k int, descending bool) []TopVert
 }
 
 // handleMutate applies an edge batch to a loaded instance and reloads the
-// engine from a fresh snapshot (§6: "using snapshots of these graphs for
-// algorithms which do not support graph updates").
+// engine pool from a fresh snapshot (§6: "using snapshots of these graphs
+// for algorithms which do not support graph updates"). Mutation is
+// exclusive: it collects every engine in the pool, so in-flight analyses
+// finish on the old graph before the swap.
 func (s *Server) handleMutate(req *Request) Response {
 	s.mu.Lock()
 	inst, ok := s.instances[req.Graph]
@@ -594,11 +893,22 @@ func (s *Server) handleMutate(req *Request) Response {
 	if !ok {
 		return errResp("graph %q not loaded", req.Graph)
 	}
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.admin.Lock()
+	defer inst.admin.Unlock()
+	engines, err := inst.pool.acquireAll(s.doneCh)
+	if err != nil {
+		return errResp("mutate %s: %v", req.Graph, err)
+	}
+	defer func() {
+		inst.pool.releaseAll(engines)
+		s.sched.dispatch()
+	}()
+	inst.gMu.Lock()
 	if inst.dyn == nil {
 		inst.dyn = graph.DynamicFrom(inst.g)
 	}
+	dyn, oldG := inst.dyn, inst.g
+	inst.gMu.Unlock()
 	toEdges := func(specs []EdgeSpec) ([]graph.Edge, bool) {
 		out := make([]graph.Edge, len(specs))
 		weighted := false
@@ -612,21 +922,25 @@ func (s *Server) handleMutate(req *Request) Response {
 	}
 	add, addWeighted := toEdges(req.Add)
 	remove, _ := toEdges(req.Remove)
-	matched, err := inst.dyn.Apply(add, remove, addWeighted || inst.g.Weighted())
+	matched, err := dyn.Apply(add, remove, addWeighted || oldG.Weighted())
 	if err != nil {
 		return errResp("mutate %s: %v", req.Graph, err)
 	}
-	snap, err := inst.dyn.Snapshot()
+	snap, err := dyn.Snapshot()
 	if err != nil {
 		return errResp("snapshot %s: %v", req.Graph, err)
 	}
-	if err := inst.cluster.Load(snap); err != nil {
-		return errResp("reload %s: %v", req.Graph, err)
+	for _, eng := range engines {
+		if err := eng.cluster.Load(snap); err != nil {
+			return errResp("reload %s: %v", req.Graph, err)
+		}
 	}
 	s.mu.Lock()
-	s.resident += snap.NumEdges() - inst.g.NumEdges()
+	s.resident += snap.NumEdges() - oldG.NumEdges()
 	s.mu.Unlock()
+	inst.gMu.Lock()
 	inst.g = snap
+	inst.gMu.Unlock()
 	return Response{
 		OK:     true,
 		Graphs: []GraphInfo{s.info(inst)},
@@ -649,73 +963,114 @@ func (s *Server) handleList() Response {
 	return resp
 }
 
+// handleDrop unloads a graph: queued runs for it fail with a "dropped"
+// error, in-flight analyses finish (drop collects the whole pool), then
+// every engine shuts down.
 func (s *Server) handleDrop(req *Request) Response {
 	s.mu.Lock()
 	inst, ok := s.instances[req.Graph]
 	if ok {
 		delete(s.instances, req.Graph)
-		s.resident -= inst.g.NumEdges()
+		s.resident -= inst.graphSnapshot().NumEdges()
 	}
 	s.mu.Unlock()
 	if !ok {
 		return errResp("graph %q not loaded", req.Graph)
 	}
-	// Wait for any in-flight analysis on this instance, then release.
-	inst.mu.Lock()
-	inst.cluster.Shutdown()
-	inst.mu.Unlock()
+	inst.closed.Store(true)
+	s.sched.dispatch() // flush queued tickets targeting the dropped graph
+	inst.admin.Lock()
+	defer inst.admin.Unlock()
+	engines, err := inst.pool.acquireAll(s.doneCh)
+	if err != nil {
+		// Shutdown race: Close owns the engines now and will stop them.
+		return errResp("drop %s: %v", req.Graph, err)
+	}
+	for _, eng := range engines {
+		eng.cluster.Shutdown()
+	}
 	return Response{OK: true}
 }
 
 func (s *Server) handleStats() Response {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var transportErrors, jobs, aborts int64
 	var wireRaw, wireBytes int64
 	var lastAbort *AbortSummary
 	var lastWhen time.Time
+	poolSize := s.cfg.AnalysisPoolSize
 	for _, inst := range s.instances {
-		snap := inst.cluster.TrafficSnapshot()
-		transportErrors += snap.SendErrors + snap.RecvErrors
-		wireRaw += snap.CompressRawBytes
-		wireBytes += snap.CompressWireBytes
-		jobs += inst.reg.JobsObserved()
-		aborts += inst.reg.AbortsObserved()
-		if d := inst.reg.LastAbort(); d != nil && d.When.After(lastWhen) {
-			lastWhen = d.When
-			lastAbort = &AbortSummary{
-				Graph:      inst.name,
-				Job:        d.Job,
-				Name:       d.Name,
-				Err:        d.Err,
-				AgeSeconds: time.Since(d.When).Seconds(),
-				Spans:      len(d.Spans),
+		for _, eng := range inst.pool.all {
+			snap := eng.cluster.TrafficSnapshot()
+			transportErrors += snap.SendErrors + snap.RecvErrors
+			wireRaw += snap.CompressRawBytes
+			wireBytes += snap.CompressWireBytes
+			jobs += eng.reg.JobsObserved()
+			aborts += eng.reg.AbortsObserved()
+			if d := eng.reg.LastAbort(); d != nil && d.When.After(lastWhen) {
+				lastWhen = d.When
+				lastAbort = &AbortSummary{
+					Graph:      inst.name,
+					Job:        d.Job,
+					Name:       d.Name,
+					Err:        d.Err,
+					AgeSeconds: time.Since(d.When).Seconds(),
+					Spans:      len(d.Spans),
+				}
 			}
 		}
 	}
+	loaded := len(s.instances)
+	resident := s.resident
+	s.mu.Unlock()
 	p50, p90, p99 := s.runPercentiles()
 	compressionRatio := 1.0
 	if wireRaw > 0 {
 		compressionRatio = float64(wireBytes) / float64(wireRaw)
 	}
+	var queueP50, queueP99 float64
+	if s.reg != nil {
+		h := s.reg.LifetimeHistogram(obs.HistQueueWait)
+		queueP50 = h.Quantile(0.50).Seconds() * 1000
+		queueP99 = h.Quantile(0.99).Seconds() * 1000
+	}
+	running, queued := s.sched.tenantLoad()
+	s.tenantMu.Lock()
+	tenants := make(map[string]*TenantStats, len(s.tenants))
+	for name, tc := range s.tenants {
+		tenants[name] = &TenantStats{
+			Served:  tc.served.Load(),
+			Failed:  tc.failed.Load(),
+			Running: running[name],
+			Queued:  queued[name],
+		}
+	}
+	s.tenantMu.Unlock()
 	return Response{OK: true, Stats: &ServerStats{
-		LoadedGraphs:     len(s.instances),
-		ResidentEdges:    s.resident,
-		MaxEdges:         s.cfg.MaxResidentEdges,
-		RunsServed:       s.runsServed.Load(),
-		FailedRuns:       s.failedRuns.Load(),
-		ActiveAnalyses:   int(s.active.Load()),
-		TransportErrors:  transportErrors,
-		WireRawBytes:     wireRaw,
-		WireBytes:        wireBytes,
-		WireSavedBytes:   wireRaw - wireBytes,
-		CompressionRatio: compressionRatio,
-		UptimeSeconds:    time.Since(s.start).Seconds(),
-		RunP50Millis:     p50,
-		RunP90Millis:     p90,
-		RunP99Millis:     p99,
-		JobsObserved:     jobs,
-		AbortsSeen:       aborts,
-		LastAbort:        lastAbort,
+		LoadedGraphs:         loaded,
+		ResidentEdges:        resident,
+		MaxEdges:             s.cfg.MaxResidentEdges,
+		RunsServed:           s.runsServed.Load(),
+		FailedRuns:           s.failedRuns.Load(),
+		ActiveAnalyses:       int(s.active.Load()),
+		TransportErrors:      transportErrors,
+		WireRawBytes:         wireRaw,
+		WireBytes:            wireBytes,
+		WireSavedBytes:       wireRaw - wireBytes,
+		CompressionRatio:     compressionRatio,
+		UptimeSeconds:        time.Since(s.start).Seconds(),
+		RunP50Millis:         p50,
+		RunP90Millis:         p90,
+		RunP99Millis:         p99,
+		JobsObserved:         jobs,
+		AbortsSeen:           aborts,
+		QueuedAnalyses:       s.sched.queueLen(),
+		EnginePoolSize:       poolSize,
+		DeadlineExceededRuns: s.deadlineExceeded.Load(),
+		CanceledRuns:         s.canceledRuns.Load(),
+		QueueP50Millis:       queueP50,
+		QueueP99Millis:       queueP99,
+		Tenants:              tenants,
+		LastAbort:            lastAbort,
 	}}
 }

@@ -126,6 +126,11 @@ var (
 	ErrTimeout = comm.ErrTimeout
 )
 
+// ErrJobCanceled marks jobs stopped by external cancellation (Cluster.Cancel:
+// a deadline, a client cancel, shutdown) rather than a fault. It appears
+// wrapped inside ErrJobAborted; test with errors.Is.
+var ErrJobCanceled = core.ErrJobCanceled
+
 // FaultKind selects what a fault rule does to a matching frame.
 type FaultKind = comm.FaultKind
 
@@ -326,6 +331,18 @@ func (c *Cluster) LoadGraph(g *Graph) error {
 
 // Shutdown stops all machines. Idempotent.
 func (c *Cluster) Shutdown() { c.core.Shutdown() }
+
+// Cancel aborts the in-flight job (if any) through the job-scoped abort
+// latch and makes every subsequent job fail fast with ErrJobCanceled until
+// Uncancel — the hook for per-request deadlines and client cancellation.
+// Safe from any goroutine (e.g. a time.AfterFunc).
+func (c *Cluster) Cancel(cause error) { c.core.Cancel(cause) }
+
+// Uncancel clears a previous Cancel so the cluster accepts jobs again.
+func (c *Cluster) Uncancel() { c.core.Uncancel() }
+
+// CancelCause returns the sticky cancellation error, or nil when active.
+func (c *Cluster) CancelCause() error { return c.core.CancelCause() }
 
 // Core exposes the underlying engine for advanced use (custom properties,
 // RMI, driver-side reductions).
