@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race faults wire fuzz-smoke ci bench-comm bench-faults bench-wire obs direction bench-direction serve bench-serve
+.PHONY: build test vet race faults wire fuzz-smoke ci bench-comm bench-faults bench-wire obs direction bench-direction serve bench-serve balance bench-balance
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,12 @@ vet:
 # Race-detector pass over the concurrency-heavy packages: the comm fabrics
 # (async senders, routers, collectives), the engine core (workers, copiers,
 # frontiers with copier-side write-activation, read combining, wire
-# compression, job cancellation), the traversal algorithms (adaptive
-# direction switching), the varint codec, the observability registry, and
-# the serving layer (admission scheduler, engine pools, deadlines).
+# compression, work stealing, job cancellation), the traversal algorithms
+# (adaptive direction switching), the varint codec, the partitioner
+# (replanning), the observability registry, and the serving layer
+# (admission scheduler, engine pools, deadlines).
 race:
-	$(GO) test -race ./internal/codec/... ./internal/comm/... ./internal/core/... ./internal/algorithms/... ./internal/obs/... ./internal/server/...
+	$(GO) test -race ./internal/codec/... ./internal/comm/... ./internal/core/... ./internal/algorithms/... ./internal/partition/... ./internal/obs/... ./internal/server/...
 
 # Fault-injection suite under the race detector: every TestFault* case
 # (injector semantics, job aborts over both fabrics, recovery, leak checks).
@@ -86,3 +87,17 @@ serve:
 # jobs/sec, queue-wait percentiles, pool concurrency, deadline accounting).
 bench-serve:
 	$(GO) run ./cmd/pgxd-bench -exp serve -machines 4 -serve-out BENCH_serve.json
+
+# Load-balancing check: steal protocol correctness + fault/cancel coverage
+# and the repartitioner suite under the race detector, then a small
+# -exp balance smoke on a deliberately skewed partition.
+balance:
+	$(GO) test -race -count=1 -run 'Steal|LoadPlan|ClusterReplan' ./internal/core/...
+	$(GO) test -race -count=1 ./internal/partition/...
+	$(GO) run ./cmd/pgxd-bench -exp balance -machines 2 -scale 10 -quiet -balance-out BENCH_balance_smoke.json
+
+# Regenerate the load-balancing artifact (skewed/replanned/balanced layouts
+# x steal on/off, per-machine barrier-wait p99, steal volume, replan
+# diagnostics).
+bench-balance:
+	$(GO) run ./cmd/pgxd-bench -exp balance -machines 4 -scale 13 -balance-out BENCH_balance.json

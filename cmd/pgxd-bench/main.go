@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults|wire|direction|serve]
+//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults|wire|direction|balance|serve]
 //	           [-scale N] [-machines 1,2,4] [-workers N] [-copiers N] [-quiet]
 //
-// The comm, wire, direction, and serve experiments additionally write their
-// sweeps as JSON (-comm-out / -wire-out / -direction-out / -serve-out,
-// defaults BENCH_comm.json / BENCH_wire.json / BENCH_direction.json /
-// BENCH_serve.json). The serve experiment load-tests the multi-tenant
-// serving layer: admission latency percentiles, jobs/sec, engine-pool
-// scaling on one graph, and deadline/cancellation behaviour.
+// The comm, wire, direction, balance, and serve experiments additionally
+// write their sweeps as JSON (-comm-out / -wire-out / -direction-out /
+// -balance-out / -serve-out, defaults BENCH_comm.json / BENCH_wire.json /
+// BENCH_direction.json / BENCH_balance.json / BENCH_serve.json). The serve
+// experiment load-tests the multi-tenant serving layer: admission latency
+// percentiles, jobs/sec, engine-pool scaling on one graph, and
+// deadline/cancellation behaviour. The balance experiment ablates the load
+// balancer (cross-machine chunk stealing + online repartitioning) on a
+// deliberately skewed partition.
 //
 // Results print as aligned text tables shaped like the paper's originals;
 // EXPERIMENTS.md records a reference run with commentary.
@@ -30,7 +33,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs, wire, direction, serve)")
+		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs, wire, direction, balance, serve)")
+		balOut   = flag.String("balance-out", "BENCH_balance.json", "output path for the load-balancing experiment's JSON report")
 		serveOut = flag.String("serve-out", "BENCH_serve.json", "output path for the serving-layer experiment's JSON report")
 		commOut  = flag.String("comm-out", "BENCH_comm.json", "output path for the comm experiment's JSON report")
 		wireOut  = flag.String("wire-out", "BENCH_wire.json", "output path for the wire compression experiment's JSON report")
@@ -246,6 +250,24 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "direction: report written to %s\n", *dirOut)
+		}
+	}
+	// The balance experiment ablates the load balancer (chunk stealing and
+	// online repartitioning) on a deliberately skewed cut; it boots many
+	// clusters per cell, so it runs only when named explicitly.
+	if *exp == "balance" {
+		ran = true
+		p := machineCounts[len(machineCounts)-1]
+		tbl, rep, err := bench.ExpBalance(ds, *scale, p, *prIters, progress)
+		if err != nil {
+			fatalf("balance: %v", err)
+		}
+		fmt.Println(tbl)
+		if err := rep.WriteJSON(*balOut); err != nil {
+			fatalf("balance: writing %s: %v", *balOut, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "balance: report written to %s\n", *balOut)
 		}
 	}
 	// The observability experiment measures the engine's own instrumentation

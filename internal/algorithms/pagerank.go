@@ -123,6 +123,10 @@ func pageRankExact(c *core.Cluster, iters int, damping float64, pull bool) ([]fl
 				Name: "pr-push", Iter: core.IterOutEdges,
 				Task:       &prPushKernel{scaled: scaled, nxt: nxt},
 				WriteProps: []core.WriteSpec{{Prop: nxt, Op: reduce.Sum}},
+				// Stealable, but note stolen SUM contributions arrive in a
+				// different order, so steal-on PageRank-push is numerically
+				// equivalent rather than bit-identical.
+				Steal: &core.StealSpec{Own: []core.PropID{scaled}},
 			})
 		}
 		r.run(core.JobSpec{

@@ -132,7 +132,8 @@ func WCC(c *core.Cluster, maxIter int) ([]int64, Metrics, error) {
 			st := r.runStats(core.JobSpec{Name: "wcc-push", Iter: core.IterBothEdges,
 				Source:     cur,
 				Task:       &minLabelPush{label: label, labelNxt: labelNxt},
-				WriteProps: []core.WriteSpec{{Prop: labelNxt, Op: reduce.Min}}})
+				WriteProps: []core.WriteSpec{{Prop: labelNxt, Op: reduce.Min}},
+				Steal:      &core.StealSpec{Own: []core.PropID{label}}})
 			policy.Observe(core.DirPush, stats.OutDeg+stats.InDeg, st.Traffic.BytesSent)
 		} else {
 			st := r.runStats(core.JobSpec{Name: "wcc-pull", Iter: core.IterBothEdges,
@@ -307,7 +308,8 @@ func SSSP(c *core.Cluster, source graph.NodeID, maxIter int) ([]float64, Metrics
 			st := r.runStats(core.JobSpec{Name: "sssp-relax", Iter: core.IterOutEdges,
 				Source:     cur,
 				Task:       &distRelaxKernel{dist: dist, distNxt: distNxt},
-				WriteProps: []core.WriteSpec{{Prop: distNxt, Op: reduce.Min}}})
+				WriteProps: []core.WriteSpec{{Prop: distNxt, Op: reduce.Min}},
+				Steal:      &core.StealSpec{Own: []core.PropID{dist}}})
 			policy.Observe(core.DirPush, stats.OutDeg, st.Traffic.BytesSent)
 		} else {
 			st := r.runStats(core.JobSpec{Name: "sssp-pull", Iter: core.IterInEdges,
@@ -479,7 +481,10 @@ func HopDist(c *core.Cluster, root graph.NodeID, maxIter int) ([]int64, Metrics,
 				Source:     cur,
 				Task:       &hopPushKernel{dist: dist, level: level},
 				WriteProps: []core.WriteSpec{{Prop: dist, Op: reduce.Min, ActivateInto: 1}},
-				Build:      []*core.Frontier{cur}})
+				Build:      []*core.Frontier{cur},
+				// The level rides in the kernel struct, so the grant needs no
+				// own-node snapshot at all.
+				Steal: &core.StealSpec{}})
 			policy.Observe(core.DirPush, curStats.OutDeg, st.Traffic.BytesSent)
 		} else {
 			st = r.runStats(core.JobSpec{Name: "hop-pull", Iter: core.IterInEdges,

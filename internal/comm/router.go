@@ -84,7 +84,7 @@ func (r *Router) poll() {
 			return
 		}
 		switch MsgType(buf.Data[0]) {
-		case MsgReadResp, MsgRMIResp:
+		case MsgReadResp, MsgRMIResp, MsgStealGrant:
 			w := buf.Data[1]
 			if w == CtrlWorker {
 				// Responses addressed to the machine's main goroutine: RMI
@@ -100,7 +100,7 @@ func (r *Router) poll() {
 			} else {
 				buf.Release() // misaddressed; drop rather than wedge
 			}
-		case MsgReadReq, MsgWriteReq, MsgRMIReq:
+		case MsgReadReq, MsgWriteReq, MsgRMIReq, MsgSteal:
 			r.reqQueue <- buf
 		case MsgCtrl:
 			r.ctrl <- buf

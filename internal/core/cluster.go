@@ -38,6 +38,15 @@ type Cluster struct {
 	cancelMu  sync.Mutex
 	cancelErr error
 	cancelCh  chan struct{}
+
+	// dirPushCost/dirPullCost persist the direction policy's learned
+	// bytes-per-edge EWMAs across traversal runs on this cluster: a new
+	// DirectionPolicy seeds from them instead of re-learning the fabric's
+	// push/pull cost ratio from scratch, so the second traversal's first
+	// supersteps already decide with calibrated costs. Driver-side state
+	// (Observe runs between jobs, never concurrently).
+	dirPushCost float64
+	dirPullCost float64
 }
 
 // ErrJobAborted wraps every error RunJob returns for a job that started and
@@ -120,13 +129,36 @@ func (c *Cluster) Load(g *graph.Graph) error {
 	default:
 		ghosts = partition.SelectTopGhosts(g, 0) // ghosting disabled
 	}
+	return c.install(g, layout, ghosts)
+}
+
+// LoadPlan loads g with an explicit ownership layout and ghost budget,
+// bypassing the configured partitioning strategy — the entry point for
+// deliberately skewed layouts (partition.SkewedLayout) and for applying a
+// repartitioning plan from Replan. ghostCount > 0 ghosts that many
+// top-degree vertices; 0 disables ghosting. Like Load, it discards all
+// registered properties; re-register and re-fill after the reload.
+func (c *Cluster) LoadPlan(g *graph.Graph, layout partition.Layout, ghostCount int) error {
+	if layout.NumMachines != c.cfg.NumMachines {
+		return fmt.Errorf("core: plan layout has %d machines, cluster has %d",
+			layout.NumMachines, c.cfg.NumMachines)
+	}
+	if len(layout.Starts) != layout.NumMachines+1 || int(layout.Starts[layout.NumMachines]) != g.NumNodes() {
+		return fmt.Errorf("core: plan layout does not cover the %d-node graph", g.NumNodes())
+	}
+	return c.install(g, layout, partition.SelectTopGhosts(g, ghostCount))
+}
+
+// install is the shared tail of Load/LoadPlan: adopt the layout and rebuild
+// every machine's local store.
+func (c *Cluster) install(g *graph.Graph, layout partition.Layout, ghosts *partition.GhostSet) error {
 	c.layout = layout
 	c.ghosts = ghosts
 	c.numNodes = g.NumNodes()
 	c.numEdges = g.NumEdges()
 	c.meta = nil
 	c.freeProps = nil
-	err = c.parallel(func(m *Machine) error {
+	err := c.parallel(func(m *Machine) error {
 		m.load(g, layout, ghosts)
 		return nil
 	})
@@ -134,6 +166,45 @@ func (c *Cluster) Load(g *graph.Graph) error {
 		return err
 	}
 	c.loaded = true
+	return nil
+}
+
+// Replan turns what the cluster measured since Load — the per-machine
+// task-time totals piggybacked on every job's write-drain collective, the
+// barrier-wait histograms, and the cumulative traffic matrix — into a
+// repartitioning plan for g, which must be the currently loaded graph.
+// Apply the plan with LoadPlan before the next run on the same graph.
+func (c *Cluster) Replan(g *graph.Graph) (partition.Plan, error) {
+	if !c.loaded {
+		return partition.Plan{}, fmt.Errorf("core: Replan before Load")
+	}
+	if g.NumNodes() != c.numNodes {
+		return partition.Plan{}, fmt.Errorf("core: Replan graph has %d nodes, loaded graph has %d",
+			g.NumNodes(), c.numNodes)
+	}
+	t := partition.Telemetry{TaskNanos: c.TaskTimeTotals()}
+	if reg := c.cfg.Obs; reg.Attached() {
+		t.BarrierWaitNanos = make([]int64, c.cfg.NumMachines)
+		for m := range t.BarrierWaitNanos {
+			t.BarrierWaitNanos[m] = reg.MachineHistogram(m, obs.HistBarrier).SumNS
+		}
+		t.TrafficBytes = reg.LifetimeTraffic()
+	}
+	return partition.Replan(g, c.layout, t)
+}
+
+// TaskTimeTotals returns each machine's cumulative task-phase nanoseconds
+// accumulated since Load, summed from the load hints every job's write-drain
+// collective carries. Nil before the first job runs. The totals are
+// cluster-global (every machine holds the same vector via the allreduce).
+func (c *Cluster) TaskTimeTotals() []int64 {
+	for _, m := range c.machines {
+		if len(m.loadTotals) == c.cfg.NumMachines {
+			out := make([]int64, len(m.loadTotals))
+			copy(out, m.loadTotals)
+			return out
+		}
+	}
 	return nil
 }
 

@@ -88,6 +88,19 @@ type Config struct {
 	// FixedDirection is the direction used when DisableDirectionSwitching is
 	// set (DirPush by default).
 	FixedDirection Direction
+	// EnableWorkStealing turns on cross-machine chunk stealing for jobs that
+	// declare a StealSpec: a machine that drains its shared chunk cursor
+	// sends MsgSteal to the most loaded peer (picked from task-phase load
+	// hints piggybacked on the termination allreduce) and executes the
+	// granted chunks locally, writing through the ordinary remote-write
+	// paths. Off by default — stealing only pays when the partition is
+	// skewed, and the victim-side serve path is extra copier work on
+	// balanced clusters.
+	EnableWorkStealing bool
+	// DisableWorkStealing forces stealing off even when EnableWorkStealing
+	// is set — the ablation flag benchmarks flip per variant without
+	// rebuilding the rest of the configuration.
+	DisableWorkStealing bool
 	// DisableWriteCombining turns off both halves of the write combiner: the
 	// sender-side in-buffer merge of repeated (prop, op, offset) reduction
 	// records within one message window, and the receiver-side merge of

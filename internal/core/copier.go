@@ -59,6 +59,16 @@ func (m *Machine) serveRequest(buf *comm.Buffer, dec *wireDec) error {
 	payload := buf.Payload()
 	switch h.Type {
 	case comm.MsgWriteReq:
+		// Epoch check: Aux is the sender's job id (stamped at buffer reset).
+		// The pre-task barrier orders every machine's curJob install before
+		// any peer's first write frame, so a mismatch can only be a straggler
+		// from an aborted job that outlived post-abort recovery — applying it
+		// would advance writesApplied against the reset baseline and wedge
+		// every later drain at applied > sent.
+		if jr := m.curJob.Load(); jr == nil || jr.id != h.Aux {
+			m.cfg.Obs.Add(m.id, obs.CtrStaleWriteFrames, 1)
+			return nil
+		}
 		if err := m.applyWrites(h, payload, dec); err != nil {
 			return err
 		}
@@ -77,6 +87,8 @@ func (m *Machine) serveRequest(buf *comm.Buffer, dec *wireDec) error {
 		}
 		m.cfg.Obs.Add(m.id, obs.CtrRMIServed, 1)
 		return nil
+	case comm.MsgSteal:
+		return m.serveSteal(h, payload)
 	default:
 		return fmt.Errorf("unexpected frame type %v on request queue", h.Type)
 	}

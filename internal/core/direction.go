@@ -71,7 +71,10 @@ type DirectionPolicy struct {
 
 // NewDirectionPolicy builds a policy from the cluster's configuration and
 // loaded graph: Config.DirectionAlpha/Beta (with defaults), and
-// Config.DisableDirectionSwitching/FixedDirection for the ablations.
+// Config.DisableDirectionSwitching/FixedDirection for the ablations. The
+// cost EWMAs seed from the cluster's persisted snapshot (the previous
+// traversal's learned costs on this fabric — see Cluster.DirectionCosts), so
+// repeat runs start calibrated instead of assuming ratio 1.
 func (c *Cluster) NewDirectionPolicy() *DirectionPolicy {
 	p := &DirectionPolicy{
 		Alpha:      c.cfg.DirectionAlpha,
@@ -79,6 +82,8 @@ func (c *Cluster) NewDirectionPolicy() *DirectionPolicy {
 		Adaptive:   !c.cfg.DisableDirectionSwitching,
 		Fixed:      c.cfg.FixedDirection,
 		totalNodes: int64(c.numNodes),
+		pushCost:   c.dirPushCost,
+		pullCost:   c.dirPullCost,
 		c:          c,
 	}
 	if p.Alpha <= 0 {
@@ -148,6 +153,8 @@ func (p *DirectionPolicy) Choose(cur Direction, frontierSize, frontierEdges, pul
 // Observe feeds one completed superstep back into the cost model: d is the
 // direction it ran, edges the edge work it covered, bytes the wire traffic
 // it generated (JobStats.Traffic.BytesSent). Zero-edge steps are ignored.
+// Every update is also written back to the cluster's persistent snapshot,
+// so the next NewDirectionPolicy on this cluster inherits the learned costs.
 func (p *DirectionPolicy) Observe(d Direction, edges, bytes int64) {
 	if edges <= 0 || bytes < 0 {
 		return
@@ -168,6 +175,16 @@ func (p *DirectionPolicy) Observe(d Direction, edges, bytes int64) {
 			p.pullCost = decay*p.pullCost + (1-decay)*perEdge
 		}
 	}
+	if p.c != nil {
+		p.c.dirPushCost, p.c.dirPullCost = p.pushCost, p.pullCost
+	}
+}
+
+// DirectionCosts returns the persisted push/pull bytes-per-edge EWMAs the
+// cluster carries between traversal runs (0 until a direction has been
+// observed).
+func (c *Cluster) DirectionCosts() (push, pull float64) {
+	return c.dirPushCost, c.dirPullCost
 }
 
 // record writes the decision into the obs registry: a direction_decision

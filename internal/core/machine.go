@@ -62,6 +62,23 @@ type Machine struct {
 	// scratch vectors for ghost-sync collectives, reused across jobs.
 	scratchF64 []float64
 	scratchI64 []int64
+
+	// loadHints[i] is machine i's task-phase wall time in the last completed
+	// job, gathered via extra lanes on the write-drain allreduce at no
+	// additional collective cost. Workers consult it at the start of the
+	// next job's steal phase to pick the most loaded victim first;
+	// loadTotals accumulates the same lanes across jobs for the
+	// repartitioner. Written only by the machine's main goroutine between
+	// jobs (the worker dispatch channel orders the write before any read).
+	loadHints  []int64
+	loadTotals []int64
+
+	// degMass[i] is machine i's in+out degree sum under the current layout —
+	// the static load estimate the steal phase uses to tell a structurally
+	// skewed cut (steal from the straggler every job) from a balanced one
+	// (steal only on strong dynamic-skew evidence). Written at load time,
+	// read by workers; Load's cluster barrier orders the write.
+	degMass []int64
 }
 
 // ID returns this machine's id in [0, NumMachines).
@@ -187,6 +204,8 @@ func (m *Machine) load(g *graph.Graph, layout partition.Layout, ghosts *partitio
 	m.store = buildLocalStore(g, layout, ghosts, m.id)
 	m.ghostOwned = m.store.ghostOwnership()
 	m.cols = nil
+	m.loadHints, m.loadTotals = nil, nil
+	m.degMass = layout.DegreeMass(g)
 	m.rebuildChunks()
 }
 
@@ -272,6 +291,9 @@ func (m *Machine) obsBarrier(jobID, arg uint64) error {
 
 func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	jr := &jobRuntime{spec: spec, id: jobID, abortCh: make(chan struct{})}
+	if spec.Steal != nil && m.cfg.stealingOn() {
+		jr.steal = &stealRuntime{}
+	}
 	reg := m.cfg.Obs
 	jobClock := reg.Clock()
 	if reg != nil {
@@ -307,7 +329,12 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 			// membership bit per node, never skip an empty machine.
 			jr.frontBits = srcMF.bits
 		case srcMF.count == 0:
-			emptySkip = true
+			// With stealing on, the workers still dispatch: an empty local
+			// frontier is exactly when this machine has idle cycles to steal
+			// with (and residual grant chunks can only be run by workers).
+			if jr.steal == nil {
+				emptySkip = true
+			}
 			jr.chunks = nil
 		case srcMF.dense:
 			jr.frontBits = srcMF.bits
@@ -404,6 +431,7 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 		}
 		jr.wg.Wait()
 	}
+	taskNS := time.Since(t0).Nanoseconds()
 	reg.Span(m.id, obs.WorkerMain, obs.SpanTaskPhase, jobID, taskClock, 0)
 
 	// Workers unwound on failure without an error return path; the job
@@ -444,8 +472,14 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	if m.cfg.RequestTimeout > 0 {
 		drainDeadline = time.Now().Add(m.cfg.RequestTimeout)
 	}
+	// Per-machine task-phase times ride the same allreduce as NumMachines
+	// additional lanes (each machine contributes only its own lane, so the
+	// sums reconstruct the full vector): the load hints steering the next
+	// job's steal phase and, accumulated, the repartitioner's telemetry.
 	drainClock := reg.Clock()
-	vals := make([]int64, 2+3*len(jr.builds))
+	nm := m.cfg.NumMachines
+	base := 2 + 3*len(jr.builds)
+	vals := make([]int64, base+nm)
 	for {
 		vals[0], vals[1] = m.writesSent.Load(), m.writesApplied.Load()
 		for i, bf := range jr.builds {
@@ -456,6 +490,10 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 			vals[3+3*i] = bf.outDegSum
 			vals[4+3*i] = bf.inDegSum
 		}
+		for i := 0; i < nm; i++ {
+			vals[base+i] = 0
+		}
+		vals[base+m.id] = taskNS
 		if err := m.col.AllReduceI64(vals, reduce.Sum); err != nil {
 			return machineJobStats{}, m.jobFail(jr, err)
 		}
@@ -469,6 +507,14 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 			return machineJobStats{}, m.jobFail(jr, fmt.Errorf("core: machine %d: write drain timed out after %v (sent=%d applied=%d)", m.id, m.cfg.RequestTimeout, vals[0], vals[1]))
 		}
 		runtime.Gosched()
+	}
+	if len(m.loadHints) != nm {
+		m.loadHints = make([]int64, nm)
+		m.loadTotals = make([]int64, nm)
+	}
+	copy(m.loadHints, vals[base:])
+	for i := 0; i < nm; i++ {
+		m.loadTotals[i] += vals[base+i]
 	}
 	reg.Span(m.id, obs.WorkerMain, obs.SpanWriteDrain, jobID, drainClock, 0)
 

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/obs"
+	"repro/internal/reduce"
+)
+
+// TestTrafficMatrixAccuracy: the obs traffic matrix is recorded by an
+// endpoint wrapper, so it must agree with the transport's own accounting on
+// every fabric — in particular over real TCP sockets, where frames cross a
+// kernel boundary instead of a channel. The matrix has to cover exactly the
+// bytes the counters saw, keep a zero diagonal, and show every machine pair
+// exchanging data on a job whose writes span the whole cluster.
+func TestTrafficMatrixAccuracy(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := testGraph(t)
+		cfg := faultCfg(3)
+		reg := obs.NewRegistry()
+		cfg.Obs = reg
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{})
+		cfg.Fabric = inj
+		c := bootCluster(t, g, cfg)
+		defer inj.Close()
+		counter, _ := c.AddPropI64("deg")
+		c.FillI64(counter, 0)
+		if _, err := c.RunJob(JobSpec{
+			Name:       "push-degree",
+			Iter:       IterOutEdges,
+			Task:       &pushOneTask{counter: counter},
+			WriteProps: []WriteSpec{{Prop: counter, Op: reduce.Sum}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		settleQuiescent(t, c)
+
+		mat := reg.LifetimeTraffic()
+		if len(mat) != 3 {
+			t.Fatalf("traffic matrix has %d rows, want 3", len(mat))
+		}
+		var total int64
+		for s, row := range mat {
+			for d, b := range row {
+				total += b
+				if s == d && b != 0 {
+					t.Errorf("traffic matrix diagonal [%d][%d] = %d, want 0", s, d, b)
+				}
+				if s != d && b == 0 {
+					t.Errorf("no traffic recorded from %d to %d on a cluster-spanning push job", s, d)
+				}
+			}
+		}
+		ctrs := reg.LifetimeCounters()
+		if total != ctrs["bytes_sent"] {
+			t.Errorf("matrix total %d != bytes_sent counter %d — the matrix missed frames", total, ctrs["bytes_sent"])
+		}
+		if ctrs["bytes_recv"] != ctrs["bytes_sent"] {
+			t.Errorf("bytes_recv %d != bytes_sent %d after quiescence", ctrs["bytes_recv"], ctrs["bytes_sent"])
+		}
+	})
+}

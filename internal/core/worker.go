@@ -107,6 +107,10 @@ type worker struct {
 	ctx Ctx
 	job *jobRuntime
 
+	// stolen is the thief-side scratch for decoding steal-grant frames,
+	// reused across stolen nodes (see steal.go).
+	stolen stolenNode
+
 	// reg is the observability registry (nil when off). rttStart maps an
 	// in-flight request seq to its flush Clock so processResponse can record
 	// the remote-read round trip; allocated only when reg is attached.
@@ -271,37 +275,16 @@ func (w *worker) runJob(jr *jobRuntime) {
 		if jr.aborted() {
 			w.unwind()
 		}
-		ch := jr.chunks[chunkIdx]
-		switch {
-		case jr.frontList != nil:
-			// Sparse frontier: chunk indices address the sorted member list.
-			for i := ch.Begin; i < ch.End; i++ {
-				w.runNode(jr, spec, ctx, jr.frontList[i])
-			}
-		case jr.frontBits != nil:
-			// Dense frontier: node-id chunks, word-skipping bitmap scan.
-			bits := jr.frontBits
-			for n := ch.Begin; n < ch.End; {
-				word := bits[n>>6] >> (n & 63)
-				if word == 0 {
-					n = (n | 63) + 1
-					continue
-				}
-				n += uint32(trailingZeros64(word))
-				if n >= ch.End {
-					break
-				}
-				w.runNode(jr, spec, ctx, n)
-				n++
-			}
-		default:
-			for node := ch.Begin; node < ch.End; node++ {
-				w.runNode(jr, spec, ctx, node)
-			}
-		}
+		w.runChunk(jr, spec, ctx, jr.chunks[chunkIdx])
 		// Opportunistically run continuations between chunks so response
 		// queues and buffer pools keep draining while we still have tasks.
 		w.drainResponsesSafe()
+	}
+
+	if jr.steal != nil {
+		// Work stealing: absorb residual chunks that copiers handed back,
+		// then go steal from the loaded peers (see steal.go).
+		w.stealPhase(jr, spec, ctx)
 	}
 
 	// Task list exhausted: flush partial messages, then wait for and run all
@@ -339,6 +322,38 @@ func (w *worker) runJob(jr *jobRuntime) {
 	}
 	w.endTime = time.Now()
 	w.job = nil
+}
+
+// runChunk drives the task over one chunk in the job's iteration mode. It is
+// shared by the main claim loop and the steal phase's residual drain.
+func (w *worker) runChunk(jr *jobRuntime, spec *JobSpec, ctx *Ctx, ch partition.Chunk) {
+	switch {
+	case jr.frontList != nil:
+		// Sparse frontier: chunk indices address the sorted member list.
+		for i := ch.Begin; i < ch.End; i++ {
+			w.runNode(jr, spec, ctx, jr.frontList[i])
+		}
+	case jr.frontBits != nil:
+		// Dense frontier: node-id chunks, word-skipping bitmap scan.
+		bits := jr.frontBits
+		for n := ch.Begin; n < ch.End; {
+			word := bits[n>>6] >> (n & 63)
+			if word == 0 {
+				n = (n | 63) + 1
+				continue
+			}
+			n += uint32(trailingZeros64(word))
+			if n >= ch.End {
+				break
+			}
+			w.runNode(jr, spec, ctx, n)
+			n++
+		}
+	default:
+		for node := ch.Begin; node < ch.End; node++ {
+			w.runNode(jr, spec, ctx, node)
+		}
+	}
 }
 
 // runNode drives the job's task over one node: filter, then the iterator's
@@ -704,7 +719,11 @@ func (w *worker) bufferWrite(dst int, p PropID, op reduce.Op, offset uint32, wor
 				return
 			}
 		} else {
-			nb.Reset(comm.Header{Type: comm.MsgWriteReq, Worker: uint8(w.id), Src: uint16(w.m.id)})
+			// Aux carries the job id as an epoch stamp: the receiving copier
+			// drops write frames from a job that is no longer current, so a
+			// straggler from an aborted run can never advance writesApplied
+			// against a reset drain baseline.
+			nb.Reset(comm.Header{Type: comm.MsgWriteReq, Worker: uint8(w.id), Src: uint16(w.m.id), Aux: w.job.id})
 			w.writeBufs[dst] = nb
 			buf = nb
 		}
@@ -904,6 +923,11 @@ type jobRuntime struct {
 	frontBits []uint64
 	builds    []*machineFrontier
 	activate  []int8
+
+	// steal is the job's work-stealing state (residual queue + in-flight
+	// grant count), or nil when this job cannot be stolen from (stealing
+	// off, single machine, or no StealSpec).
+	steal *stealRuntime
 
 	cursor atomic.Int64
 	wg     sync.WaitGroup

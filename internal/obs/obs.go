@@ -53,6 +53,11 @@ const (
 	CtrReadsServed
 	// CtrWritesApplied counts remote-write records this machine applied.
 	CtrWritesApplied
+	// CtrStaleWriteFrames counts write frames dropped because their epoch
+	// stamp named a job that is no longer current — stragglers from an
+	// aborted job that outlived post-abort recovery (TCP can hold frames in
+	// the kernel past pool quiescence).
+	CtrStaleWriteFrames
 	// CtrRMIServed counts remote method invocations dispatched.
 	CtrRMIServed
 	// CtrFlushes counts request messages flushed by workers.
@@ -78,6 +83,15 @@ const (
 	// push/pull heuristic acted on.
 	CtrFrontierNodes
 	CtrFrontierEdges
+	// Work stealing: requests sent (thief side), non-empty grants packed
+	// (victim side), stolen nodes/edges executed (thief side), and chunks
+	// pushed back on the victim's residual queue because they did not fit
+	// the grant frame.
+	CtrStealRequests
+	CtrStealGrants
+	CtrStolenNodes
+	CtrStolenEdges
+	CtrStealResidual
 
 	numCounters
 )
@@ -94,6 +108,7 @@ var counterNames = [numCounters]string{
 	CtrRecvErrors:             "recv_errors",
 	CtrReadsServed:            "reads_served",
 	CtrWritesApplied:          "writes_applied",
+	CtrStaleWriteFrames:       "stale_write_frames",
 	CtrRMIServed:              "rmi_served",
 	CtrFlushes:                "flushes",
 	CtrWireRawBytes:           "wire_raw_bytes",
@@ -103,6 +118,11 @@ var counterNames = [numCounters]string{
 	CtrRecvWritesCombined:     "recv_writes_combined",
 	CtrFrontierNodes:          "frontier_nodes",
 	CtrFrontierEdges:          "frontier_edges",
+	CtrStealRequests:          "steal_requests",
+	CtrStealGrants:            "steal_grants",
+	CtrStolenNodes:            "stolen_nodes",
+	CtrStolenEdges:            "stolen_edges",
+	CtrStealResidual:          "steal_residual_chunks",
 }
 
 // String implements fmt.Stringer.
@@ -267,6 +287,11 @@ type machineObs struct {
 	wireRawBytes []atomic.Int64
 	wireBytes    []atomic.Int64
 
+	// lifeTrafficBytes[d] is the lifetime twin of trafficBytes: job drains
+	// fold into it so the cumulative matrix survives job boundaries (the
+	// repartitioner consumes traffic measured over many jobs).
+	lifeTrafficBytes []atomic.Int64
+
 	trace traceRing
 }
 
@@ -342,10 +367,11 @@ func (r *Registry) Attach(p int) {
 	st := &regState{machines: make([]*machineObs, p)}
 	for m := range st.machines {
 		mo := &machineObs{
-			trafficBytes:  make([]atomic.Int64, p),
-			trafficFrames: make([]atomic.Int64, p),
-			wireRawBytes:  make([]atomic.Int64, p),
-			wireBytes:     make([]atomic.Int64, p),
+			trafficBytes:     make([]atomic.Int64, p),
+			trafficFrames:    make([]atomic.Int64, p),
+			wireRawBytes:     make([]atomic.Int64, p),
+			wireBytes:        make([]atomic.Int64, p),
+			lifeTrafficBytes: make([]atomic.Int64, p),
 		}
 		mo.trace.init(r.traceDepth)
 		st.machines[m] = mo
@@ -491,6 +517,7 @@ func (r *Registry) drainToLifetime(rep *JobReport) {
 			rowF[d] = mo.trafficFrames[d].Swap(0)
 			rowWR[d] = mo.wireRawBytes[d].Swap(0)
 			rowW[d] = mo.wireBytes[d].Swap(0)
+			mo.lifeTrafficBytes[d].Add(rowB[d])
 		}
 		if rep != nil {
 			rep.PerMachine[m] = perM
@@ -600,6 +627,45 @@ func (r *Registry) LifetimeCounters() map[string]int64 {
 			out[c.String()] += mo.lifetime[c].Load() + mo.counters[c].Load()
 		}
 	}
+	return out
+}
+
+// LifetimeTraffic returns the per-(src,dst) wire-byte matrix accumulated
+// over the registry's lifetime, including the still-running job — the
+// cumulative form of JobReport.TrafficBytes, and the repartitioner's input.
+func (r *Registry) LifetimeTraffic() [][]int64 {
+	if r == nil {
+		return nil
+	}
+	st := r.state.Load()
+	if st == nil {
+		return nil
+	}
+	out := make([][]int64, len(st.machines))
+	for m, mo := range st.machines {
+		row := make([]int64, len(mo.lifeTrafficBytes))
+		for d := range row {
+			row[d] = mo.lifeTrafficBytes[d].Load() + mo.trafficBytes[d].Load()
+		}
+		out[m] = row
+	}
+	return out
+}
+
+// MachineHistogram returns machine m's lifetime snapshot of histogram h
+// (including the running job's samples). The cross-machine spread of e.g.
+// HistBarrier is the load-imbalance telemetry the repartitioner reads.
+func (r *Registry) MachineHistogram(m int, h HistID) HistSnapshot {
+	var out HistSnapshot
+	if r == nil || h >= numHists {
+		return out
+	}
+	mo := r.machine(m)
+	if mo == nil {
+		return out
+	}
+	merge(&out, mo.lifeHist[h].snapshot())
+	merge(&out, mo.hists[h].snapshot())
 	return out
 }
 

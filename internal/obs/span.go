@@ -40,6 +40,9 @@ const (
 	// traversal (Arg packs direction<<62 | step<<48 | frontierSize, with the
 	// frontier size saturating at 2^48-1).
 	SpanDirection
+	// SpanSteal is one executed steal grant measured at the thief worker:
+	// request sent to last stolen node done (Arg packs victim<<48|nodes).
+	SpanSteal
 
 	numSpanKinds
 )
@@ -55,6 +58,7 @@ var spanKindNames = [numSpanKinds]string{
 	SpanReadRTT:       "read_rtt",
 	SpanCopierServe:   "copier_serve",
 	SpanDirection:     "direction_decision",
+	SpanSteal:         "steal",
 }
 
 // String implements fmt.Stringer.

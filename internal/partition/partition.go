@@ -133,16 +133,25 @@ func (l Layout) Range(m int) (graph.NodeID, graph.NodeID) {
 	return l.Starts[m], l.Starts[m+1]
 }
 
+// DegreeMass returns each machine's in+out degree sum under this layout —
+// the static per-machine load estimate behind EdgeImbalance and the work
+// stealer's structural-skew gate.
+func (l Layout) DegreeMass(g *graph.Graph) []int64 {
+	mass := make([]int64, l.NumMachines)
+	for m := 0; m < l.NumMachines; m++ {
+		lo, hi := l.Range(m)
+		for u := lo; u < hi; u++ {
+			mass[m] += g.TotalDegree(u)
+		}
+	}
+	return mass
+}
+
 // EdgeImbalance returns max/mean of the per-machine in+out degree sums, the
 // load-balance figure of merit behind Figure 6b. 1.0 is perfect balance.
 func (l Layout) EdgeImbalance(g *graph.Graph) float64 {
 	var maxW, totalW int64
-	for m := 0; m < l.NumMachines; m++ {
-		var w int64
-		lo, hi := l.Range(m)
-		for u := lo; u < hi; u++ {
-			w += g.TotalDegree(u)
-		}
+	for _, w := range l.DegreeMass(g) {
 		totalW += w
 		if w > maxW {
 			maxW = w

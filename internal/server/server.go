@@ -996,6 +996,7 @@ func (s *Server) handleStats() Response {
 	s.mu.Lock()
 	var transportErrors, jobs, aborts int64
 	var wireRaw, wireBytes int64
+	var stealReqs, stealGrants, stolenNodes, stolenEdges, staleWrites int64
 	var lastAbort *AbortSummary
 	var lastWhen time.Time
 	poolSize := s.cfg.AnalysisPoolSize
@@ -1007,6 +1008,12 @@ func (s *Server) handleStats() Response {
 			wireBytes += snap.CompressWireBytes
 			jobs += eng.reg.JobsObserved()
 			aborts += eng.reg.AbortsObserved()
+			ctrs := eng.reg.LifetimeCounters()
+			stealReqs += ctrs["steal_requests"]
+			stealGrants += ctrs["steal_grants"]
+			stolenNodes += ctrs["stolen_nodes"]
+			stolenEdges += ctrs["stolen_edges"]
+			staleWrites += ctrs["stale_write_frames"]
 			if d := eng.reg.LastAbort(); d != nil && d.When.After(lastWhen) {
 				lastWhen = d.When
 				lastAbort = &AbortSummary{
@@ -1058,6 +1065,11 @@ func (s *Server) handleStats() Response {
 		WireBytes:            wireBytes,
 		WireSavedBytes:       wireRaw - wireBytes,
 		CompressionRatio:     compressionRatio,
+		StealRequests:        stealReqs,
+		StealGrants:          stealGrants,
+		StolenNodes:          stolenNodes,
+		StolenEdges:          stolenEdges,
+		StaleWriteFrames:     staleWrites,
 		UptimeSeconds:        time.Since(s.start).Seconds(),
 		RunP50Millis:         p50,
 		RunP90Millis:         p90,
