@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race faults wire fuzz-smoke ci bench-comm bench-faults bench-wire obs direction bench-direction serve bench-serve balance bench-balance
+.PHONY: build test vet race faults wire fuzz-smoke ci bench-comm bench-faults bench-wire obs direction bench-direction serve bench-serve balance bench-balance ooc bench-ooc
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,13 @@ vet:
 # Race-detector pass over the concurrency-heavy packages: the comm fabrics
 # (async senders, routers, collectives), the engine core (workers, copiers,
 # frontiers with copier-side write-activation, read combining, wire
-# compression, work stealing, job cancellation), the traversal algorithms
-# (adaptive direction switching), the varint codec, the partitioner
-# (replanning), the observability registry, and the serving layer
-# (admission scheduler, engine pools, deadlines).
+# compression, work stealing, job cancellation, spillable write buffers),
+# the traversal algorithms (adaptive direction switching), the varint codec,
+# the partitioner (replanning), the observability registry, the serving
+# layer (admission scheduler, engine pools, deadlines, memory budgeting),
+# and the out-of-core store (streamed writer, residency window).
 race:
-	$(GO) test -race ./internal/codec/... ./internal/comm/... ./internal/core/... ./internal/algorithms/... ./internal/partition/... ./internal/obs/... ./internal/server/...
+	$(GO) test -race ./internal/codec/... ./internal/comm/... ./internal/core/... ./internal/algorithms/... ./internal/partition/... ./internal/obs/... ./internal/server/... ./internal/store/...
 
 # Fault-injection suite under the race detector: every TestFault* case
 # (injector semantics, job aborts over both fabrics, recovery, leak checks).
@@ -101,3 +102,17 @@ balance:
 # diagnostics).
 bench-balance:
 	$(GO) run ./cmd/pgxd-bench -exp balance -machines 4 -scale 13 -balance-out BENCH_balance.json
+
+# Out-of-core check: store format + residency + spill tests under the race
+# detector, the mmap-vs-in-memory bit-identity suite, then an RSS-capped
+# -exp ooc smoke at a reduced scale (fails if peak RSS blows the cap).
+ooc:
+	$(GO) test -race -count=1 ./internal/store/...
+	$(GO) test -race -count=1 -run 'Store|Spill|OOC' ./internal/core/... ./internal/algorithms/... ./internal/bench/...
+	$(GO) run ./cmd/pgxd-bench -exp ooc -machines 3 -scale 10 -ooc-scale 17 -ooc-budget-mb 16 -ooc-cap-mb 256 -quiet -ooc-out BENCH_ooc_smoke.json
+
+# Regenerate the out-of-core artifact: bit-identity matrix (in-memory vs
+# mmap'd CSR v2 over inproc and TCP), then BFS + PageRank on a CSR about
+# twice the resident budget with peak RSS asserted under the cap.
+bench-ooc:
+	$(GO) run ./cmd/pgxd-bench -exp ooc -machines 3 -ooc-out BENCH_ooc.json

@@ -3,18 +3,23 @@
 //
 // Usage:
 //
-//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults|wire|direction|balance|serve]
+//	pgxd-bench [-exp all|table3|table4|fig3|fig4|fig5a|fig5b|fig6a|fig6b|fig6c|fig7|fig8a|fig8b|ablations|comm|faults|wire|direction|balance|serve|ooc]
 //	           [-scale N] [-machines 1,2,4] [-workers N] [-copiers N] [-quiet]
 //
-// The comm, wire, direction, balance, and serve experiments additionally
-// write their sweeps as JSON (-comm-out / -wire-out / -direction-out /
-// -balance-out / -serve-out, defaults BENCH_comm.json / BENCH_wire.json /
-// BENCH_direction.json / BENCH_balance.json / BENCH_serve.json). The serve
+// The comm, wire, direction, balance, serve, and ooc experiments
+// additionally write their sweeps as JSON (-comm-out / -wire-out /
+// -direction-out / -balance-out / -serve-out / -ooc-out, defaults
+// BENCH_comm.json / BENCH_wire.json / BENCH_direction.json /
+// BENCH_balance.json / BENCH_serve.json / BENCH_ooc.json). The serve
 // experiment load-tests the multi-tenant serving layer: admission latency
 // percentiles, jobs/sec, engine-pool scaling on one graph, and
 // deadline/cancellation behaviour. The balance experiment ablates the load
 // balancer (cross-machine chunk stealing + online repartitioning) on a
-// deliberately skewed partition.
+// deliberately skewed partition. The ooc experiment exercises the
+// out-of-core storage subsystem: bit-identity of mmap'd CSR v2 runs against
+// in-memory runs, then BFS and PageRank on a CSR exceeding the resident
+// budget with the process peak RSS asserted under -ooc-cap-mb (the run exits
+// non-zero when the cap is blown).
 //
 // Results print as aligned text tables shaped like the paper's originals;
 // EXPERIMENTS.md records a reference run with commentary.
@@ -33,20 +38,24 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs, wire, direction, balance, serve)")
-		balOut   = flag.String("balance-out", "BENCH_balance.json", "output path for the load-balancing experiment's JSON report")
-		serveOut = flag.String("serve-out", "BENCH_serve.json", "output path for the serving-layer experiment's JSON report")
-		commOut  = flag.String("comm-out", "BENCH_comm.json", "output path for the comm experiment's JSON report")
-		wireOut  = flag.String("wire-out", "BENCH_wire.json", "output path for the wire compression experiment's JSON report")
-		dirOut   = flag.String("direction-out", "BENCH_direction.json", "output path for the direction switching experiment's JSON report")
-		obsOut   = flag.String("obs-out", "BENCH_obs.json", "output path for the observability experiment's JSON report")
-		obsRun   = flag.Bool("obs", false, "also run the observability experiment and write its report")
-		scale    = flag.Int("scale", bench.DefaultScale, "graph scale: datasets have 2^scale nodes")
-		machines = flag.String("machines", "1,2,4", "comma-separated machine counts for sweeps")
-		workers  = flag.Int("workers", 4, "worker goroutines per machine")
-		copiers  = flag.Int("copiers", 2, "copier goroutines per machine")
-		prIters  = flag.Int("pr-iters", 5, "power iterations for PageRank/EV cells")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		exp       = flag.String("exp", "all", "experiment id (all, table3, table4, fig3, fig4, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8a, fig8b, ablations, comm, faults, obs, wire, direction, balance, serve, ooc)")
+		balOut    = flag.String("balance-out", "BENCH_balance.json", "output path for the load-balancing experiment's JSON report")
+		serveOut  = flag.String("serve-out", "BENCH_serve.json", "output path for the serving-layer experiment's JSON report")
+		commOut   = flag.String("comm-out", "BENCH_comm.json", "output path for the comm experiment's JSON report")
+		wireOut   = flag.String("wire-out", "BENCH_wire.json", "output path for the wire compression experiment's JSON report")
+		dirOut    = flag.String("direction-out", "BENCH_direction.json", "output path for the direction switching experiment's JSON report")
+		obsOut    = flag.String("obs-out", "BENCH_obs.json", "output path for the observability experiment's JSON report")
+		oocOut    = flag.String("ooc-out", "BENCH_ooc.json", "output path for the out-of-core experiment's JSON report")
+		oocScale  = flag.Int("ooc-scale", bench.OOCDefaultScale, "graph scale of the ooc experiment's RSS-capped phase")
+		oocBudget = flag.Int64("ooc-budget-mb", bench.OOCDefaultBudgetMB, "resident budget (MiB) of the ooc experiment's capped phase")
+		oocCap    = flag.Int64("ooc-cap-mb", bench.OOCDefaultRSSCapMB, "peak-RSS cap (MiB) the ooc experiment asserts")
+		obsRun    = flag.Bool("obs", false, "also run the observability experiment and write its report")
+		scale     = flag.Int("scale", bench.DefaultScale, "graph scale: datasets have 2^scale nodes")
+		machines  = flag.String("machines", "1,2,4", "comma-separated machine counts for sweeps")
+		workers   = flag.Int("workers", 4, "worker goroutines per machine")
+		copiers   = flag.Int("copiers", 2, "copier goroutines per machine")
+		prIters   = flag.Int("pr-iters", 5, "power iterations for PageRank/EV cells")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
 
@@ -308,6 +317,26 @@ func main() {
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "serve: report written to %s\n", *serveOut)
+		}
+	}
+	// The out-of-core experiment stream-writes a multi-hundred-MiB CSR file
+	// and pins the process peak RSS, so it runs only when named explicitly.
+	if *exp == "ooc" {
+		ran = true
+		p := machineCounts[len(machineCounts)-1]
+		tbl, rep, err := bench.ExpOOC(ds, *oocScale, p, *prIters, *oocBudget, *oocCap, progress)
+		if err != nil {
+			fatalf("ooc: %v", err)
+		}
+		fmt.Println(tbl)
+		if err := rep.WriteJSON(*oocOut); err != nil {
+			fatalf("ooc: writing %s: %v", *oocOut, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "ooc: report written to %s\n", *oocOut)
+		}
+		if !rep.UnderCap {
+			fatalf("ooc: peak RSS %d MiB exceeded the %d MiB cap", rep.PeakVmHWMBytes>>20, rep.RSSCapBytes>>20)
 		}
 	}
 	if !ran {

@@ -7,9 +7,15 @@
 //	pgxd-gen -kind uniform -nodes 100000 -edges 1600000 -o uni.txt
 //	pgxd-gen -kind grid -rows 300 -cols 300 -shortcuts 100 -o road.bin
 //	pgxd-gen -convert in.txt -o out.bin
+//	pgxd-gen -kind rmat -scale 22 -format csr2 -machines 4 -o twt.csr2
 //
 // The output format is chosen by extension: .bin for binary, anything else
-// for text edge list. -weights LO,HI attaches uniform random edge weights.
+// for text edge list — unless -format csr2 selects the engine's mmap-able
+// CSR v2 store format (partitioned for -machines). For rmat and uniform
+// graphs without -weights, csr2 output streams through store.WriteStream and
+// never materializes the graph, so files larger than RAM can be produced;
+// other kinds (and -convert/-weights) materialize first. -weights LO,HI
+// attaches uniform random edge weights.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 func main() {
@@ -38,10 +45,50 @@ func main() {
 		weights    = flag.String("weights", "", "attach uniform edge weights: LO,HI")
 		convert    = flag.String("convert", "", "convert an existing graph file instead of generating")
 		out        = flag.String("o", "", "output path (.bin = binary, else text)")
+		format     = flag.String("format", "auto", "output format: auto (by extension) or csr2 (engine store file)")
+		machines   = flag.Int("machines", 1, "csr2: partition count baked into the file")
+		bucketMB   = flag.Int64("bucket-mb", 64, "csr2 streaming: scatter bucket size in MiB (peak RSS knob)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fatalf("-o is required")
+	}
+
+	if *format != "auto" && *format != "csr2" {
+		fatalf("unknown -format %q", *format)
+	}
+	csr2 := *format == "csr2"
+	if csr2 && *machines < 1 {
+		fatalf("-machines must be >= 1")
+	}
+
+	// Streaming csr2 path: deterministic generators re-sweep their fixed
+	// shards, so the file is produced in O(N + bucket) memory, never O(M).
+	if csr2 && *convert == "" && *weights == "" && (*kind == "rmat" || *kind == "uniform") {
+		var es *graph.GenStream
+		var err error
+		switch *kind {
+		case "rmat":
+			params := graph.TwitterLike()
+			if *shape == "web" {
+				params = graph.WebLike()
+			} else if *shape != "twitter" {
+				fatalf("unknown -shape %q", *shape)
+			}
+			es, err = graph.RMATStream(*scale, *edgeFactor, params, *seed)
+		case "uniform":
+			es, err = graph.UniformStream(*nodes, *edges, *seed)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		opt := store.StreamOptions{Machines: *machines, BucketBytes: *bucketMB << 20}
+		if err := store.WriteStream(*out, es, opt); err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+		fi, _ := os.Stat(*out)
+		fmt.Fprintf(os.Stderr, "wrote %s: csr2 p=%d, %d bytes (streamed)\n", *out, *machines, fi.Size())
+		return
 	}
 
 	var g *graph.Graph
@@ -83,6 +130,15 @@ func main() {
 			fatalf("bad -weights %q", *weights)
 		}
 		g = g.WithUniformWeights(lo, hi, *seed)
+	}
+
+	if csr2 {
+		if err := store.WriteGraph(*out, g, *machines); err != nil {
+			fatalf("writing %s: %v", *out, err)
+		}
+		stats := graph.ComputeDegreeStats(g)
+		fmt.Fprintf(os.Stderr, "wrote %s: csr2 p=%d, %s\n", *out, *machines, stats)
+		return
 	}
 
 	f, err := os.Create(*out)

@@ -5,9 +5,15 @@
 //
 //	pgxd-run -graph twt.bin -algo pagerank -machines 4 [-iters 10] [-top 5]
 //	pgxd-run -graph road.txt -algo sssp -source 0 -machines 2
+//	pgxd-run -graph twt.csr2 -algo pagerank -resident-mb 64
 //
 // Algorithms: pagerank, pagerank-push, pagerank-approx, wcc, sssp, hopdist,
 // eigenvector, kcore.
+//
+// A .csr2 graph (pgxd-gen -format csr2) runs out-of-core: the file is
+// mmap'd and adopted zero-copy, the machine count comes from the file, and
+// -resident-mb bounds how much of it the engine keeps resident (also
+// turning on spillable write buffers).
 package main
 
 import (
@@ -35,20 +41,47 @@ func main() {
 		top       = flag.Int("top", 5, "print the top-N vertices by result value")
 		tcp       = flag.Bool("tcp", false, "run over loopback TCP instead of in-process channels")
 		obsOn     = flag.Bool("obs", false, "attach the observability registry and print a per-job report")
+		resident  = flag.Int64("resident-mb", 0, ".csr2 only: resident budget in MiB for the mmap'd topology (0 = unbounded); also enables spillable write buffers")
 	)
 	flag.Parse()
 	if *graphPath == "" {
 		fatalf("-graph is required")
 	}
-	g, err := loadAny(*graphPath)
-	if err != nil {
-		fatalf("loading %s: %v", *graphPath, err)
+	var (
+		g        *graph.Graph
+		sf       *pgxd.StoreFile
+		weighted bool
+		err      error
+	)
+	if strings.HasSuffix(*graphPath, ".csr2") {
+		sf, err = pgxd.OpenStore(*graphPath)
+		if err != nil {
+			fatalf("mapping %s: %v", *graphPath, err)
+		}
+		defer sf.Close()
+		weighted = sf.Weighted()
+		*machines = sf.NumMachines() // partition count is baked into the file
+		fmt.Printf("mapped %s: csr2 p=%d N=%d M=%d weighted=%v\n",
+			*graphPath, sf.NumMachines(), sf.NumNodes(), sf.NumEdges(), weighted)
+	} else {
+		g, err = loadAny(*graphPath)
+		if err != nil {
+			fatalf("loading %s: %v", *graphPath, err)
+		}
+		weighted = g.Weighted()
+		fmt.Printf("loaded %s: %s\n", *graphPath, graph.ComputeDegreeStats(g))
 	}
-	fmt.Printf("loaded %s: %s\n", *graphPath, graph.ComputeDegreeStats(g))
 
 	cfg := pgxd.DefaultConfig(*machines)
 	cfg.Workers = *workers
 	cfg.Copiers = *copiers
+	if *resident > 0 {
+		if sf == nil {
+			fatalf("-resident-mb only applies to .csr2 graphs")
+		}
+		cfg.ResidentBudgetBytes = *resident << 20
+		cfg.SpillWrites = true
+	}
 	if *obsOn {
 		cfg.Obs = pgxd.NewObsRegistry()
 	}
@@ -65,7 +98,12 @@ func main() {
 		fatalf("%v", err)
 	}
 	defer cluster.Shutdown()
-	if err := cluster.LoadGraph(g); err != nil {
+	if sf != nil {
+		err = cluster.LoadStore(sf)
+	} else {
+		err = cluster.LoadGraph(g)
+	}
+	if err != nil {
 		fatalf("distributing graph: %v", err)
 	}
 	fmt.Printf("cluster: %d machines x %d workers/%d copiers, %d ghosts\n",
@@ -84,7 +122,7 @@ func main() {
 	case "wcc":
 		i64s, met, err = cluster.WCC(100000)
 	case "sssp":
-		if !g.Weighted() {
+		if !weighted {
 			fatalf("sssp needs a weighted graph (pgxd-gen -weights)")
 		}
 		f64s, met, err = cluster.SSSP(pgxd.NodeID(*source), 100000)

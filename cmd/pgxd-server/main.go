@@ -43,6 +43,7 @@ func main() {
 		maxAnalyses = flag.Int("max-analyses", 4, "concurrently running analyses across all graphs and tenants")
 		pool        = flag.Int("pool", 2, "engine clusters per graph instance (concurrent analyses on one graph)")
 		tenantQuota = flag.Int("tenant-quota", 0, "concurrently running analyses per tenant (0 = unlimited)")
+		memBudget   = flag.Int64("mem-budget-mb", 0, "summed declared/estimated resident MiB of concurrently running analyses (0 = no gate)")
 		aging       = flag.Duration("aging", 250*time.Millisecond, "queued requests gain one priority level per this interval")
 		machines    = flag.Int("machines", 4, "default simulated machines per graph")
 		debugAddr   = flag.String("debug-addr", "", "HTTP listen address for /debug/metrics, /debug/trace, /debug/abort, /debug/pprof (empty disables)")
@@ -55,6 +56,7 @@ func main() {
 		MaxConcurrentAnalyses: *maxAnalyses,
 		AnalysisPoolSize:      *pool,
 		TenantQuota:           *tenantQuota,
+		RunMemoryBudgetMB:     *memBudget,
 		PriorityAging:         *aging,
 		DefaultMachines:       *machines,
 		DebugAddr:             *debugAddr,

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOOCIdentityAndCapSmall runs the full out-of-core experiment at a small
+// capped-phase scale: the bit-identity matrix (Cluster.Load vs
+// Cluster.LoadStore over both fabrics, spilling forced) plus the streamed
+// capped phase. The RSS cap is set effectively unlimited here — the race
+// detector inflates RSS unpredictably, so the real cap assertion lives in the
+// non-instrumented `make ooc` smoke run.
+func TestOOCIdentityAndCapSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("out-of-core experiment smoke is not short")
+	}
+	ds := NewDatasets()
+	tbl, rep, err := ExpOOC(ds, 13, 2, 3, 4, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+	if want := 2 * 4; len(rep.Identity) != want { // {inproc,tcp} x {bfs,pagerank,wcc,sssp}
+		t.Fatalf("identity rows = %d, want %d", len(rep.Identity), want)
+	}
+	for _, row := range rep.Identity {
+		if row.Identical {
+			continue
+		}
+		if row.Algo != "pagerank" {
+			t.Errorf("%s/%s: store-backed result not bit-identical", row.Fabric, row.Algo)
+		} else if row.MaxRelError > oocPRTolerance {
+			t.Errorf("%s/pagerank: max relative error %g exceeds tolerance %g",
+				row.Fabric, row.MaxRelError, oocPRTolerance)
+		}
+	}
+	if want := 2; len(rep.Runs) != want { // bfs, pagerank
+		t.Fatalf("capped-phase rows = %d, want %d", len(rep.Runs), want)
+	}
+	for _, r := range rep.Runs {
+		if r.Seconds <= 0 {
+			t.Errorf("capped %s: non-positive wall time %v", r.Algo, r.Seconds)
+		}
+	}
+	if rep.FileBytes <= 0 {
+		t.Error("capped phase recorded no file size")
+	}
+	if !rep.UnderCap {
+		t.Errorf("under_cap false with an effectively unlimited cap (peak %d bytes)", rep.PeakVmHWMBytes)
+	}
+
+	out := filepath.Join(t.TempDir(), "BENCH_ooc.json")
+	if err := rep.WriteJSON(out); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("report artifact missing or empty: %v", err)
+	}
+}

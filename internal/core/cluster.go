@@ -645,6 +645,9 @@ func (c *Cluster) recoverAfterAbort() {
 		m.col.Recover(maxSeq)
 		m.writesSent.Store(0)
 		m.writesApplied.Store(0)
+		// A job that died mid-spill left a backlog (and possibly a temp
+		// file) that must never apply against the reset counters.
+		m.spill.reset()
 	}
 }
 

@@ -125,6 +125,25 @@ type Config struct {
 	// DirectionBeta is the pull→push threshold: switch back to push when the
 	// frontier shrinks below numNodes/beta. Zero uses the default (24).
 	DirectionBeta float64
+	// ResidentBudgetBytes caps how many bytes of an out-of-core store file
+	// (Cluster.LoadStore) the engine keeps resident: workers advise claimed
+	// chunks in and the residency window advises the oldest out once the
+	// budget is exceeded. Zero or negative disables the window — the page
+	// cache alone governs residency. Ignored for in-memory loads.
+	ResidentBudgetBytes int64
+	// SpillWrites makes copiers spill inbound remote-write frames to a
+	// bounded memory buffer (overflowing to a temp file) instead of applying
+	// them during the task phase; the write-drain loop replays them. This
+	// bounds the memory that buffered remote writes pin during out-of-core
+	// runs at the cost of write latency. Off by default.
+	SpillWrites bool
+	// SpillBudgetBytes is the in-memory spill buffer size per machine before
+	// frames overflow to the temp file. Zero derives 4 MiB.
+	SpillBudgetBytes int64
+	// SpillDir is the directory for spill temp files (empty uses the OS
+	// default temp dir). Files are created lazily on first overflow and
+	// removed when the job's drain completes or the job aborts.
+	SpillDir string
 	// RequestTimeout bounds every wait on a remote response or drained
 	// buffer pool inside a job (worker response waits, the write-drain
 	// loop, driver RMI calls). Zero waits forever. It is the detector for
@@ -232,6 +251,9 @@ func (c *Config) validate() error {
 	}
 	if c.FixedDirection > DirPull {
 		return fmt.Errorf("core: FixedDirection %d unknown", c.FixedDirection)
+	}
+	if c.SpillWrites && c.SpillBudgetBytes <= 0 {
+		c.SpillBudgetBytes = 4 << 20
 	}
 	if c.RequestTimeout < 0 || c.CollectiveTimeout < 0 {
 		return fmt.Errorf("core: timeouts must be >= 0 (RequestTimeout=%v CollectiveTimeout=%v)",

@@ -69,6 +69,20 @@ func (m *Machine) serveRequest(buf *comm.Buffer, dec *wireDec) error {
 			m.cfg.Obs.Add(m.id, obs.CtrStaleWriteFrames, 1)
 			return nil
 		}
+		// Spillable buffers (Config.SpillWrites): while armed, the frame is
+		// deferred — copied into the spill backlog for the drain loop to replay
+		// — instead of applied here. writesApplied advances at replay time.
+		if took, flushed, err := m.spill.add(h.Count, h.Flags, payload); took {
+			if err != nil {
+				return err
+			}
+			m.cfg.Obs.Add(m.id, obs.CtrSpilledWriteFrames, 1)
+			m.cfg.Obs.Add(m.id, obs.CtrSpilledWriteBytes, int64(len(payload)))
+			if flushed > 0 {
+				m.cfg.Obs.Add(m.id, obs.CtrSpillFileFrames, int64(flushed))
+			}
+			return nil
+		}
 		if err := m.applyWrites(h, payload, dec); err != nil {
 			return err
 		}

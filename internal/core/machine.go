@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/reduce"
+	"repro/internal/store"
 )
 
 // Machine is one simulated PGX.D process (Figure 1: "the same program is
@@ -43,6 +44,16 @@ type Machine struct {
 	store      *localStore
 	ghostOwned []int64
 	cols       []*column
+
+	// residency is the shared out-of-core residency window (nil for
+	// in-memory loads): workers advise claimed chunks in through it and it
+	// advises the oldest ranges out past the configured budget.
+	residency *store.Residency
+
+	// spill is the spillable write buffer (nil unless Config.SpillWrites):
+	// copiers defer inbound write frames into it while a job is armed and the
+	// drain loop replays them; see spill.go.
+	spill *spillState
 
 	chunksOut  []partition.Chunk
 	chunksIn   []partition.Chunk
@@ -88,6 +99,7 @@ func (m *Machine) ID() int { return m.id }
 // collectives, copier pool, and the persistent worker goroutines.
 func newMachine(cfg *Config, id int, ep comm.Endpoint) *Machine {
 	m := &Machine{id: id, cfg: cfg, ep: ep}
+	m.spill = newSpillState(cfg)
 	m.reqPool = comm.NewPool(cfg.ReqBuffers, cfg.BufferSize)
 	m.respPool = comm.NewPool(cfg.RespBuffers, cfg.BufferSize)
 	m.ctrlPool = comm.NewPool(4*cfg.NumMachines+8, cfg.BufferSize)
@@ -206,6 +218,7 @@ func (m *Machine) load(g *graph.Graph, layout partition.Layout, ghosts *partitio
 	m.cols = nil
 	m.loadHints, m.loadTotals = nil, nil
 	m.degMass = layout.DegreeMass(g)
+	m.residency = nil
 	m.rebuildChunks()
 }
 
@@ -290,9 +303,9 @@ func (m *Machine) obsBarrier(jobID, arg uint64) error {
 }
 
 func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
-	jr := &jobRuntime{spec: spec, id: jobID, abortCh: make(chan struct{})}
+	jr := &jobRuntime{spec: spec, id: jobID, abortCh: make(chan struct{}), res: m.residency}
 	if spec.Steal != nil && m.cfg.stealingOn() {
-		jr.steal = &stealRuntime{}
+		jr.steal = &stealRuntime{stolenNS: make([]int64, m.cfg.NumMachines)}
 	}
 	reg := m.cfg.Obs
 	jobClock := reg.Clock()
@@ -371,6 +384,12 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	// can fail it, and point the collectives at its abort channel. A remote
 	// abort announcement may already be parked if a fast peer failed before
 	// we even got here.
+	// Arm the spill before publishing the job: the pre-task barrier orders
+	// curJob install before any peer's first write frame, so an armed spill
+	// sees every frame of this job. The deferred reset (success, failure, or
+	// abort alike) discards any unreplayed backlog and removes the temp file.
+	m.spill.begin()
+	defer m.spill.reset()
 	m.curJob.Store(jr)
 	defer m.curJob.Store(nil)
 	if pa := m.pendingAbort.Swap(nil); pa != nil && pa.id == jobID {
@@ -479,8 +498,40 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	drainClock := reg.Clock()
 	nm := m.cfg.NumMachines
 	base := 2 + 3*len(jr.builds)
-	vals := make([]int64, base+nm)
+	lanes := base + nm
+	// Steal attribution: when this job could be stolen from, 2*nm more lanes
+	// ride the allreduce so stolen work is billed to the victim, not the
+	// thief. Lane base+nm+i sums, over all thieves, the wall-equivalent time
+	// spent on machine i's nodes (per-worker CPU time divided by the worker
+	// count — the same conversion taskNS implies for a saturated phase); lane
+	// base+2nm+j is machine j's total such time as a thief. Every machine
+	// computes the same adjusted totals from the same sums, so the
+	// repartitioner's telemetry stays cluster-wide consistent.
+	var stolenFor []int64
+	var stolenTotal int64
+	if jr.steal != nil {
+		lanes += 2 * nm
+		stolenFor = make([]int64, nm)
+		for i := range stolenFor {
+			stolenFor[i] = jr.steal.stolenNS[i] / int64(m.cfg.Workers)
+			stolenTotal += stolenFor[i]
+		}
+	}
+	vals := make([]int64, lanes)
+	var spillDec *wireDec
+	if m.spill != nil {
+		spillDec = new(wireDec)
+	}
 	for {
+		// Replay the spilled backlog before staging this round's applied
+		// count: a round that observes sent == applied has replayed every
+		// frame that arrived before it. Frames landing during replay buffer
+		// for the next round, which the unchanged sent total forces.
+		if m.spill != nil {
+			if _, err := m.replaySpill(spillDec); err != nil {
+				return machineJobStats{}, m.jobFail(jr, err)
+			}
+		}
 		vals[0], vals[1] = m.writesSent.Load(), m.writesApplied.Load()
 		for i, bf := range jr.builds {
 			if jr.activate != nil {
@@ -490,10 +541,14 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 			vals[3+3*i] = bf.outDegSum
 			vals[4+3*i] = bf.inDegSum
 		}
-		for i := 0; i < nm; i++ {
-			vals[base+i] = 0
+		for i := base; i < lanes; i++ {
+			vals[i] = 0
 		}
 		vals[base+m.id] = taskNS
+		if jr.steal != nil {
+			copy(vals[base+nm:base+2*nm], stolenFor)
+			vals[base+2*nm+m.id] = stolenTotal
+		}
 		if err := m.col.AllReduceI64(vals, reduce.Sum); err != nil {
 			return machineJobStats{}, m.jobFail(jr, err)
 		}
@@ -512,9 +567,20 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 		m.loadHints = make([]int64, nm)
 		m.loadTotals = make([]int64, nm)
 	}
-	copy(m.loadHints, vals[base:])
+	// loadHints stay raw: the steal phase wants observed wall times (who is
+	// the straggler right now). loadTotals get the attribution correction —
+	// time thieves spent on machine i's nodes moves from the thieves' columns
+	// to i's — clamped at zero since the conversion is an estimate.
+	copy(m.loadHints, vals[base:base+nm])
 	for i := 0; i < nm; i++ {
-		m.loadTotals[i] += vals[base+i]
+		adj := vals[base+i]
+		if jr.steal != nil {
+			adj += vals[base+nm+i] - vals[base+2*nm+i]
+			if adj < 0 {
+				adj = 0
+			}
+		}
+		m.loadTotals[i] += adj
 	}
 	reg.Span(m.id, obs.WorkerMain, obs.SpanWriteDrain, jobID, drainClock, 0)
 
@@ -769,4 +835,5 @@ func (m *Machine) shutdown() {
 	}
 	m.router.Shutdown()
 	m.copierWG.Wait()
+	m.spill.reset()
 }

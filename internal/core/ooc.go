@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/store"
+)
+
+// Out-of-core loading: Cluster.LoadStore adopts an open CSR v2 file
+// (store.Open) instead of materializing the graph on the heap. Each machine's
+// local store aliases its mmap'd file section directly — the same
+// rows/refs/weights slice contract buildLocalStore produces, so workers,
+// copiers, the chunk scheduler, and the steal protocol run unchanged — and
+// page-cache eviction, optionally bounded by Config.ResidentBudgetBytes,
+// governs how much topology is resident. Store files encode refs ghost-free
+// (local or remote, never a ghost slot), so an out-of-core cluster runs with
+// an empty ghost set; the per-edge ref dispatch is identical either way.
+
+// LoadStore loads the cluster from an open CSR v2 file. The file must have
+// been written for exactly this cluster's machine count (the partition cut is
+// baked into the section layout). sf must stay open for the lifetime of the
+// load — until the next Load/LoadStore or Shutdown; closing it earlier leaves
+// the machines aliasing an unmapped region. Like Load, it discards registered
+// properties; register them after.
+func (c *Cluster) LoadStore(sf *store.File) error {
+	if sf.NumMachines() != c.cfg.NumMachines {
+		return fmt.Errorf("core: store file %s is cut for %d machines, cluster has %d",
+			sf.Path(), sf.NumMachines(), c.cfg.NumMachines)
+	}
+	if sf.NumNodes() == 0 {
+		return fmt.Errorf("core: store file %s is empty", sf.Path())
+	}
+	layout := sf.Layout()
+	ghosts := partition.EmptyGhostSet()
+	c.layout = layout
+	c.ghosts = ghosts
+	c.numNodes = sf.NumNodes()
+	c.numEdges = sf.NumEdges()
+	c.meta = nil
+	c.freeProps = nil
+	// One residency window is shared by all simulated machines: they alias
+	// one mapping, and the budget is a per-process RSS bound.
+	res := sf.NewResidency(c.cfg.ResidentBudgetBytes)
+	err := c.parallel(func(m *Machine) error {
+		m.loadFromStore(sf, layout, ghosts, res)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c.loaded = true
+	return nil
+}
+
+// loadFromStore installs machine id's file section as its local store. The
+// row/ref/weight slices alias the mapping zero-copy; only O(numLocal)
+// metadata (degrees, both-orientation prefix) is materialized on the heap.
+func (m *Machine) loadFromStore(sf *store.File, layout partition.Layout, ghosts *partition.GhostSet, res *store.Residency) {
+	sec := sf.Section(m.id)
+	lo, hi := layout.Range(m.id)
+	numLocal := int(hi - lo)
+	s := &localStore{
+		me:         m.id,
+		layout:     layout,
+		ghosts:     ghosts,
+		numLocal:   numLocal,
+		outRows:    sec.OutRows,
+		outRefs:    sec.OutRefs,
+		outWeights: sec.OutWeights,
+		inRows:     sec.InRows,
+		inRefs:     sec.InRefs,
+		inWeights:  sec.InWeights,
+		outDeg:     make([]int32, numLocal),
+		inDeg:      make([]int32, numLocal),
+	}
+	s.bothRows = make([]int64, numLocal+1)
+	for u := 0; u < numLocal; u++ {
+		s.outDeg[u] = int32(s.outRows[u+1] - s.outRows[u])
+		s.inDeg[u] = int32(s.inRows[u+1] - s.inRows[u])
+		s.bothRows[u+1] = s.bothRows[u] + int64(s.outDeg[u]) + int64(s.inDeg[u])
+	}
+	m.store = s
+	m.ghostOwned = s.ghostOwnership()
+	m.cols = nil
+	m.loadHints, m.loadTotals = nil, nil
+	m.degMass = sf.DegreeMass()
+	m.residency = res
+	m.rebuildChunks()
+}
+
+// touchChunk advises the residency window about the byte ranges one claimed
+// chunk will read: the row slices for the chunk's node range and the ref (and
+// weight) slices for the edges under it. Called at the worker's chunk-claim
+// site, so claim order — sequential per machine via the shared cursor — is
+// the prefetch order. Heap-backed slices (in-memory loads) are filtered out
+// by the residency's pointer check, and jr.res is nil entirely outside
+// out-of-core runs, so the hook costs one predictable branch elsewhere.
+func (jr *jobRuntime) touchChunk(ch partition.Chunk) {
+	if jr.rows == nil {
+		return // node iterator: no topology reads
+	}
+	lo, hi := int64(ch.Begin), int64(ch.End)
+	if jr.frontList != nil {
+		// Sparse frontier: chunk indices address the sorted member list; the
+		// node span is the members' range (sorted ascending).
+		if ch.Begin >= ch.End {
+			return
+		}
+		lo = int64(jr.frontList[ch.Begin])
+		hi = int64(jr.frontList[ch.End-1]) + 1
+	}
+	res := jr.res
+	res.TouchI64(jr.rows, lo, hi+1)
+	res.TouchI64(jr.refs, jr.rows[lo], jr.rows[hi])
+	if jr.weights != nil {
+		res.TouchF64(jr.weights, jr.rows[lo], jr.rows[hi])
+	}
+	if jr.rows2 != nil {
+		res.TouchI64(jr.rows2, lo, hi+1)
+		res.TouchI64(jr.refs2, jr.rows2[lo], jr.rows2[hi])
+		if jr.weights2 != nil {
+			res.TouchF64(jr.weights2, jr.rows2[lo], jr.rows2[hi])
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/reduce"
+	"repro/internal/store"
+)
+
+// storePath writes g as a CSR v2 store file partitioned for p machines.
+func storePath(t testing.TB, g *graph.Graph, p int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.csr2")
+	if err := store.WriteGraph(path, g, p); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// bootStore boots a cluster over the mmap'd store file. The file must outlive
+// the machines (sections alias the mapping), so Close is sequenced after
+// Shutdown in the same cleanup.
+func bootStore(t testing.TB, path string, cfg Config) *Cluster {
+	t.Helper()
+	sf, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		sf.Close() //nolint:errcheck
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Shutdown()
+		sf.Close() //nolint:errcheck
+	})
+	if err := c.LoadStore(sf); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// spillFiles lists leftover spill temp files in dir.
+func spillFiles(t testing.TB, dir string) []string {
+	t.Helper()
+	left, err := filepath.Glob(filepath.Join(dir, "pgxd-spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return left
+}
+
+// runPushOne executes the in-degree push job and returns the gathered result.
+func runPushOne(t *testing.T, c *Cluster, counter PropID) []int64 {
+	t.Helper()
+	c.FillI64(counter, 0)
+	if _, err := c.RunJob(JobSpec{
+		Name:       "ooc-push",
+		Iter:       IterOutEdges,
+		Task:       &pushOneTask{counter: counter},
+		WriteProps: []WriteSpec{{Prop: counter, Op: reduce.Sum}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c.GatherI64(counter)
+}
+
+// TestLoadStoreMatchesLoad: the same graph computed from an mmap'd CSR v2
+// file must be bit-identical to the in-memory load, over both fabrics. The
+// store-backed cluster runs with a deliberately tiny residency window and
+// write spilling forced through the file path, so the comparison covers the
+// chunk advice loop and the spill/replay drain, not just the format decode.
+func TestLoadStoreMatchesLoad(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := testGraph(t)
+		path := storePath(t, g, 3)
+		spillDir := t.TempDir()
+
+		runPair := func(fromStore bool) ([]int64, []float64) {
+			cfg := faultCfg(3)
+			cfg.RequestTimeout = 0
+			cfg.CollectiveTimeout = 0
+			if useTCP {
+				f, err := comm.NewTCPFabric(cfg.NumMachines,
+					cfg.NumMachines*(cfg.ReqBuffers+cfg.Workers*cfg.NumMachines)+64, cfg.BufferSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { f.Close() }) //nolint:errcheck
+				cfg.Fabric = f
+			}
+			var c *Cluster
+			if fromStore {
+				cfg.ResidentBudgetBytes = 64 << 10
+				cfg.SpillWrites = true
+				cfg.SpillBudgetBytes = 1 << 10
+				cfg.SpillDir = spillDir
+				c = bootStore(t, path, cfg)
+			} else {
+				c = bootCluster(t, g, cfg)
+			}
+			counter, err := c.AddPropI64("counter")
+			if err != nil {
+				t.Fatal(err)
+			}
+			src, _ := c.AddPropF64("src")
+			dst, _ := c.AddPropF64("dst")
+			push := runPushOne(t, c, counter)
+			if err := runPull(t, c, g, src, dst, true); err != nil {
+				t.Fatal(err)
+			}
+			return push, c.GatherF64(dst)
+		}
+
+		memPush, memPull := runPair(false)
+		stPush, stPull := runPair(true)
+		for u := range memPush {
+			if memPush[u] != stPush[u] {
+				t.Fatalf("push node %d: in-memory %d, store %d", u, memPush[u], stPush[u])
+			}
+			if memPull[u] != stPull[u] {
+				t.Fatalf("pull node %d: in-memory %v, store %v", u, memPull[u], stPull[u])
+			}
+		}
+		if left := spillFiles(t, spillDir); len(left) != 0 {
+			t.Fatalf("spill files survived a clean drain: %v", left)
+		}
+	})
+}
+
+// TestSpillCountersAndCleanup: a budget far below one frame forces every
+// drain round through the temp-file overflow path — the job must still
+// compute the exact in-degree, the registry must report both the deferred
+// frames and the file overflow, and no temp file may survive the drain.
+func TestSpillCountersAndCleanup(t *testing.T) {
+	g := testGraph(t)
+	spillDir := t.TempDir()
+	cfg := DefaultConfig(3)
+	cfg.GhostThreshold = GhostDisabled
+	cfg.SpillWrites = true
+	cfg.SpillBudgetBytes = 512
+	cfg.SpillDir = spillDir
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	c := bootCluster(t, g, cfg)
+	counter, _ := c.AddPropI64("counter")
+	want := refInDegree(g)
+	got := runPushOne(t, c, counter)
+	for u := range want {
+		if got[u] != want[u] {
+			t.Fatalf("node %d: got %d, want %d", u, got[u], want[u])
+		}
+	}
+	ctrs := reg.LifetimeCounters()
+	if ctrs["spilled_write_frames"] == 0 {
+		t.Errorf("no write frames were spilled (counters: %v)", ctrs)
+	}
+	if ctrs["spill_file_frames"] == 0 {
+		t.Errorf("a 512-byte budget never overflowed to file (counters: %v)", ctrs)
+	}
+	if left := spillFiles(t, spillDir); len(left) != 0 {
+		t.Fatalf("spill files survived the drain: %v", left)
+	}
+}
+
+// TestSpillAbortLeavesNoResidue: abort a job while write frames sit spilled
+// (including on disk) — the backlog must be discarded without applying, every
+// temp file removed, the pools must come home, and the same cluster must then
+// run a clean job with exact results.
+func TestSpillAbortLeavesNoResidue(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := testGraph(t)
+		spillDir := t.TempDir()
+		cfg := faultCfg(3)
+		cfg.BufferSize = 1 << 10 // small frames: every stream sends several
+		cfg.SpillWrites = true
+		cfg.SpillBudgetBytes = 256
+		cfg.SpillDir = spillDir
+		reg := obs.NewRegistry()
+		cfg.Obs = reg
+		// Hard-fail stream 1->0's write frame. The other five streams deliver
+		// theirs concurrently, and receivers spill every arrival (the
+		// 256-byte budget pushes them straight to file), so by the time the
+		// abort lands the backlog is populated on disk.
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{Seed: 7, Rules: []comm.FaultRule{
+			{Src: 1, Dst: 0, Type: int(comm.MsgWriteReq), Kind: comm.FaultFail, After: 0, Limit: 1},
+		}})
+		cfg.Fabric = inj
+		c := bootCluster(t, g, cfg)
+		defer inj.Close()
+		counter, _ := c.AddPropI64("counter")
+		c.FillI64(counter, 0)
+		_, err := c.RunJob(JobSpec{
+			Name:       "spill-abort",
+			Iter:       IterOutEdges,
+			Task:       &pushOneTask{counter: counter},
+			WriteProps: []WriteSpec{{Prop: counter, Op: reduce.Sum}},
+		})
+		if err == nil {
+			t.Fatal("job succeeded despite injected write-frame failure")
+		}
+		if !errors.Is(err, ErrJobAborted) {
+			t.Fatalf("error %v does not wrap ErrJobAborted", err)
+		}
+		settleQuiescent(t, c)
+		if ctrs := reg.LifetimeCounters(); ctrs["spilled_write_frames"] == 0 {
+			t.Errorf("abort fired before any frame spilled — test is vacuous (counters: %v)", ctrs)
+		}
+		if left := spillFiles(t, spillDir); len(left) != 0 {
+			t.Fatalf("abort left spill files behind: %v", left)
+		}
+
+		// The fault rule is exhausted (Limit 1): the same cluster must now
+		// drain clean and compute the exact reference.
+		want := refInDegree(g)
+		got := runPushOne(t, c, counter)
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("post-abort node %d: got %d, want %d", u, got[u], want[u])
+			}
+		}
+		if left := spillFiles(t, spillDir); len(left) != 0 {
+			t.Fatalf("recovery run left spill files behind: %v", left)
+		}
+	})
+}
+
+// TestStealAttributionBillsVictim: with stealing on over a layout where
+// machine 0 owns 85% of the edge mass, thief CPU time on stolen chunks is
+// billed back to machine 0's partition — so the load totals the
+// repartitioner consumes still identify the hot partition even though other
+// machines executed much of its work.
+func TestStealAttributionBillsVictim(t *testing.T) {
+	g := stealGraph(t)
+	cfg := DefaultConfig(3)
+	cfg.EnableWorkStealing = true
+	cfg.ChunkTargetEdges = 16 // many small chunks: the straggler drains its cursor gradually, so steals land regardless of scheduling
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	c := bootSkewed(t, g, cfg, 0.85, 0)
+	src, _ := c.AddPropI64("src")
+	dst, _ := c.AddPropI64("dst")
+	for i := 0; i < 3; i++ {
+		if err := runPushVal(t, c, g, src, dst, true); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if ctrs := reg.LifetimeCounters(); ctrs["stolen_nodes"] == 0 {
+		t.Skipf("no steals landed on this run (counters: %v) — attribution unobservable", ctrs)
+	}
+	totals := c.TaskTimeTotals()
+	if len(totals) != 3 {
+		t.Fatalf("TaskTimeTotals = %v, want 3 entries", totals)
+	}
+	for m := 1; m < 3; m++ {
+		if totals[m] >= totals[0] {
+			t.Errorf("machine %d total %d >= victim total %d: stolen work was not billed to the victim partition",
+				m, totals[m], totals[0])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/graph"
@@ -64,6 +65,15 @@ type stealRuntime struct {
 
 	mu       sync.Mutex
 	residual []partition.Chunk
+
+	// stolenNS[victim] accumulates the nanoseconds this machine's workers
+	// spent executing nodes stolen from victim (thief-side CPU time, summed
+	// across workers via atomic adds). The write-drain allreduce ships it so
+	// every machine can bill stolen work back to the victim's partition in
+	// loadTotals — the repartitioner must see ownership cost, not who
+	// happened to execute it. Read by the machine main goroutine after
+	// wg.Wait, which orders the workers' final adds.
+	stolenNS []int64
 }
 
 func (sr *stealRuntime) pushResidual(ch partition.Chunk) {
@@ -338,6 +348,9 @@ func (w *worker) stealPhase(jr *jobRuntime, spec *JobSpec, ctx *Ctx) {
 	sr := jr.steal
 	for {
 		if ch, ok := sr.popResidual(); ok {
+			if jr.res != nil {
+				jr.touchChunk(ch)
+			}
 			w.runChunk(jr, spec, ctx, ch)
 			w.drainResponsesSafe()
 			continue
@@ -435,7 +448,9 @@ func (w *worker) stealFrom(jr *jobRuntime, spec *JobSpec, ctx *Ctx, victim int) 
 		w.payloadRecycle(payload)
 		return 0, left
 	}
+	execStart := time.Now()
 	edges, err := w.runStolen(jr, spec, ctx, payload, count, victim)
+	atomic.AddInt64(&jr.steal.stolenNS[victim], time.Since(execStart).Nanoseconds())
 	w.payloadRecycle(payload)
 	if err != nil {
 		w.fail(err)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/reduce"
+	"repro/internal/store"
 )
 
 // worker is one RTC worker goroutine (paper §3.2). It claims edge-balanced
@@ -274,6 +275,9 @@ func (w *worker) runJob(jr *jobRuntime) {
 		}
 		if jr.aborted() {
 			w.unwind()
+		}
+		if jr.res != nil {
+			jr.touchChunk(jr.chunks[chunkIdx])
 		}
 		w.runChunk(jr, spec, ctx, jr.chunks[chunkIdx])
 		// Opportunistically run continuations between chunks so response
@@ -928,6 +932,10 @@ type jobRuntime struct {
 	// grant count), or nil when this job cannot be stolen from (stealing
 	// off, single machine, or no StealSpec).
 	steal *stealRuntime
+
+	// res is the machine's out-of-core residency window (nil for in-memory
+	// loads); workers advise each claimed chunk's topology ranges through it.
+	res *store.Residency
 
 	cursor atomic.Int64
 	wg     sync.WaitGroup

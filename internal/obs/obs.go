@@ -92,6 +92,13 @@ const (
 	CtrStolenNodes
 	CtrStolenEdges
 	CtrStealResidual
+	// Spillable write buffers (Config.SpillWrites): inbound write frames a
+	// copier deferred to the spill buffer instead of applying, their payload
+	// bytes, and how many of those frames overflowed the in-memory budget to
+	// the temp file.
+	CtrSpilledWriteFrames
+	CtrSpilledWriteBytes
+	CtrSpillFileFrames
 
 	numCounters
 )
@@ -123,6 +130,9 @@ var counterNames = [numCounters]string{
 	CtrStolenNodes:            "stolen_nodes",
 	CtrStolenEdges:            "stolen_edges",
 	CtrStealResidual:          "steal_residual_chunks",
+	CtrSpilledWriteFrames:     "spilled_write_frames",
+	CtrSpilledWriteBytes:      "spilled_write_bytes",
+	CtrSpillFileFrames:        "spill_file_frames",
 }
 
 // String implements fmt.Stringer.

@@ -80,6 +80,13 @@ func SelectTopGhosts(g *graph.Graph, k int) *GhostSet {
 	return gs
 }
 
+// EmptyGhostSet returns a ghost set with no members — the load path for
+// representations that pre-resolve refs without ghost slots (out-of-core
+// store files encode every neighbor as local or remote, never ghosted).
+func EmptyGhostSet() *GhostSet {
+	return &GhostSet{slotOf: map[graph.NodeID]int32{}}
+}
+
 // Len returns the number of ghosted vertices.
 func (gs *GhostSet) Len() int { return len(gs.Nodes) }
 

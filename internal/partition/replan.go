@@ -60,11 +60,11 @@ type Plan struct {
 // machines; measured rates additionally shift work away from machines whose
 // partitions are expensive per edge.
 //
-// Caveat: task times must reflect each machine running its own partition.
-// Work stealing bills stolen chunks to the thief's task phase, so telemetry
-// from a steal-flattened run under-reports the straggler's per-degree cost
-// and Replan would read the skewed cut as fine. Measure with stealing
-// disabled (DisableWorkStealing) when the plan is meant to fix ownership.
+// Task times must reflect each machine running its own partition; the engine
+// guarantees this even under work stealing by billing a thief's time on
+// stolen chunks back to the victim's column of Telemetry.TaskNanos (extra
+// lanes on the write-drain allreduce), so telemetry from a steal-flattened
+// run still exposes the straggler's per-degree cost.
 func Replan(g *graph.Graph, cur Layout, t Telemetry) (Plan, error) {
 	p := cur.NumMachines
 	if p < 1 {

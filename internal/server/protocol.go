@@ -44,6 +44,13 @@ type Request struct {
 	// the abort latch and returns a deadline error.
 	TimeoutMillis int64 `json:"timeout_millis,omitempty"`
 
+	// MaxResidentMB declares the run's peak resident-memory need in MiB
+	// (op=run). Zero lets the server estimate it from the target graph's
+	// store sizing. The admission memory gate keeps the sum over running
+	// analyses within Config.RunMemoryBudgetMB: an over-budget run queues
+	// (counted in stats as a budget deferral) until enough memory frees.
+	MaxResidentMB int64 `json:"max_resident_mb,omitempty"`
+
 	// Tag is a client-chosen label for a run (op=run) so another connection
 	// can cancel it (op=cancel): cancel removes queued runs with the tag and
 	// aborts running ones via the engine's cancellation latch. With Tenant
@@ -185,8 +192,15 @@ type ServerStats struct {
 	// deadline, runs canceled explicitly (op=cancel or shutdown), and the
 	// admission-queue wait percentiles from the server's obs histogram
 	// (power-of-two bucket upper bounds).
-	QueuedAnalyses       int     `json:"queued_analyses"`
-	EnginePoolSize       int     `json:"engine_pool_size"`
+	QueuedAnalyses int `json:"queued_analyses"`
+	EnginePoolSize int `json:"engine_pool_size"`
+	// BudgetDeferrals counts runs the admission memory gate held back at
+	// least once because admitting them would have pushed the running set
+	// past Config.RunMemoryBudgetMB; MemInUseMB is the declared/estimated
+	// resident total of the currently running analyses. Both stay zero with
+	// no memory budget configured.
+	BudgetDeferrals      int64   `json:"budget_deferrals"`
+	MemInUseMB           int64   `json:"mem_in_use_mb"`
 	DeadlineExceededRuns int64   `json:"deadline_exceeded_runs"`
 	CanceledRuns         int64   `json:"canceled_runs"`
 	QueueP50Millis       float64 `json:"queue_p50_millis,omitempty"`

@@ -118,6 +118,13 @@ type ticket struct {
 	priority int
 	enqueued time.Time
 	inst     *instance
+	// memMB is the run's declared (Request.MaxResidentMB) or store-sizing
+	// estimated resident need, charged against the scheduler's memory budget
+	// for the duration of the lease. Zero when no budget is configured.
+	memMB int64
+	// deferred marks that the memory gate has already skipped this ticket
+	// once, so the budget-deferral stat counts runs, not dispatch sweeps.
+	deferred bool
 	// result receives exactly one admitResult; buffered so the dispatcher
 	// never blocks on a waiter.
 	result chan admitResult
@@ -133,20 +140,27 @@ type scheduler struct {
 	defaultQuota  int            // per-tenant running cap; <=0 means no cap
 	quotas        map[string]int // per-tenant overrides of defaultQuota
 	aging         time.Duration  // queued priority +1 per aging waited; <=0 disables
+	memBudgetMB   int64          // cap on Σ memMB of running analyses; <=0 disables
 
 	mu        sync.Mutex
 	seq       uint64
 	queue     []*ticket
 	running   map[*ticket]*engine
 	perTenant map[string]int // running analyses per tenant
+	// memInUseMB is the declared/estimated resident total of running
+	// analyses; budgetDeferrals counts tickets the memory gate held back at
+	// least once.
+	memInUseMB      int64
+	budgetDeferrals int64
 }
 
-func newScheduler(maxConcurrent, defaultQuota int, quotas map[string]int, aging time.Duration) *scheduler {
+func newScheduler(maxConcurrent, defaultQuota int, quotas map[string]int, aging time.Duration, memBudgetMB int64) *scheduler {
 	return &scheduler{
 		maxConcurrent: maxConcurrent,
 		defaultQuota:  defaultQuota,
 		quotas:        quotas,
 		aging:         aging,
+		memBudgetMB:   memBudgetMB,
 		running:       make(map[*ticket]*engine),
 		perTenant:     make(map[string]int),
 	}
@@ -232,6 +246,19 @@ func (s *scheduler) dispatch() {
 			if q := s.quota(t.tenant); q > 0 && s.perTenant[t.tenant] >= q {
 				continue
 			}
+			// Memory gate: admitting t must keep the running set's declared
+			// resident total under the budget. An idle server always admits —
+			// a run bigger than the whole budget would otherwise queue
+			// forever; alone it can still only be killed by the OS, not
+			// starved by us. Deferral is counted once per ticket.
+			if s.memBudgetMB > 0 && t.memMB > 0 && len(s.running) > 0 &&
+				s.memInUseMB+t.memMB > s.memBudgetMB {
+				if !t.deferred {
+					t.deferred = true
+					s.budgetDeferrals++
+				}
+				continue
+			}
 			eng := t.inst.pool.tryAcquire()
 			if eng == nil {
 				continue // instance busy; later tickets may target idle graphs
@@ -239,6 +266,7 @@ func (s *scheduler) dispatch() {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			s.running[t] = eng
 			s.perTenant[t.tenant]++
+			s.memInUseMB += t.memMB
 			t.result <- admitResult{eng: eng}
 			admitted = true
 			break
@@ -254,6 +282,9 @@ func (s *scheduler) dispatch() {
 func (s *scheduler) release(t *ticket) {
 	s.mu.Lock()
 	eng := s.running[t]
+	if eng != nil {
+		s.memInUseMB -= t.memMB
+	}
 	delete(s.running, t)
 	if s.perTenant[t.tenant]--; s.perTenant[t.tenant] <= 0 {
 		delete(s.perTenant, t.tenant)
@@ -304,6 +335,13 @@ func (s *scheduler) queueLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queue)
+}
+
+// memStats snapshots the memory gate's accounting for stats.
+func (s *scheduler) memStats() (inUseMB, deferrals int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memInUseMB, s.budgetDeferrals
 }
 
 // tenantLoad snapshots per-tenant running and queued counts for stats.

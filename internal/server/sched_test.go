@@ -468,3 +468,78 @@ func TestPriorityOrdersQueue(t *testing.T) {
 		t.Fatalf("admission order = %v, want [high low]", order)
 	}
 }
+
+// TestMemoryBudgetGate: with RunMemoryBudgetMB set, a run whose declared
+// resident need does not fit next to the running set queues (counted as a
+// budget deferral) while a smaller run sails past it — the memory gate
+// skips, never blocks the queue — and admits once the big run releases.
+func TestMemoryBudgetGate(t *testing.T) {
+	gate := newHookGate()
+	cfg := DefaultServerConfig()
+	cfg.MaxConcurrentAnalyses = 4
+	cfg.AnalysisPoolSize = 3 // engines are plentiful; only memory gates
+	cfg.RunMemoryBudgetMB = 100
+	cfg.runHook = gate.hook
+	s := startServer(t, cfg)
+	c := dial(t, s)
+	if _, err := c.Generate(Request{Graph: "g", Kind: "rmat", Scale: 9, EdgeFactor: 4, Seed: 3, Machines: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// big1 (80 MB declared) holds an engine inside the hook.
+	big1 := dial(t, s)
+	big1Done := make(chan error, 1)
+	go func() {
+		_, err := big1.Run(Request{Graph: "g", Algo: "pagerank", Iterations: 2, Tag: "block", MaxResidentMB: 80})
+		big1Done <- err
+	}()
+	<-gate.entered
+
+	// big2 (80 MB) must queue: 80+80 > 100 even with engines idle.
+	big2 := dial(t, s)
+	big2Done := make(chan error, 1)
+	go func() {
+		_, err := big2.Run(Request{Graph: "g", Algo: "pagerank", Iterations: 2, MaxResidentMB: 80})
+		big2Done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case err := <-big2Done:
+		t.Fatalf("over-budget run admitted while big1 held 80/100 MB (err=%v)", err)
+	default:
+	}
+
+	// small (10 MB) fits beside big1 and must not wait behind big2.
+	smallDone := make(chan error, 1)
+	go func() {
+		_, err := c.Run(Request{Graph: "g", Algo: "pagerank", Iterations: 2, MaxResidentMB: 10})
+		smallDone <- err
+	}()
+	select {
+	case err := <-smallDone:
+		if err != nil {
+			t.Fatalf("small run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("small run starved behind the memory-deferred big run")
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BudgetDeferrals < 1 {
+		t.Fatalf("BudgetDeferrals = %d, want >= 1", st.BudgetDeferrals)
+	}
+	if st.MemInUseMB != 80 {
+		t.Fatalf("MemInUseMB = %d, want 80 (big1 only)", st.MemInUseMB)
+	}
+
+	close(gate.release)
+	if err := <-big1Done; err != nil {
+		t.Fatalf("big1: %v", err)
+	}
+	if err := <-big2Done; err != nil {
+		t.Fatalf("big2 after release: %v", err)
+	}
+}

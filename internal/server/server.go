@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Config bounds the server's resource usage — the paper's open question
@@ -41,6 +42,12 @@ type Config struct {
 	// boots over its shared immutable graph — the number of read-only
 	// analyses that can run concurrently on one graph. Default 2.
 	AnalysisPoolSize int
+	// RunMemoryBudgetMB caps the summed resident-memory need (declared via
+	// Request.MaxResidentMB, or estimated from store sizing) of concurrently
+	// running analyses. A run that would push the total past the budget
+	// queues until enough memory frees (counted as a budget deferral); an
+	// idle server always admits. <=0 disables the memory gate.
+	RunMemoryBudgetMB int64
 	// TenantQuota caps concurrently running analyses per tenant; <=0
 	// disables the per-tenant cap.
 	TenantQuota int
@@ -190,7 +197,7 @@ func New(cfg Config) (*Server, error) {
 		tenants:   make(map[string]*tenantCounters),
 		doneCh:    make(chan struct{}),
 		sched: newScheduler(cfg.MaxConcurrentAnalyses, cfg.TenantQuota,
-			cfg.TenantQuotas, cfg.PriorityAging),
+			cfg.TenantQuotas, cfg.PriorityAging, cfg.RunMemoryBudgetMB),
 		start: time.Now(),
 	}
 	if !cfg.DisableObservability {
@@ -606,12 +613,21 @@ func (s *Server) handleRun(req *Request) Response {
 	if prio < -maxPriority {
 		prio = -maxPriority
 	}
+	// Memory-gate charge: the client's declared need, or — only when a
+	// budget is actually configured — the store-sizing estimate of what an
+	// engine run on this graph pins resident.
+	memMB := req.MaxResidentMB
+	if memMB <= 0 && s.cfg.RunMemoryBudgetMB > 0 {
+		g := inst.graphSnapshot()
+		memMB = store.SizeOf(g.NumNodes(), g.NumEdges(), inst.machines, g.Weighted()).EstimatedResidentMB()
+	}
 	t := &ticket{
 		tenant:   tenant,
 		tag:      req.Tag,
 		priority: prio,
 		enqueued: time.Now(),
 		inst:     inst,
+		memMB:    memMB,
 		result:   make(chan admitResult, 1),
 	}
 	var deadline <-chan time.Time
@@ -1041,6 +1057,7 @@ func (s *Server) handleStats() Response {
 		queueP50 = h.Quantile(0.50).Seconds() * 1000
 		queueP99 = h.Quantile(0.99).Seconds() * 1000
 	}
+	memInUse, memDeferrals := s.sched.memStats()
 	running, queued := s.sched.tenantLoad()
 	s.tenantMu.Lock()
 	tenants := make(map[string]*TenantStats, len(s.tenants))
@@ -1078,6 +1095,8 @@ func (s *Server) handleStats() Response {
 		AbortsSeen:           aborts,
 		QueuedAnalyses:       s.sched.queueLen(),
 		EnginePoolSize:       poolSize,
+		BudgetDeferrals:      memDeferrals,
+		MemInUseMB:           memInUse,
 		DeadlineExceededRuns: s.deadlineExceeded.Load(),
 		CanceledRuns:         s.canceledRuns.Load(),
 		QueueP50Millis:       queueP50,

@@ -1,0 +1,138 @@
+// Package store is the engine's out-of-core storage subsystem: a binary
+// CSR v2 file format whose per-machine partition sections hold the engine's
+// pre-resolved node references, loaded zero-copy via mmap so page-cache
+// eviction — not the Go heap — governs topology residency. The paper's
+// Table 4 already distinguishes a fast binary on-disk format; GraphD
+// (PAPERS.md) shows that streaming edges from disk under a small memory
+// budget stays competitive when the message path is lean. This package makes
+// graphs bigger than RAM a load-time choice rather than an engine rewrite:
+// the mmap-backed section views satisfy the same row/ref slice contract as
+// the in-memory local store, so the chunk scheduler, partition.EdgeChunks,
+// and every kernel run unmodified over disk-backed topology.
+//
+// # File layout (CSR v2, little-endian)
+//
+//	offset 0   magic           "PGXDCSR2"
+//	       8   version         u32 (= 2)
+//	      12   flags           u32 (bit 0: weighted)
+//	      16   numNodes        u64
+//	      24   numEdges        u64 (directed)
+//	      32   numMachines     u64 (P)
+//	      40   starts          [P+1]u32, zero-padded to 8-byte alignment
+//	       -   section table   P × 6 u64 absolute offsets:
+//	               outRows, outRefs, outWeights, inRows, inRefs, inWeights
+//	               (weight offsets are 0 when unweighted)
+//	       -   per-machine sections, every array 8-byte aligned:
+//	               outRows  [numLocal+1]i64   prefix sums, outRows[0] == 0
+//	               outRefs  [mOut]i64         pre-resolved refs (no ghosts)
+//	               outWeights [mOut]f64       (weighted files only)
+//	               inRows   [numLocal+1]i64
+//	               inRefs   [mIn]i64
+//	               inWeights [mIn]f64
+//
+// Refs use the engine's encoding with ghosting disabled: ref >= 0 is the
+// owner-local node index, ref < 0 is ^(machine<<32 | offset) naming a remote
+// slot. Ghost-free refs are invertible to global ids, which is what lets the
+// streaming writer derive the in-orientation from already-written out
+// sections in canonical (transpose) order.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Magic identifies a CSR v2 file.
+const Magic = "PGXDCSR2"
+
+// Version is the current format version.
+const Version = 2
+
+// Format flags.
+const (
+	// FlagWeighted marks files carrying per-edge float64 weights.
+	FlagWeighted uint32 = 1 << 0
+
+	knownFlags = FlagWeighted
+)
+
+const (
+	headerFixedBytes = 40 // magic + version + flags + n + m + p
+	secFieldCount    = 6  // offsets per machine in the section table
+	maxMachines      = 1 << 15
+)
+
+// header is the decoded fixed-size prelude of a CSR v2 file.
+type header struct {
+	flags    uint32
+	numNodes uint64
+	numEdges uint64
+	p        int
+}
+
+// startsBytes returns the byte length of the starts array including its
+// alignment padding.
+func startsBytes(p int) int64 {
+	raw := int64(4 * (p + 1))
+	return (raw + 7) &^ 7
+}
+
+// tableOffset returns the file offset of the section table.
+func tableOffset(p int) int64 {
+	return int64(headerFixedBytes) + startsBytes(p)
+}
+
+// dataOffset returns the file offset of the first section array.
+func dataOffset(p int) int64 {
+	return tableOffset(p) + int64(8*secFieldCount*p)
+}
+
+func leU32(b []byte) uint32     { return binary.LittleEndian.Uint32(b) }
+func leU64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
+func putU32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+
+// parseHeader validates the fixed prelude and returns it decoded.
+func parseHeader(data []byte) (header, error) {
+	if len(data) < headerFixedBytes {
+		return header{}, fmt.Errorf("store: file too short for header: %d bytes", len(data))
+	}
+	if string(data[:8]) != Magic {
+		return header{}, fmt.Errorf("store: bad magic %q (want %q)", data[:8], Magic)
+	}
+	if v := leU32(data[8:]); v != Version {
+		return header{}, fmt.Errorf("store: unsupported format version %d (want %d)", v, Version)
+	}
+	h := header{
+		flags:    leU32(data[12:]),
+		numNodes: leU64(data[16:]),
+		numEdges: leU64(data[24:]),
+	}
+	if h.flags&^knownFlags != 0 {
+		return header{}, fmt.Errorf("store: unknown flag bits %#x", h.flags&^knownFlags)
+	}
+	p := leU64(data[32:])
+	if p < 1 || p > maxMachines {
+		return header{}, fmt.Errorf("store: machine count %d out of range [1, %d]", p, maxMachines)
+	}
+	h.p = int(p)
+	if h.numNodes > 1<<32 {
+		return header{}, fmt.Errorf("store: node count %d exceeds the 32-bit id space", h.numNodes)
+	}
+	if want := dataOffset(h.p); int64(len(data)) < want {
+		return header{}, fmt.Errorf("store: file truncated inside section table: %d bytes, need %d", len(data), want)
+	}
+	return h, nil
+}
+
+// packRemoteRef encodes a remote node reference exactly as the engine's
+// local store does (core.RemoteRef): ^(machine<<32 | offset).
+func packRemoteRef(machine int, offset uint32) int64 {
+	return ^(int64(machine)<<32 | int64(offset))
+}
+
+// unpackRemoteRef inverts packRemoteRef.
+func unpackRemoteRef(ref int64) (machine int, offset uint32) {
+	packed := ^ref
+	return int(packed >> 32), uint32(packed)
+}

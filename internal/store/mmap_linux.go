@@ -1,0 +1,54 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapRO maps the file read-only and shared; residency is then governed by
+// the page cache, which is the whole point of the format.
+func mapRO(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+// mapRW maps the file read-write and shared — the streaming writer's scatter
+// target. Dirty pages belong to the page cache, so MADV_DONTNEED after a
+// bucket unmaps them from this process without losing data.
+func mapRW(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+// Advice values for advise.
+const (
+	advNormal     = syscall.MADV_NORMAL
+	advSequential = syscall.MADV_SEQUENTIAL
+	advWillNeed   = syscall.MADV_WILLNEED
+	advDontNeed   = syscall.MADV_DONTNEED
+)
+
+// advise applies madvise to b. The caller must pass a page-aligned start
+// (whole mappings and adviseRange sub-slices are). Best-effort: advice is a
+// hint, failures are ignored.
+func advise(b []byte, advice int) {
+	if len(b) == 0 {
+		return
+	}
+	syscall.Madvise(b, advice) //nolint:errcheck
+}
+
+// mmapBacked reports whether this platform serves store files from real
+// mappings (true) or a heap copy (false).
+const mmapBacked = true

@@ -1,0 +1,250 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"unsafe"
+
+	"repro/internal/partition"
+)
+
+// Section is one machine's slice of the file: the same rows/refs/weights
+// slice contract core's local store builds in memory, aliasing the mapping.
+type Section struct {
+	OutRows    []int64
+	OutRefs    []int64
+	OutWeights []float64 // nil when unweighted
+	InRows     []int64
+	InRefs     []int64
+	InWeights  []float64
+}
+
+// File is an open, validated CSR v2 file. The section views alias the mmap
+// region: reading them faults pages in on demand and the kernel evicts them
+// under pressure, so topology residency is governed by the page cache, not
+// the Go heap. Close unmaps everything — no section slice may be used after.
+type File struct {
+	path     string
+	data     []byte
+	unmap    func() error
+	hdr      header
+	starts   []uint32
+	secs     []Section
+	degMass  []int64
+	pageSize int64
+}
+
+// Open maps path and validates it: header, partition starts, section table,
+// per-machine row arrays (monotone prefix sums agreeing with the header edge
+// counts), and a full streaming scan of every ref (local refs in range,
+// remote refs naming a real machine slot). The ref scan reads the whole file
+// once sequentially; the touched pages are advised away afterwards so a
+// fresh Open starts with a clean resident set.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, unmap, err := mapRO(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	sf := &File{path: path, data: data, unmap: unmap, pageSize: int64(os.Getpagesize())}
+	if err := sf.validate(); err != nil {
+		unmap() //nolint:errcheck
+		return nil, err
+	}
+	// Drop what the validation scan faulted in.
+	advise(sf.data, advDontNeed)
+	return sf, nil
+}
+
+func (sf *File) validate() error {
+	hdr, err := parseHeader(sf.data)
+	if err != nil {
+		return err
+	}
+	sf.hdr = hdr
+	p, n := hdr.p, int64(hdr.numNodes)
+	sf.starts = make([]uint32, p+1)
+	for i := 0; i <= p; i++ {
+		sf.starts[i] = leU32(sf.data[headerFixedBytes+4*i:])
+	}
+	if sf.starts[0] != 0 || int64(sf.starts[p]) != n {
+		return fmt.Errorf("store: starts [%d..%d] do not cover [0, %d)", sf.starts[0], sf.starts[p], n)
+	}
+	for i := 1; i <= p; i++ {
+		if sf.starts[i] < sf.starts[i-1] {
+			return fmt.Errorf("store: starts not monotone at machine %d", i)
+		}
+	}
+
+	size := int64(len(sf.data))
+	tbl := tableOffset(p)
+	next := dataOffset(p)
+	weighted := hdr.flags&FlagWeighted != 0
+	sf.secs = make([]Section, p)
+	sf.degMass = make([]int64, p)
+	var sumOut, sumIn int64
+	// Sequential validation advice: the rows + refs scan below walks the file
+	// front to back.
+	advise(sf.data, advSequential)
+	for mach := 0; mach < p; mach++ {
+		numLocal := int64(sf.starts[mach+1] - sf.starts[mach])
+		sec := &sf.secs[mach]
+		field := func(i int) int64 { return int64(leU64(sf.data[tbl+int64(8*(secFieldCount*mach+i)):])) }
+
+		take := func(name string, off, count int64) ([]int64, error) {
+			if off != next {
+				return nil, fmt.Errorf("store: machine %d %s at offset %d, expected %d", mach, name, off, next)
+			}
+			if off%8 != 0 {
+				return nil, fmt.Errorf("store: machine %d %s offset %d not 8-byte aligned", mach, name, off)
+			}
+			end := off + 8*count
+			if end < off || end > size {
+				return nil, fmt.Errorf("store: machine %d %s [%d, %d) exceeds file size %d (truncated?)", mach, name, off, end, size)
+			}
+			next = end
+			if count == 0 {
+				return nil, nil
+			}
+			return unsafe.Slice((*int64)(unsafe.Pointer(&sf.data[off])), count), nil
+		}
+		rowsAndRefs := func(rowsName, refsName string, rowsField, refsField, wField int) (rows, refs []int64, weights []float64, m int64, err error) {
+			rows, err = take(rowsName, field(rowsField), numLocal+1)
+			if err != nil {
+				return
+			}
+			if rows[0] != 0 {
+				err = fmt.Errorf("store: machine %d %s[0] = %d, want 0", mach, rowsName, rows[0])
+				return
+			}
+			for u := int64(1); u <= numLocal; u++ {
+				if rows[u] < rows[u-1] {
+					err = fmt.Errorf("store: machine %d %s not monotone at %d", mach, rowsName, u)
+					return
+				}
+			}
+			m = rows[numLocal]
+			refs, err = take(refsName, field(refsField), m)
+			if err != nil {
+				return
+			}
+			if weighted {
+				var ws []int64
+				ws, err = take(refsName+" weights", field(wField), m)
+				if err != nil {
+					return
+				}
+				if m > 0 {
+					weights = unsafe.Slice((*float64)(unsafe.Pointer(&ws[0])), m)
+				}
+			} else if field(wField) != 0 {
+				err = fmt.Errorf("store: machine %d has a weight offset in an unweighted file", mach)
+				return
+			}
+			if err = sf.checkRefs(refs, mach); err != nil {
+				return
+			}
+			return
+		}
+
+		var mOut, mIn int64
+		if sec.OutRows, sec.OutRefs, sec.OutWeights, mOut, err = rowsAndRefs("outRows", "outRefs", 0, 1, 2); err != nil {
+			return err
+		}
+		if sec.InRows, sec.InRefs, sec.InWeights, mIn, err = rowsAndRefs("inRows", "inRefs", 3, 4, 5); err != nil {
+			return err
+		}
+		sumOut += mOut
+		sumIn += mIn
+		sf.degMass[mach] = mOut + mIn
+	}
+	if sumOut != int64(hdr.numEdges) || sumIn != int64(hdr.numEdges) {
+		return fmt.Errorf("store: section edge counts (out=%d in=%d) disagree with header (%d)", sumOut, sumIn, hdr.numEdges)
+	}
+	if next != size {
+		return fmt.Errorf("store: %d trailing bytes after last section", size-next)
+	}
+	return nil
+}
+
+// checkRefs verifies every ref resolves: local refs inside the owner's
+// range, remote refs naming a real (machine, offset) slot. A corrupt ref
+// would index property columns out of bounds on the unchecked kernel hot
+// path, so the scan runs at Open rather than per access.
+func (sf *File) checkRefs(refs []int64, mach int) error {
+	numLocal := int64(sf.starts[mach+1] - sf.starts[mach])
+	for i, ref := range refs {
+		if ref >= 0 {
+			if ref >= numLocal {
+				return fmt.Errorf("store: machine %d ref %d: local index %d out of range [0, %d)", mach, i, ref, numLocal)
+			}
+			continue
+		}
+		rm, off := unpackRemoteRef(ref)
+		if rm < 0 || rm >= sf.hdr.p {
+			return fmt.Errorf("store: machine %d ref %d: remote machine %d out of range", mach, i, rm)
+		}
+		if int64(off) >= int64(sf.starts[rm+1]-sf.starts[rm]) {
+			return fmt.Errorf("store: machine %d ref %d: remote offset %d out of machine %d's range", mach, i, off, rm)
+		}
+	}
+	return nil
+}
+
+// Close unmaps the file. Section views must not be used afterwards.
+func (sf *File) Close() error {
+	if sf.unmap == nil {
+		return nil
+	}
+	u := sf.unmap
+	sf.unmap = nil
+	sf.data = nil
+	sf.secs = nil
+	return u()
+}
+
+// Path returns the file's path.
+func (sf *File) Path() string { return sf.path }
+
+// NumNodes returns the graph's node count.
+func (sf *File) NumNodes() int { return int(sf.hdr.numNodes) }
+
+// NumEdges returns the graph's directed edge count.
+func (sf *File) NumEdges() int64 { return int64(sf.hdr.numEdges) }
+
+// NumMachines returns the partition count P the file was written for.
+func (sf *File) NumMachines() int { return sf.hdr.p }
+
+// Weighted reports whether the file carries edge weights.
+func (sf *File) Weighted() bool { return sf.hdr.flags&FlagWeighted != 0 }
+
+// Layout returns the ownership layout stored in the file.
+func (sf *File) Layout() partition.Layout {
+	starts := make([]uint32, len(sf.starts))
+	copy(starts, sf.starts)
+	return partition.Layout{NumMachines: sf.hdr.p, Starts: starts}
+}
+
+// Section returns machine mach's zero-copy view. The slices alias the
+// mapping and are read-only; writing through them faults.
+func (sf *File) Section(mach int) Section { return sf.secs[mach] }
+
+// DegreeMass returns each machine's in+out degree sum under the file's
+// layout — the same static load estimate partition.Layout.DegreeMass
+// computes from an in-memory graph.
+func (sf *File) DegreeMass() []int64 {
+	out := make([]int64, len(sf.degMass))
+	copy(out, sf.degMass)
+	return out
+}
+
+// FileBytes returns the total on-disk size.
+func (sf *File) FileBytes() int64 { return int64(len(sf.data)) }

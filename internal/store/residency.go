@@ -1,0 +1,107 @@
+package store
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// Residency is a bounded window of resident file pages. The engine's chunk
+// scheduler calls Touch as workers claim chunks: the claimed chunk's byte
+// ranges are advised WILLNEED (prefetch — chunk claim order is sequential
+// per machine, so this is the streaming hint), appended to a FIFO ring, and
+// when the ring's page total exceeds the budget the oldest ranges are
+// advised DONTNEED. The kernel would evict cold pages under real memory
+// pressure anyway; the explicit window keeps peak RSS under the configured
+// budget even on an otherwise idle machine, which is what the RSS-capped
+// bench asserts.
+//
+// All methods are nil-safe no-ops, so call sites need no out-of-core branch.
+type Residency struct {
+	mu       sync.Mutex
+	data     []byte // the mapping; Touch ignores pointers outside it
+	base     uintptr
+	budget   int64
+	pageSize int64
+
+	used int64
+	ring []resSpan
+}
+
+type resSpan struct{ off, length int64 }
+
+// NewResidency returns a residency window over this file's mapping with the
+// given page budget in bytes. A budget <= 0, or a non-mmap platform, returns
+// nil (every Touch no-ops and the page cache alone governs residency).
+func (sf *File) NewResidency(budgetBytes int64) *Residency {
+	if budgetBytes <= 0 || !mmapBacked || len(sf.data) == 0 {
+		return nil
+	}
+	return &Residency{
+		data:     sf.data,
+		base:     uintptr(unsafe.Pointer(&sf.data[0])),
+		budget:   budgetBytes,
+		pageSize: sf.pageSize,
+	}
+}
+
+// TouchI64 marks s[lo:hi] (an int64 view aliasing the mapping) as about to
+// be read. Slices not backed by the mapping — in-memory stores, heap copies
+// — are ignored.
+func (r *Residency) TouchI64(s []int64, lo, hi int64) {
+	if r == nil || hi <= lo || len(s) == 0 {
+		return
+	}
+	r.touch(uintptr(unsafe.Pointer(&s[lo])), 8*(hi-lo))
+}
+
+// TouchF64 is TouchI64 for float64 views (edge weights).
+func (r *Residency) TouchF64(s []float64, lo, hi int64) {
+	if r == nil || hi <= lo || len(s) == 0 {
+		return
+	}
+	r.touch(uintptr(unsafe.Pointer(&s[lo])), 8*(hi-lo))
+}
+
+func (r *Residency) touch(ptr uintptr, length int64) {
+	if ptr < r.base || ptr >= r.base+uintptr(len(r.data)) {
+		return
+	}
+	off := int64(ptr - r.base)
+	// Page-align the span; madvise requires an aligned start and the ring
+	// accounts whole pages.
+	aOff := off &^ (r.pageSize - 1)
+	aEnd := (off + length + r.pageSize - 1) &^ (r.pageSize - 1)
+	if aEnd > int64(len(r.data)) {
+		aEnd = int64(len(r.data))
+	}
+	if aEnd <= aOff {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	advise(r.data[aOff:aEnd], advWillNeed)
+	r.used += aEnd - aOff
+	r.ring = append(r.ring, resSpan{off: aOff, length: aEnd - aOff})
+	// Evict oldest spans beyond the budget, always keeping the span just
+	// touched. Overlapping spans double-count and double-evict; both err
+	// toward a smaller resident set, which is the safe direction.
+	for r.used > r.budget && len(r.ring) > 1 {
+		old := r.ring[0]
+		r.ring = r.ring[1:]
+		r.used -= old.length
+		advise(r.data[old.off:old.off+old.length], advDontNeed)
+	}
+}
+
+// Drop releases the whole window (end of a run): every ringed span is
+// advised away and the ring resets.
+func (r *Residency) Drop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	advise(r.data, advDontNeed)
+	r.ring = nil
+	r.used = 0
+}

@@ -1,0 +1,53 @@
+package store
+
+// Sizing is the store's sizing report for a graph: what the CSR v2 file
+// occupies on disk and what an in-memory engine load of the same graph would
+// pin resident. The server's admission memory gate budgets runs against
+// EstimatedResidentMB when the client does not declare its own cap.
+type Sizing struct {
+	// FileBytes is the CSR v2 file size (header + sections).
+	FileBytes int64
+	// InMemoryBytes estimates the resident set of an in-memory load: the
+	// shared graph (both CSR orientations, 4-byte columns), the per-machine
+	// pre-resolved 8-byte refs in both orientations, degree/chunk metadata,
+	// and an allowance for a few property columns.
+	InMemoryBytes int64
+}
+
+// EstimatedResidentMB returns InMemoryBytes in mebibytes, rounded up, never
+// below 1.
+func (s Sizing) EstimatedResidentMB() int64 {
+	mb := (s.InMemoryBytes + (1 << 20) - 1) >> 20
+	if mb < 1 {
+		mb = 1
+	}
+	return mb
+}
+
+// SizeOf reports the sizing for a graph with n nodes and m directed edges.
+// The file size assumes the single-section-per-machine CSR v2 layout and is
+// exact for any machine count (rows arrays add 8*(n+p) bytes total — the p
+// term is folded into the node term here, a <0.1% overcount).
+func SizeOf(n int, m int64, p int, weighted bool) Sizing {
+	wf := int64(0)
+	if weighted {
+		wf = 1
+	}
+	var s Sizing
+	// Per orientation: rows 8*(n+p), refs 8*m, weights 8*m if weighted.
+	s.FileBytes = dataOffset(p) + 2*(8*int64(n+p)+8*m+wf*8*m)
+	// Graph: rows 8*(n+1) and 4-byte cols per orientation (+8-byte weights);
+	// engine: 8-byte refs per orientation, rebased rows, both-rows, degrees
+	// (2*4 bytes), and ~3 8-byte property columns.
+	s.InMemoryBytes = 2*(8*int64(n+1)+4*m+wf*8*m) + // shared graph
+		2*(8*m+wf*8*m) + 3*8*int64(n) + // local stores
+		8*int64(n) + 24*int64(n) // bothRows + degrees + property allowance
+	return s
+}
+
+// Sizing returns the open file's sizing report.
+func (sf *File) Sizing() Sizing {
+	s := SizeOf(sf.NumNodes(), sf.NumEdges(), sf.NumMachines(), sf.Weighted())
+	s.FileBytes = sf.FileBytes() // exact
+	return s
+}

@@ -1,0 +1,349 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func testGraph(t *testing.T, weighted bool) *graph.Graph {
+	t.Helper()
+	g, err := graph.RMAT(8, 8, graph.TwitterLike(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted {
+		g = g.WithUniformWeights(0.5, 2.0, 7)
+	}
+	return g
+}
+
+// globalView reconstructs the global CSR from a file's sections and compares
+// it against the source orientation, including per-row neighbor order.
+func checkOrientation(t *testing.T, sf *File, src *graph.CSR, out bool) {
+	t.Helper()
+	layout := sf.Layout()
+	var at int64
+	for mach := 0; mach < sf.NumMachines(); mach++ {
+		sec := sf.Section(mach)
+		rows, refs, weights := sec.InRows, sec.InRefs, sec.InWeights
+		if out {
+			rows, refs, weights = sec.OutRows, sec.OutRefs, sec.OutWeights
+		}
+		lo, hi := layout.Range(mach)
+		numLocal := int64(hi - lo)
+		if int64(len(rows)) != numLocal+1 {
+			t.Fatalf("machine %d: rows len %d, want %d", mach, len(rows), numLocal+1)
+		}
+		for u := int64(0); u < numLocal; u++ {
+			gu := graph.NodeID(int64(lo) + u)
+			wantDeg := src.Rows[gu+1] - src.Rows[gu]
+			if got := rows[u+1] - rows[u]; got != wantDeg {
+				t.Fatalf("machine %d node %d: degree %d, want %d", mach, gu, got, wantDeg)
+			}
+			for i := rows[u]; i < rows[u+1]; i++ {
+				var v graph.NodeID
+				if refs[i] >= 0 {
+					v = lo + graph.NodeID(refs[i])
+				} else {
+					rm, off := unpackRemoteRef(refs[i])
+					v = layout.Starts[rm] + graph.NodeID(off)
+				}
+				srcIdx := src.Rows[gu] + (i - rows[u])
+				if want := src.Cols[srcIdx]; v != want {
+					t.Fatalf("machine %d node %d edge %d: neighbor %d, want %d", mach, gu, i-rows[u], v, want)
+				}
+				if src.Weights != nil {
+					if weights == nil || weights[i] != src.Weights[srcIdx] {
+						t.Fatalf("machine %d node %d edge %d: weight mismatch", mach, gu, i-rows[u])
+					}
+				}
+			}
+			at++
+		}
+	}
+}
+
+func TestWriteOpenRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		name := "unweighted"
+		if weighted {
+			name = "weighted"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := testGraph(t, weighted)
+			path := filepath.Join(t.TempDir(), "g.csr2")
+			if err := WriteGraph(path, g, 3); err != nil {
+				t.Fatal(err)
+			}
+			sf, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sf.Close()
+			if sf.NumNodes() != g.NumNodes() || sf.NumEdges() != g.NumEdges() {
+				t.Fatalf("header (n=%d m=%d), want (n=%d m=%d)", sf.NumNodes(), sf.NumEdges(), g.NumNodes(), g.NumEdges())
+			}
+			if sf.Weighted() != weighted {
+				t.Fatalf("weighted = %v, want %v", sf.Weighted(), weighted)
+			}
+			wantLayout, err := partition.Compute(g, 3, partition.EdgeBalanced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotLayout := sf.Layout()
+			for i := range wantLayout.Starts {
+				if gotLayout.Starts[i] != wantLayout.Starts[i] {
+					t.Fatalf("layout starts %v, want %v", gotLayout.Starts, wantLayout.Starts)
+				}
+			}
+			checkOrientation(t, sf, &g.Out, true)
+			checkOrientation(t, sf, &g.In, false)
+			wantMass := wantLayout.DegreeMass(g)
+			gotMass := sf.DegreeMass()
+			for i := range wantMass {
+				if gotMass[i] != wantMass[i] {
+					t.Fatalf("degree mass %v, want %v", gotMass, wantMass)
+				}
+			}
+		})
+	}
+}
+
+func TestSizeOfMatchesFile(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := testGraph(t, weighted)
+		path := filepath.Join(t.TempDir(), "g.csr2")
+		if err := WriteGraph(path, g, 4); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := SizeOf(g.NumNodes(), g.NumEdges(), 4, weighted).FileBytes; got != st.Size() {
+			t.Fatalf("weighted=%v: SizeOf %d, file %d", weighted, got, st.Size())
+		}
+	}
+}
+
+// TestStreamedMatchesInMemory: WriteStream over a regenerating edge stream
+// must produce byte-for-byte the file WriteGraph produces from the fully
+// materialized graph — same layout cut, same ref order, same canonical
+// in-orientation.
+func TestStreamedMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name   string
+		stream *graph.GenStream
+		build  func() (*graph.Graph, error)
+	}{
+		{"rmat", mustStream(graph.RMATStream(8, 8, graph.TwitterLike(), 42)),
+			func() (*graph.Graph, error) { return graph.RMAT(8, 8, graph.TwitterLike(), 42) }},
+		{"uniform", mustStream(graph.UniformStream(300, 4000, 9)),
+			func() (*graph.Graph, error) { return graph.Uniform(300, 4000, 9) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			memPath := filepath.Join(dir, tc.name+".mem.csr2")
+			if err := WriteGraph(memPath, g, 3); err != nil {
+				t.Fatal(err)
+			}
+			streamPath := filepath.Join(dir, tc.name+".stream.csr2")
+			// Tiny buckets force many sweeps, exercising the re-runnability
+			// contract and the bucket math.
+			if err := WriteStream(streamPath, tc.stream, StreamOptions{Machines: 3, BucketBytes: 1 << 12}); err != nil {
+				t.Fatal(err)
+			}
+			a, err := os.ReadFile(memPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(streamPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("streamed file differs from in-memory file (%d vs %d bytes)", len(b), len(a))
+			}
+		})
+	}
+}
+
+func mustStream(s *graph.GenStream, err error) *graph.GenStream {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// edgeListStream adapts a fixed edge list (optionally weighted) to the
+// EdgeStream contract for tests.
+type edgeListStream struct {
+	n        int
+	edges    []graph.Edge
+	weighted bool
+}
+
+func (s *edgeListStream) NumNodes() int  { return s.n }
+func (s *edgeListStream) Weighted() bool { return s.weighted }
+func (s *edgeListStream) Sweep(emit func(u, v uint32, w float64)) {
+	for _, e := range s.edges {
+		emit(uint32(e.Src), uint32(e.Dst), e.Weight)
+	}
+}
+
+func TestStreamedWeighted(t *testing.T) {
+	g := testGraph(t, true)
+	es := &edgeListStream{n: g.NumNodes(), edges: g.EdgeList(), weighted: true}
+	dir := t.TempDir()
+	memPath := filepath.Join(dir, "w.mem.csr2")
+	streamPath := filepath.Join(dir, "w.stream.csr2")
+	if err := WriteGraph(memPath, g, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStream(streamPath, es, StreamOptions{Machines: 2, BucketBytes: 1 << 13}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(memPath)
+	b, _ := os.ReadFile(streamPath)
+	if !bytes.Equal(a, b) {
+		t.Fatal("weighted streamed file differs from in-memory file")
+	}
+}
+
+// writeValid produces a small valid file plus its parsed form for
+// corruption tests.
+func writeValid(t *testing.T) (string, []byte) {
+	t.Helper()
+	g := testGraph(t, false)
+	path := filepath.Join(t.TempDir(), "g.csr2")
+	if err := WriteGraph(path, g, 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func reopen(t *testing.T, path string, data []byte) error {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Open(path)
+	if err == nil {
+		sf.Close()
+	}
+	return err
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	path, orig := writeValid(t)
+
+	mutate := func(fn func(d []byte) []byte) []byte {
+		d := append([]byte(nil), orig...)
+		return fn(d)
+	}
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string
+	}{
+		{"empty", nil, "too short"},
+		{"bad magic", mutate(func(d []byte) []byte { d[0] = 'X'; return d }), "bad magic"},
+		{"wrong version", mutate(func(d []byte) []byte { putU32(d[8:], 99); return d }), "version"},
+		{"unknown flags", mutate(func(d []byte) []byte { putU32(d[12:], 0xff00); return d }), "unknown flag"},
+		{"zero machines", mutate(func(d []byte) []byte { putU64(d[32:], 0); return d }), "machine count"},
+		{"truncated header", orig[:20], "too short"},
+		{"truncated table", orig[:headerFixedBytes+4], "truncated"},
+		{"truncated body", orig[:len(orig)-16], "truncated"},
+		{"trailing bytes", append(append([]byte(nil), orig...), 0, 0, 0, 0, 0, 0, 0, 0), "trailing"},
+		{"starts not covering", mutate(func(d []byte) []byte {
+			putU32(d[headerFixedBytes+4*2:], 7) // starts[2] (=n for p=2) → bogus
+			return d
+		}), "cover"},
+		{"rows not monotone", mutate(func(d []byte) []byte {
+			// First machine's outRows[1] ← a huge value, breaking monotonicity
+			// against outRows[2] (or the refs-length agreement).
+			off := int64(leU64(d[tableOffset(2):]))
+			putU64(d[off+8:], 1<<40)
+			return d
+		}), "store:"},
+		{"local ref out of range", mutate(func(d []byte) []byte {
+			refsOff := int64(leU64(d[tableOffset(2)+8:]))
+			putU64(d[refsOff:], uint64(int64(1<<31))) // way past numLocal
+			return d
+		}), "out of range"},
+		{"remote ref bad machine", mutate(func(d []byte) []byte {
+			refsOff := int64(leU64(d[tableOffset(2)+8:]))
+			putU64(d[refsOff:], uint64(packRemoteRef(500, 0)))
+			return d
+		}), "remote machine"},
+		{"weight offset in unweighted", mutate(func(d []byte) []byte {
+			putU64(d[tableOffset(2)+16:], 64) // outWeights slot must be 0
+			return d
+		}), "weight offset"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := reopen(t, path, tc.data)
+			if err == nil {
+				t.Fatal("Open accepted a corrupt file")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// The original must still open after all that mutation.
+	if err := reopen(t, path, orig); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+}
+
+func TestResidencyWindow(t *testing.T) {
+	g := testGraph(t, false)
+	path := filepath.Join(t.TempDir(), "g.csr2")
+	if err := WriteGraph(path, g, 2); err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+
+	var nilRes *Residency
+	nilRes.TouchI64(sf.Section(0).OutRefs, 0, 10) // nil-safe
+	nilRes.Drop()
+
+	res := sf.NewResidency(8 << 10) // tiny: forces eviction churn
+	if res == nil && mmapBacked {
+		t.Fatal("NewResidency returned nil on an mmap platform")
+	}
+	for mach := 0; mach < 2; mach++ {
+		sec := sf.Section(mach)
+		rows := sec.OutRows
+		for u := 0; u+64 < len(rows); u += 64 {
+			res.TouchI64(rows, int64(u), int64(u+64))
+			res.TouchI64(sec.OutRefs, rows[u], rows[u+64])
+		}
+	}
+	// Heap slices are ignored, not advised.
+	res.TouchI64(make([]int64, 128), 0, 128)
+	res.Drop()
+}

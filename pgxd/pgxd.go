@@ -24,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/reduce"
+	"repro/internal/store"
 	"repro/internal/tune"
 )
 
@@ -328,6 +329,22 @@ func (c *Cluster) LoadGraph(g *Graph) error {
 	c.g = g
 	return nil
 }
+
+// StoreFile is an opened out-of-core CSR v2 container (written by
+// pgxd-gen -format csr2, store.WriteGraph, or store.WriteStream).
+type StoreFile = store.File
+
+// OpenStore maps a CSR v2 store file read-only, validating the whole
+// container before returning.
+func OpenStore(path string) (*StoreFile, error) { return store.Open(path) }
+
+// LoadStore adopts the mmap'd store file instead of copying it onto the
+// heap: topology stays page-cache-backed, with residency bounded by
+// Config.ResidentBudgetBytes. The file's baked-in partition count must
+// equal the cluster's machine count, and the file must stay open until
+// after Shutdown (sections alias the mapping). TriangleCount requires the
+// in-memory graph and is unavailable on store-loaded clusters.
+func (c *Cluster) LoadStore(sf *StoreFile) error { return c.core.LoadStore(sf) }
 
 // Shutdown stops all machines. Idempotent.
 func (c *Cluster) Shutdown() { c.core.Shutdown() }
