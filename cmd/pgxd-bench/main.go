@@ -338,6 +338,10 @@ func main() {
 		if !rep.UnderCap {
 			fatalf("ooc: peak RSS %d MiB exceeded the %d MiB cap", rep.PeakVmHWMBytes>>20, rep.RSSCapBytes>>20)
 		}
+		if *oocScale >= 18 && rep.CompressionRatio < 1.8 {
+			fatalf("ooc: csr3 only %.2fx smaller than csr2 (want >= 1.8x at scale %d)",
+				rep.CompressionRatio, *oocScale)
+		}
 	}
 	if !ran {
 		fatalf("unknown experiment %q (see -h)", *exp)

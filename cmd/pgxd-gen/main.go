@@ -8,14 +8,16 @@
 //	pgxd-gen -kind grid -rows 300 -cols 300 -shortcuts 100 -o road.bin
 //	pgxd-gen -convert in.txt -o out.bin
 //	pgxd-gen -kind rmat -scale 22 -format csr2 -machines 4 -o twt.csr2
+//	pgxd-gen -kind rmat -scale 22 -format csr3 -machines 4 -o twt.csr3
 //
 // The output format is chosen by extension: .bin for binary, anything else
-// for text edge list — unless -format csr2 selects the engine's mmap-able
-// CSR v2 store format (partitioned for -machines). For rmat and uniform
-// graphs without -weights, csr2 output streams through store.WriteStream and
-// never materializes the graph, so files larger than RAM can be produced;
-// other kinds (and -convert/-weights) materialize first. -weights LO,HI
-// attaches uniform random edge weights.
+// for text edge list — unless -format csr2/csr3 selects the engine's
+// mmap-able CSR store format (partitioned for -machines); csr3 compresses
+// the edge sections (delta-varint blocks, typically 2-4x smaller on disk).
+// For rmat and uniform graphs without -weights, csr2/csr3 output streams
+// through store.WriteStream and never materializes the graph, so files
+// larger than RAM can be produced; other kinds (and -convert/-weights)
+// materialize first. -weights LO,HI attaches uniform random edge weights.
 package main
 
 import (
@@ -45,26 +47,27 @@ func main() {
 		weights    = flag.String("weights", "", "attach uniform edge weights: LO,HI")
 		convert    = flag.String("convert", "", "convert an existing graph file instead of generating")
 		out        = flag.String("o", "", "output path (.bin = binary, else text)")
-		format     = flag.String("format", "auto", "output format: auto (by extension) or csr2 (engine store file)")
-		machines   = flag.Int("machines", 1, "csr2: partition count baked into the file")
-		bucketMB   = flag.Int64("bucket-mb", 64, "csr2 streaming: scatter bucket size in MiB (peak RSS knob)")
+		format     = flag.String("format", "auto", "output format: auto (by extension), csr2 (engine store file), or csr3 (compressed store file)")
+		machines   = flag.Int("machines", 1, "csr2/csr3: partition count baked into the file")
+		bucketMB   = flag.Int64("bucket-mb", 64, "csr2/csr3 streaming: scatter bucket size in MiB (peak RSS knob)")
 	)
 	flag.Parse()
 	if *out == "" {
 		fatalf("-o is required")
 	}
 
-	if *format != "auto" && *format != "csr2" {
+	if *format != "auto" && *format != "csr2" && *format != "csr3" {
 		fatalf("unknown -format %q", *format)
 	}
-	csr2 := *format == "csr2"
-	if csr2 && *machines < 1 {
+	compress := *format == "csr3"
+	csr := *format == "csr2" || compress
+	if csr && *machines < 1 {
 		fatalf("-machines must be >= 1")
 	}
 
-	// Streaming csr2 path: deterministic generators re-sweep their fixed
+	// Streaming csr path: deterministic generators re-sweep their fixed
 	// shards, so the file is produced in O(N + bucket) memory, never O(M).
-	if csr2 && *convert == "" && *weights == "" && (*kind == "rmat" || *kind == "uniform") {
+	if csr && *convert == "" && *weights == "" && (*kind == "rmat" || *kind == "uniform") {
 		var es *graph.GenStream
 		var err error
 		switch *kind {
@@ -82,12 +85,12 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		opt := store.StreamOptions{Machines: *machines, BucketBytes: *bucketMB << 20}
+		opt := store.StreamOptions{Machines: *machines, BucketBytes: *bucketMB << 20, Compress: compress}
 		if err := store.WriteStream(*out, es, opt); err != nil {
 			fatalf("writing %s: %v", *out, err)
 		}
 		fi, _ := os.Stat(*out)
-		fmt.Fprintf(os.Stderr, "wrote %s: csr2 p=%d, %d bytes (streamed)\n", *out, *machines, fi.Size())
+		fmt.Fprintf(os.Stderr, "wrote %s: %s p=%d, %d bytes (streamed)\n", *out, *format, *machines, fi.Size())
 		return
 	}
 
@@ -132,12 +135,16 @@ func main() {
 		g = g.WithUniformWeights(lo, hi, *seed)
 	}
 
-	if csr2 {
-		if err := store.WriteGraph(*out, g, *machines); err != nil {
+	if csr {
+		write := store.WriteGraph
+		if compress {
+			write = store.WriteGraphCompressed
+		}
+		if err := write(*out, g, *machines); err != nil {
 			fatalf("writing %s: %v", *out, err)
 		}
 		stats := graph.ComputeDegreeStats(g)
-		fmt.Fprintf(os.Stderr, "wrote %s: csr2 p=%d, %s\n", *out, *machines, stats)
+		fmt.Fprintf(os.Stderr, "wrote %s: %s p=%d, %s\n", *out, *format, *machines, stats)
 		return
 	}
 

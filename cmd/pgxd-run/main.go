@@ -6,14 +6,18 @@
 //	pgxd-run -graph twt.bin -algo pagerank -machines 4 [-iters 10] [-top 5]
 //	pgxd-run -graph road.txt -algo sssp -source 0 -machines 2
 //	pgxd-run -graph twt.csr2 -algo pagerank -resident-mb 64
+//	pgxd-run -graph twt.csr3 -algo pagerank -resident-mb 64 -decode-cache-mb 16
 //
 // Algorithms: pagerank, pagerank-push, pagerank-approx, wcc, sssp, hopdist,
 // eigenvector, kcore.
 //
-// A .csr2 graph (pgxd-gen -format csr2) runs out-of-core: the file is
-// mmap'd and adopted zero-copy, the machine count comes from the file, and
-// -resident-mb bounds how much of it the engine keeps resident (also
-// turning on spillable write buffers).
+// A .csr2 or .csr3 graph (pgxd-gen -format csr2/csr3) runs out-of-core: the
+// file is mmap'd and adopted zero-copy, the machine count comes from the
+// file, and -resident-mb bounds how much of it the engine keeps resident
+// (also turning on spillable write buffers). A compressed .csr3 file
+// additionally inflates edge blocks through a bounded decode cache sized by
+// -decode-cache-mb; with a resident budget set, property columns move
+// off-heap too.
 package main
 
 import (
@@ -41,7 +45,8 @@ func main() {
 		top       = flag.Int("top", 5, "print the top-N vertices by result value")
 		tcp       = flag.Bool("tcp", false, "run over loopback TCP instead of in-process channels")
 		obsOn     = flag.Bool("obs", false, "attach the observability registry and print a per-job report")
-		resident  = flag.Int64("resident-mb", 0, ".csr2 only: resident budget in MiB for the mmap'd topology (0 = unbounded); also enables spillable write buffers")
+		resident  = flag.Int64("resident-mb", 0, ".csr2/.csr3 only: resident budget in MiB for the mmap'd topology (0 = unbounded); also enables spillable write buffers")
+		decodeMB  = flag.Int64("decode-cache-mb", 0, ".csr3 only: decode-cache budget in MiB (0 = default, <0 = unbounded)")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -53,7 +58,7 @@ func main() {
 		weighted bool
 		err      error
 	)
-	if strings.HasSuffix(*graphPath, ".csr2") {
+	if strings.HasSuffix(*graphPath, ".csr2") || strings.HasSuffix(*graphPath, ".csr3") {
 		sf, err = pgxd.OpenStore(*graphPath)
 		if err != nil {
 			fatalf("mapping %s: %v", *graphPath, err)
@@ -61,8 +66,12 @@ func main() {
 		defer sf.Close()
 		weighted = sf.Weighted()
 		*machines = sf.NumMachines() // partition count is baked into the file
-		fmt.Printf("mapped %s: csr2 p=%d N=%d M=%d weighted=%v\n",
-			*graphPath, sf.NumMachines(), sf.NumNodes(), sf.NumEdges(), weighted)
+		format := "csr2"
+		if sf.Compressed() {
+			format = "csr3"
+		}
+		fmt.Printf("mapped %s: %s p=%d N=%d M=%d weighted=%v\n",
+			*graphPath, format, sf.NumMachines(), sf.NumNodes(), sf.NumEdges(), weighted)
 	} else {
 		g, err = loadAny(*graphPath)
 		if err != nil {
@@ -77,10 +86,20 @@ func main() {
 	cfg.Copiers = *copiers
 	if *resident > 0 {
 		if sf == nil {
-			fatalf("-resident-mb only applies to .csr2 graphs")
+			fatalf("-resident-mb only applies to .csr2/.csr3 graphs")
 		}
 		cfg.ResidentBudgetBytes = *resident << 20
 		cfg.SpillWrites = true
+	}
+	if *decodeMB != 0 {
+		if sf == nil || !sf.Compressed() {
+			fatalf("-decode-cache-mb only applies to .csr3 graphs")
+		}
+		if *decodeMB > 0 {
+			cfg.DecodeCacheBytes = *decodeMB << 20
+		} else {
+			cfg.DecodeCacheBytes = -1 // unbounded
+		}
 	}
 	if *obsOn {
 		cfg.Obs = pgxd.NewObsRegistry()

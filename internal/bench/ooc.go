@@ -49,6 +49,7 @@ const oocPRTolerance = 1e-12
 // graph, at a scale where both fit in RAM.
 type OOCIdentityRow struct {
 	Fabric string `json:"fabric"` // "inproc" or "tcp"
+	Format string `json:"format"` // "csr2" (raw) or "csr3" (compressed)
 	Algo   string `json:"algo"`   // "bfs", "pagerank", "wcc", "sssp"
 	// InMemSeconds and StoreSeconds are the two runs' task wall times.
 	InMemSeconds float64 `json:"inmem_seconds"`
@@ -67,6 +68,7 @@ type OOCIdentityRow struct {
 // exceeds the resident budget, so the row records how hard the out-of-core
 // machinery worked alongside the timing.
 type OOCRunRow struct {
+	Format  string  `json:"format"` // "csr2" or "csr3"
 	Algo    string  `json:"algo"`
 	Seconds float64 `json:"seconds"`
 	// Spill accounting from the run's counters (cumulative across the phase's
@@ -74,6 +76,12 @@ type OOCRunRow struct {
 	SpilledWriteFrames int64 `json:"spilled_write_frames"`
 	SpilledWriteBytes  int64 `json:"spilled_write_bytes"`
 	SpillFileFrames    int64 `json:"spill_file_frames"`
+	// Decode-cache accounting, csr3 rows only (cumulative like the spill
+	// counters): chunk claims that found their blocks decoded vs. ones that
+	// paid a varint decode, and the raw ref bytes those misses produced.
+	DecodeHits   int64 `json:"decode_hits,omitempty"`
+	DecodeMisses int64 `json:"decode_misses,omitempty"`
+	DecodedBytes int64 `json:"decoded_bytes,omitempty"`
 }
 
 // OOCReport is the JSON artifact (BENCH_ooc.json) of the out-of-core
@@ -86,9 +94,13 @@ type OOCReport struct {
 
 	// FileBytes is the big CSR v2 file's on-disk size; the run is only
 	// meaningfully out-of-core when it exceeds ResidentBudgetBytes.
-	FileBytes           int64 `json:"file_bytes"`
-	ResidentBudgetBytes int64 `json:"resident_budget_bytes"`
-	RSSCapBytes         int64 `json:"rss_cap_bytes"`
+	// CompressedFileBytes is the same graph's CSR v3 file size and
+	// CompressionRatio = FileBytes / CompressedFileBytes.
+	FileBytes           int64   `json:"file_bytes"`
+	CompressedFileBytes int64   `json:"compressed_file_bytes"`
+	CompressionRatio    float64 `json:"compression_ratio"`
+	ResidentBudgetBytes int64   `json:"resident_budget_bytes"`
+	RSSCapBytes         int64   `json:"rss_cap_bytes"`
 
 	// BaselineVmHWMBytes is the process peak RSS before the big phase;
 	// PeakVmHWMBytes is the peak after it (VmHWM from /proc/self/status,
@@ -151,7 +163,7 @@ func ExpOOC(ds *Datasets, oocScale, machines, prIters int, budgetMB, capMB int64
 
 	t := &Table{Title: fmt.Sprintf("Out-of-core storage (%d machines, budget %d MiB, cap %d MiB)",
 		machines, budgetMB, capMB)}
-	t.Header = []string{"phase", "fabric", "algo", "in-mem", "store", "identical", "spilled", "peak-rss"}
+	t.Header = []string{"phase", "fabric", "format", "algo", "in-mem", "store", "identical", "spilled", "peak-rss"}
 
 	// Phase 1 must run before the big phase: VmHWM is a process-lifetime
 	// high-water mark, so the small identity runs cannot be allowed to
@@ -164,9 +176,10 @@ func ExpOOC(ds *Datasets, oocScale, machines, prIters int, budgetMB, capMB int64
 	}
 
 	t.Notes = append(t.Notes,
-		"identity rows: per-node results of Cluster.Load vs Cluster.LoadStore on the same weighted graph, bit-compared; the store cell runs with a deliberately tiny resident budget and write spilling forced on",
+		"identity rows: per-node results of Cluster.Load vs Cluster.LoadStore on the same weighted graph, bit-compared; the store cell runs with a deliberately tiny resident budget and write spilling forced on (csr3 rows add a tiny decode cache)",
 		"pagerank identity is ulp-tolerant (~ marks the max relative error): pull sums remote read responses in arrival order, so even two in-memory runs differ at the last bit on a wire fabric",
-		fmt.Sprintf("capped rows: CSR v2 file of %d MiB streamed to disk, loaded with a %d MiB resident budget; peak RSS is VmHWM over the whole process", rep.FileBytes>>20, budgetMB),
+		fmt.Sprintf("capped rows: CSR v2 file of %d MiB streamed to disk (csr3 twin %d MiB, %.2fx smaller), loaded with a %d MiB resident budget; peak RSS is VmHWM over the whole process",
+			rep.FileBytes>>20, rep.CompressedFileBytes>>20, rep.CompressionRatio, budgetMB),
 		fmt.Sprintf("under-cap: peak VmHWM %d MiB vs cap %d MiB -> %v", rep.PeakVmHWMBytes>>20, capMB, rep.UnderCap))
 	return t, rep, nil
 }
@@ -188,6 +201,10 @@ func oocIdentity(ds *Datasets, machines, prIters int, rep *OOCReport, t *Table, 
 	if err := store.WriteGraph(path, g, machines); err != nil {
 		return err
 	}
+	path3 := filepath.Join(dir, "identity.csr3")
+	if err := store.CompressFile(path3, path); err != nil {
+		return err
+	}
 
 	for _, fabric := range []string{"inproc", "tcp"} {
 		prog.log("ooc: identity pass over %s fabric", fabric)
@@ -199,50 +216,60 @@ func oocIdentity(ds *Datasets, machines, prIters int, rep *OOCReport, t *Table, 
 		if err != nil {
 			return fmt.Errorf("ooc: identity in-mem/%s: %w", fabric, err)
 		}
-		// Store twin: tiny budget + forced spilling, so the identity check
-		// covers the residency window and the spill/replay path, not just
-		// the mmap load.
-		storeRes, err := oocRunAll(machines, fabric, prIters,
-			func(cfg *core.Config) {
-				cfg.ResidentBudgetBytes = 1 << 20
-				cfg.SpillWrites = true
-				cfg.SpillBudgetBytes = 4 << 10
-				cfg.SpillDir = dir
-			},
-			func(c *core.Cluster) (func(), error) {
-				sf, err := store.Open(path)
-				if err != nil {
-					return nil, err
-				}
-				if err := c.LoadStore(sf); err != nil {
-					sf.Close() //nolint:errcheck
-					return nil, err
-				}
-				return func() { sf.Close() }, nil //nolint:errcheck
-			})
-		if err != nil {
-			return fmt.Errorf("ooc: identity store/%s: %w", fabric, err)
-		}
-		for i, mr := range memRes {
-			sr := storeRes[i]
-			row := OOCIdentityRow{
-				Fabric:       fabric,
-				Algo:         mr.algo,
-				InMemSeconds: mr.secs,
-				StoreSeconds: sr.secs,
-				Identical:    equalBits(mr.bits, sr.bits),
+		// Store twins: tiny budget + forced spilling, so the identity check
+		// covers the residency window and the spill/replay path, not just the
+		// mmap load. The csr3 twin adds a deliberately tiny decode cache so
+		// eviction and re-decode are under test too.
+		for _, format := range []struct {
+			name string
+			path string
+		}{{"csr2", path}, {"csr3", path3}} {
+			storeRes, err := oocRunAll(machines, fabric, prIters,
+				func(cfg *core.Config) {
+					cfg.ResidentBudgetBytes = 1 << 20
+					cfg.SpillWrites = true
+					cfg.SpillBudgetBytes = 4 << 10
+					cfg.SpillDir = dir
+					if format.name == "csr3" {
+						cfg.DecodeCacheBytes = 64 << 10
+					}
+				},
+				func(c *core.Cluster) (func(), error) {
+					sf, err := store.Open(format.path)
+					if err != nil {
+						return nil, err
+					}
+					if err := c.LoadStore(sf); err != nil {
+						sf.Close() //nolint:errcheck
+						return nil, err
+					}
+					return func() { sf.Close() }, nil //nolint:errcheck
+				})
+			if err != nil {
+				return fmt.Errorf("ooc: identity store/%s/%s: %w", format.name, fabric, err)
 			}
-			idCol := fmt.Sprintf("%v", row.Identical)
-			if mr.algo == "pagerank" && !row.Identical {
-				row.MaxRelError = maxRelErr(mr.bits, sr.bits)
-				idCol = fmt.Sprintf("~%.1e", row.MaxRelError)
-			}
-			rep.Identity = append(rep.Identity, row)
-			t.AddRow("identity", fabric, row.Algo, fmtSecs(row.InMemSeconds),
-				fmtSecs(row.StoreSeconds), idCol, "", "")
-			if !row.Identical && (mr.algo != "pagerank" || row.MaxRelError > oocPRTolerance) {
-				return fmt.Errorf("ooc: %s over %s: store-backed results differ from in-memory (max rel err %g)",
-					row.Algo, fabric, row.MaxRelError)
+			for i, mr := range memRes {
+				sr := storeRes[i]
+				row := OOCIdentityRow{
+					Fabric:       fabric,
+					Format:       format.name,
+					Algo:         mr.algo,
+					InMemSeconds: mr.secs,
+					StoreSeconds: sr.secs,
+					Identical:    equalBits(mr.bits, sr.bits),
+				}
+				idCol := fmt.Sprintf("%v", row.Identical)
+				if mr.algo == "pagerank" && !row.Identical {
+					row.MaxRelError = maxRelErr(mr.bits, sr.bits)
+					idCol = fmt.Sprintf("~%.1e", row.MaxRelError)
+				}
+				rep.Identity = append(rep.Identity, row)
+				t.AddRow("identity", fabric, format.name, row.Algo, fmtSecs(row.InMemSeconds),
+					fmtSecs(row.StoreSeconds), idCol, "", "")
+				if !row.Identical && (mr.algo != "pagerank" || row.MaxRelError > oocPRTolerance) {
+					return fmt.Errorf("ooc: %s over %s (%s): store-backed results differ from in-memory (max rel err %g)",
+						row.Algo, fabric, format.name, row.MaxRelError)
+				}
 			}
 		}
 	}
@@ -348,24 +375,77 @@ func oocCapped(dir string, machines, prIters int, rep *OOCReport, t *Table, prog
 		return err
 	}
 	prog.log("ooc: stream write took %s", time.Since(start).Round(time.Millisecond))
+	path3 := filepath.Join(dir, "big.csr3")
+	start = time.Now()
+	if err := store.CompressFile(path3, path); err != nil {
+		return err
+	}
+	prog.log("ooc: compression took %s", time.Since(start).Round(time.Millisecond))
 	debug.FreeOSMemory()
 
+	if fi, err := os.Stat(path); err == nil {
+		rep.FileBytes = fi.Size()
+	}
+	if fi, err := os.Stat(path3); err == nil {
+		rep.CompressedFileBytes = fi.Size()
+	}
+	if rep.CompressedFileBytes > 0 {
+		rep.CompressionRatio = float64(rep.FileBytes) / float64(rep.CompressedFileBytes)
+	}
+	prog.log("ooc: csr2 %d MiB, csr3 %d MiB (%.2fx smaller)",
+		rep.FileBytes>>20, rep.CompressedFileBytes>>20, rep.CompressionRatio)
+	if rep.FileBytes <= rep.ResidentBudgetBytes {
+		prog.log("ooc: WARNING: file (%d MiB) fits the resident budget (%d MiB); run is not out-of-core",
+			rep.FileBytes>>20, rep.ResidentBudgetBytes>>20)
+	}
+
+	// Run the capped phase once per format. Each format gets a fresh cluster
+	// and registry so the cumulative counters are per-format; the csr3 run
+	// bounds the decode cache well under the resident budget and (because a
+	// budget is set) carries its property columns off-heap.
+	peakCheck := func(r OOCRunRow) {
+		t.AddRow("capped", "inproc", r.Format, r.Algo, "", fmtSecs(r.Seconds), "",
+			fmt.Sprintf("%df/%dB", r.SpilledWriteFrames, r.SpilledWriteBytes),
+			fmt.Sprintf("%dMiB<=%dMiB:%v", rep.PeakVmHWMBytes>>20, rep.RSSCapBytes>>20, rep.UnderCap))
+	}
+	for _, format := range []struct {
+		name string
+		path string
+	}{{"csr2", path}, {"csr3", path3}} {
+		if err := oocCappedFormat(dir, format.name, format.path, machines, prIters, rep, prog); err != nil {
+			return err
+		}
+	}
+
+	peak, ok := readVmHWM()
+	rep.PeakVmHWMBytes = peak
+	rep.VmHWMAvailable = rep.VmHWMAvailable && ok
+	rep.UnderCap = !rep.VmHWMAvailable || peak <= rep.RSSCapBytes
+	for _, r := range rep.Runs {
+		peakCheck(r)
+	}
+	return nil
+}
+
+// oocCappedFormat runs the capped phase's algorithms on one store format and
+// appends their rows to the report.
+func oocCappedFormat(dir, format, path string, machines, prIters int, rep *OOCReport, prog Progress) error {
 	sf, err := store.Open(path)
 	if err != nil {
 		return err
 	}
 	defer sf.Close()
-	rep.FileBytes = sf.FileBytes()
-	if rep.FileBytes <= rep.ResidentBudgetBytes {
-		prog.log("ooc: WARNING: file (%d MiB) fits the resident budget (%d MiB); run is not out-of-core",
-			rep.FileBytes>>20, rep.ResidentBudgetBytes>>20)
-	}
 
 	cfg := core.DefaultConfig(machines)
 	cfg.GhostThreshold = core.GhostDisabled
 	cfg.ResidentBudgetBytes = rep.ResidentBudgetBytes
 	cfg.SpillWrites = true
 	cfg.SpillDir = dir
+	if format == "csr3" {
+		// A quarter of the resident budget, so decoded blocks never blow the
+		// RSS cap that the compression was supposed to protect.
+		cfg.DecodeCacheBytes = rep.ResidentBudgetBytes / 4
+	}
 	reg := obs.NewRegistry()
 	cfg.Obs = reg
 	c, err := core.NewCluster(cfg)
@@ -391,30 +471,24 @@ func oocCapped(dir string, machines, prIters int, rep *OOCReport, t *Table, prog
 		}},
 	}
 	for _, r := range runs {
-		prog.log("ooc: capped %s on %d MiB CSR (budget %d MiB)",
-			r.name, rep.FileBytes>>20, rep.ResidentBudgetBytes>>20)
+		prog.log("ooc: capped %s %s on %d MiB CSR (budget %d MiB)",
+			format, r.name, sf.FileBytes()>>20, rep.ResidentBudgetBytes>>20)
 		met, err := r.run()
 		if err != nil {
-			return fmt.Errorf("ooc: capped %s: %w", r.name, err)
+			return fmt.Errorf("ooc: capped %s %s: %w", format, r.name, err)
 		}
 		ctrs := reg.LifetimeCounters()
 		rep.Runs = append(rep.Runs, OOCRunRow{
+			Format:             format,
 			Algo:               r.name,
 			Seconds:            met.Total.Seconds(),
 			SpilledWriteFrames: ctrs["spilled_write_frames"],
 			SpilledWriteBytes:  ctrs["spilled_write_bytes"],
 			SpillFileFrames:    ctrs["spill_file_frames"],
+			DecodeHits:         ctrs["decode_hits"],
+			DecodeMisses:       ctrs["decode_misses"],
+			DecodedBytes:       ctrs["decoded_bytes"],
 		})
-	}
-
-	peak, ok := readVmHWM()
-	rep.PeakVmHWMBytes = peak
-	rep.VmHWMAvailable = rep.VmHWMAvailable && ok
-	rep.UnderCap = !rep.VmHWMAvailable || peak <= rep.RSSCapBytes
-	for _, r := range rep.Runs {
-		t.AddRow("capped", "inproc", r.Algo, "", fmtSecs(r.Seconds), "",
-			fmt.Sprintf("%df/%dB", r.SpilledWriteFrames, r.SpilledWriteBytes),
-			fmt.Sprintf("%dMiB<=%dMiB:%v", peak>>20, rep.RSSCapBytes>>20, rep.UnderCap))
 	}
 	return nil
 }

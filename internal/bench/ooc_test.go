@@ -24,7 +24,7 @@ func TestOOCIdentityAndCapSmall(t *testing.T) {
 	if tbl == nil {
 		t.Fatal("nil table")
 	}
-	if want := 2 * 4; len(rep.Identity) != want { // {inproc,tcp} x {bfs,pagerank,wcc,sssp}
+	if want := 2 * 2 * 4; len(rep.Identity) != want { // {inproc,tcp} x {csr2,csr3} x {bfs,pagerank,wcc,sssp}
 		t.Fatalf("identity rows = %d, want %d", len(rep.Identity), want)
 	}
 	for _, row := range rep.Identity {
@@ -32,22 +32,29 @@ func TestOOCIdentityAndCapSmall(t *testing.T) {
 			continue
 		}
 		if row.Algo != "pagerank" {
-			t.Errorf("%s/%s: store-backed result not bit-identical", row.Fabric, row.Algo)
+			t.Errorf("%s/%s/%s: store-backed result not bit-identical", row.Fabric, row.Format, row.Algo)
 		} else if row.MaxRelError > oocPRTolerance {
-			t.Errorf("%s/pagerank: max relative error %g exceeds tolerance %g",
-				row.Fabric, row.MaxRelError, oocPRTolerance)
+			t.Errorf("%s/%s/pagerank: max relative error %g exceeds tolerance %g",
+				row.Fabric, row.Format, row.MaxRelError, oocPRTolerance)
 		}
 	}
-	if want := 2; len(rep.Runs) != want { // bfs, pagerank
+	if want := 2 * 2; len(rep.Runs) != want { // {csr2,csr3} x {bfs, pagerank}
 		t.Fatalf("capped-phase rows = %d, want %d", len(rep.Runs), want)
 	}
 	for _, r := range rep.Runs {
 		if r.Seconds <= 0 {
-			t.Errorf("capped %s: non-positive wall time %v", r.Algo, r.Seconds)
+			t.Errorf("capped %s %s: non-positive wall time %v", r.Format, r.Algo, r.Seconds)
+		}
+		if r.Format == "csr3" && r.DecodeMisses == 0 {
+			t.Errorf("capped csr3 %s: decode cache never decoded a block", r.Algo)
 		}
 	}
 	if rep.FileBytes <= 0 {
 		t.Error("capped phase recorded no file size")
+	}
+	if rep.CompressedFileBytes <= 0 || rep.CompressedFileBytes >= rep.FileBytes {
+		t.Errorf("compressed file %d bytes vs raw %d: compression did not shrink the file",
+			rep.CompressedFileBytes, rep.FileBytes)
 	}
 	if !rep.UnderCap {
 		t.Errorf("under_cap false with an effectively unlimited cap (peak %d bytes)", rep.PeakVmHWMBytes)

@@ -92,6 +92,45 @@ func AppendDeltaU64s(dst []byte, vals []uint64) []byte {
 	return dst
 }
 
+// AppendZigZagDeltaRow appends vals as a zigzag-delta row: the first value
+// relative to zero, every later one as the signed gap to its predecessor.
+// Unlike AppendDeltaU64s the input need not be sorted — CSR neighbor lists
+// preserve edge insertion order, so gaps can be negative — but consecutive
+// neighbors still share high bits, which zigzag keeps to one or two bytes.
+func AppendZigZagDeltaRow(dst []byte, vals []int64) []byte {
+	prev := int64(0)
+	for _, v := range vals {
+		dst = AppendUvarint(dst, ZigZag(v-prev))
+		prev = v
+	}
+	return dst
+}
+
+// DecodeZigZagDeltaRow decodes an n-value zigzag-delta row from the start of
+// p into out (reusing its capacity) and returns the values plus the bytes
+// consumed. Every decoded value must lie in [0, limit) — node ids in a graph
+// of limit nodes — so a corrupt row surfaces here instead of indexing a
+// column out of bounds later. Torn, overlong, or out-of-range input returns
+// ok == false.
+func DecodeZigZagDeltaRow(p []byte, n int, limit int64, out []int64) (vals []int64, consumed int, ok bool) {
+	out = out[:0]
+	prev := int64(0)
+	off := 0
+	for i := 0; i < n; i++ {
+		d, k := Uvarint(p[off:])
+		if k <= 0 {
+			return out, off, false
+		}
+		off += k
+		prev += UnZigZag(d)
+		if prev < 0 || prev >= limit {
+			return out, off, false
+		}
+		out = append(out, prev)
+	}
+	return out, off, true
+}
+
 // DecodeDeltaU64s decodes an n-value delta column from the start of p into
 // out (reusing its capacity) and returns the values plus the bytes consumed.
 // Torn or overlong input returns ok == false — the caller rejects the frame

@@ -158,6 +158,84 @@ func FuzzDeltaColumnTorn(f *testing.F) {
 	})
 }
 
+func TestZigZagDeltaRowRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(64)
+		limit := int64(1 + rng.Intn(1<<20))
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(limit) // deliberately unsorted
+		}
+		enc := AppendZigZagDeltaRow(nil, vals)
+		got, consumed, ok := DecodeZigZagDeltaRow(enc, n, limit, nil)
+		if !ok || consumed != len(enc) {
+			t.Fatalf("trial %d: ok=%v consumed=%d len=%d", trial, ok, consumed, len(enc))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("trial %d: value %d: got %d want %d", trial, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestZigZagDeltaRowRejectsBadInput(t *testing.T) {
+	enc := AppendZigZagDeltaRow(nil, []int64{5, 3, 900})
+	// Torn at every cut short of the full row.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, ok := DecodeZigZagDeltaRow(enc[:cut], 3, 1000, nil); ok {
+			t.Fatalf("torn row of %d bytes accepted", cut)
+		}
+	}
+	// Out-of-range value: the last id (900) exceeds a tighter limit.
+	if _, _, ok := DecodeZigZagDeltaRow(enc, 3, 900, nil); ok {
+		t.Fatal("row with id >= limit accepted")
+	}
+	// Negative running value: a gap below zero.
+	neg := AppendUvarint(nil, ZigZag(-1))
+	if _, _, ok := DecodeZigZagDeltaRow(neg, 1, 1000, nil); ok {
+		t.Fatal("row decoding to a negative id accepted")
+	}
+	// Overlong varint inside the row.
+	over := append([]byte{0x80}, AppendUvarint(nil, 0)...)
+	if _, _, ok := DecodeZigZagDeltaRow(over, 1, 1000, nil); ok {
+		t.Fatal("overlong varint inside a row accepted")
+	}
+}
+
+// FuzzZigZagDeltaRow drives the CSR v3 block row decoder with arbitrary
+// payloads, counts, and limits: no panics, no reads past the input, and
+// anything accepted must re-encode to exactly the bytes consumed (the same
+// canonical-form property the store's open-time block validation relies on
+// to reject torn, trailing, or overlong block bytes).
+func FuzzZigZagDeltaRow(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint16(3), int64(100))
+	f.Add([]byte{}, uint16(1), int64(1))
+	f.Add(AppendZigZagDeltaRow(nil, []int64{5, 3, 1 << 18}), uint16(3), int64(1<<19))
+	f.Add(AppendZigZagDeltaRow(nil, []int64{0, 0, 7, 2}), uint16(4), int64(8))
+	f.Fuzz(func(t *testing.T, p []byte, n16 uint16, limit int64) {
+		n := int(n16 % 512)
+		vals, consumed, ok := DecodeZigZagDeltaRow(p, n, limit, nil)
+		if consumed > len(p) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(p))
+		}
+		if ok {
+			if len(vals) != n {
+				t.Fatalf("ok decode returned %d of %d values", len(vals), n)
+			}
+			for _, v := range vals {
+				if v < 0 || v >= limit {
+					t.Fatalf("accepted out-of-range value %d (limit %d)", v, limit)
+				}
+			}
+			if !bytes.Equal(AppendZigZagDeltaRow(nil, vals), p[:consumed]) {
+				t.Fatalf("accepted row does not re-encode canonically")
+			}
+		}
+	})
+}
+
 // Break-even measurement for the flush-path heuristic: encode+decode cost
 // per record for the sorted delta column, the basis for the minimum batch
 // size at which compression pays (see core.wireCompressMinRecords).

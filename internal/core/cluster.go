@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/reduce"
+	"repro/internal/store"
 )
 
 // Cluster assembles and drives the simulated machines. Execution is SPMD
@@ -32,6 +33,16 @@ type Cluster struct {
 	loaded    bool
 	shut      bool
 	jobSeq    uint64
+
+	// Out-of-core accounting state, set by LoadStore and cleared by install:
+	// the decode cache and residency window the loaded store file drives, plus
+	// the stats snapshots already flushed into the obs registry — pollOOCStats
+	// publishes deltas against these bases after every job so /debug/metrics
+	// and server stats see cumulative decode/residency counters.
+	oocDec     *store.DecodeCache
+	oocRes     *store.Residency
+	oocDecBase store.DecodeCacheStats
+	oocResBase store.ResidencyStats
 
 	// External cancellation latch (Cancel/Uncancel): cancelErr is the sticky
 	// cause, cancelCh is closed on Cancel so the per-run watcher wakes.
@@ -158,6 +169,7 @@ func (c *Cluster) install(g *graph.Graph, layout partition.Layout, ghosts *parti
 	c.numEdges = g.NumEdges()
 	c.meta = nil
 	c.freeProps = nil
+	c.oocDec, c.oocRes = nil, nil
 	err := c.parallel(func(m *Machine) error {
 		m.load(g, layout, ghosts)
 		return nil
@@ -265,7 +277,7 @@ func (c *Cluster) addProp(meta propMeta) (PropID, error) {
 		c.freeProps = c.freeProps[:n-1]
 		c.meta[id] = meta
 		for _, m := range c.machines {
-			m.cols[id] = newColumn(meta.kind, m.store.numLocal, m.store.ghosts.Len(), c.cfg.Workers)
+			m.cols[id] = m.newCol(meta)
 		}
 		return id, nil
 	}
@@ -290,6 +302,7 @@ func (c *Cluster) DropProps(ids ...PropID) {
 		}
 		c.meta[id] = propMeta{name: "(dropped)", kind: PropKind(0xff)}
 		for _, m := range c.machines {
+			m.cols[id].release()
 			m.cols[id] = nil
 		}
 		c.freeProps = append(c.freeProps, id)
@@ -347,6 +360,7 @@ func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
 	watchWG.Wait()
 	if err != nil {
 		c.recoverAfterAbort()
+		c.pollOOCStats()
 		// The flight recorder snapshots after recovery so it sees the final
 		// counter state of everything that did arrive before the abort.
 		c.cfg.Obs.RecordAbort(jobID, spec.Name, err)
@@ -359,6 +373,7 @@ func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
 		return JobStats{}, fmt.Errorf("job %q: %w: %w", spec.Name, ErrJobAborted, err)
 	}
 	c.cfg.Obs.EndJob(jobID, time.Since(start))
+	c.pollOOCStats()
 	stats := JobStats{
 		Duration:  time.Since(start),
 		Traffic:   c.TrafficSnapshot().Sub(before),
@@ -369,6 +384,33 @@ func (c *Cluster) RunJob(spec JobSpec) (JobStats, error) {
 	// engine-measured duration plus its share of the difference as Sync.
 	stats.Breakdown.Sync += stats.Duration - results[0].duration
 	return stats, nil
+}
+
+// pollOOCStats publishes the decode-cache and residency-window counters an
+// out-of-core run accumulated since the last poll into the obs registry (as
+// machine-0 counters — both structures are process-wide, shared across the
+// simulated machines). Driver-side, called between jobs; deltas against the
+// flushed bases keep the registry cumulative even though the underlying
+// stats survive across jobs and across pool jobs on the same open file.
+func (c *Cluster) pollOOCStats() {
+	reg := c.cfg.Obs
+	if !reg.Attached() {
+		return
+	}
+	if dc := c.oocDec; dc != nil {
+		s := dc.Stats()
+		reg.Add(0, obs.CtrDecodeHits, s.Hits-c.oocDecBase.Hits)
+		reg.Add(0, obs.CtrDecodeMisses, s.Misses-c.oocDecBase.Misses)
+		reg.Add(0, obs.CtrDecodedBytes, s.DecodedBytes-c.oocDecBase.DecodedBytes)
+		reg.Add(0, obs.CtrDecodeEvictedBytes, s.EvictedBytes-c.oocDecBase.EvictedBytes)
+		c.oocDecBase = s
+	}
+	if res := c.oocRes; res != nil {
+		s := res.Stats()
+		reg.Add(0, obs.CtrResidencyTouchedBytes, s.TouchedBytes-c.oocResBase.TouchedBytes)
+		reg.Add(0, obs.CtrResidencyEvictedBytes, s.EvictedBytes-c.oocResBase.EvictedBytes)
+		c.oocResBase = s
+	}
 }
 
 // TrafficSnapshot sums the transport counters over all endpoints.

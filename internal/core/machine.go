@@ -50,6 +50,16 @@ type Machine struct {
 	// advises the oldest ranges out past the configured budget.
 	residency *store.Residency
 
+	// dec is the compressed store file's decode cache (nil unless the
+	// current load came from a CSR v3 file): this machine's refs live in its
+	// arenas and workers pin the blocks under each claimed chunk.
+	dec *store.DecodeCache
+
+	// offHeapCols moves property columns to anonymous mmap — set for
+	// out-of-core loads with a resident budget, so the O(N) columns stay off
+	// the GC heap and release eagerly.
+	offHeapCols bool
+
 	// spill is the spillable write buffer (nil unless Config.SpillWrites):
 	// copiers defer inbound write frames into it while a job is armed and the
 	// drain loop replays them; see spill.go.
@@ -215,10 +225,12 @@ func (m *Machine) broadcastAbort(jobID uint64, err error) {
 func (m *Machine) load(g *graph.Graph, layout partition.Layout, ghosts *partition.GhostSet) {
 	m.store = buildLocalStore(g, layout, ghosts, m.id)
 	m.ghostOwned = m.store.ghostOwnership()
-	m.cols = nil
+	m.releaseCols()
 	m.loadHints, m.loadTotals = nil, nil
 	m.degMass = layout.DegreeMass(g)
 	m.residency = nil
+	m.dec = nil
+	m.offHeapCols = false
 	m.rebuildChunks()
 }
 
@@ -251,7 +263,21 @@ func (m *Machine) rebuildChunks() {
 
 // addProp allocates this machine's column for a newly registered property.
 func (m *Machine) addProp(meta propMeta) {
-	m.cols = append(m.cols, newColumn(meta.kind, m.store.numLocal, m.store.ghosts.Len(), m.cfg.Workers))
+	m.cols = append(m.cols, m.newCol(meta))
+}
+
+// newCol builds one column for this machine's current load, off-heap when
+// the load asked for it.
+func (m *Machine) newCol(meta propMeta) *column {
+	return newColumn(meta.kind, m.store.numLocal, m.store.ghosts.Len(), m.cfg.Workers, m.offHeapCols)
+}
+
+// releaseCols drops every column, returning off-heap backings to the kernel.
+func (m *Machine) releaseCols() {
+	for _, col := range m.cols {
+		col.release()
+	}
+	m.cols = nil
 }
 
 // machineJobStats is runJob's per-machine result; the cluster reports
@@ -318,13 +344,16 @@ func (m *Machine) runJob(spec *JobSpec, jobID uint64) (machineJobStats, error) {
 	case IterOutEdges:
 		jr.chunks = m.chunksOut
 		jr.rows, jr.refs, jr.weights = m.store.outRows, m.store.outRefs, m.store.outWeights
+		jr.dec, jr.decMach, jr.orient = m.dec, m.id, store.OrientOut
 	case IterInEdges:
 		jr.chunks = m.chunksIn
 		jr.rows, jr.refs, jr.weights = m.store.inRows, m.store.inRefs, m.store.inWeights
+		jr.dec, jr.decMach, jr.orient = m.dec, m.id, store.OrientIn
 	case IterBothEdges:
 		jr.chunks = m.chunksBoth
 		jr.rows, jr.refs, jr.weights = m.store.outRows, m.store.outRefs, m.store.outWeights
 		jr.rows2, jr.refs2, jr.weights2 = m.store.inRows, m.store.inRefs, m.store.inWeights
+		jr.dec, jr.decMach, jr.orient = m.dec, m.id, store.OrientOut
 	}
 
 	// Frontier-sourced iteration: restrict the chunk list to this machine's
@@ -836,4 +865,5 @@ func (m *Machine) shutdown() {
 	m.router.Shutdown()
 	m.copierWG.Wait()
 	m.spill.reset()
+	m.releaseCols()
 }

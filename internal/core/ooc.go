@@ -17,12 +17,18 @@ import (
 // (local or remote, never a ghost slot), so an out-of-core cluster runs with
 // an empty ghost set; the per-edge ref dispatch is identical either way.
 
-// LoadStore loads the cluster from an open CSR v2 file. The file must have
-// been written for exactly this cluster's machine count (the partition cut is
-// baked into the section layout). sf must stay open for the lifetime of the
-// load — until the next Load/LoadStore or Shutdown; closing it earlier leaves
-// the machines aliasing an unmapped region. Like Load, it discards registered
-// properties; register them after.
+// LoadStore loads the cluster from an open CSR file — raw (v2) or compressed
+// (v3). The file must have been written for exactly this cluster's machine
+// count (the partition cut is baked into the section layout). sf must stay
+// open for the lifetime of the load — until the next Load/LoadStore or
+// Shutdown; closing it earlier leaves the machines aliasing an unmapped
+// region. Like Load, it discards registered properties; register them after.
+//
+// For a compressed file the machines' ref views come from the file's decode
+// cache (created here with Config.DecodeCacheBytes, shared with any other
+// cluster loaded over the same open file), and — when a resident budget is
+// also set — property columns move to anonymous mmap so the whole O(N)+O(M)
+// working set stays off the Go heap.
 func (c *Cluster) LoadStore(sf *store.File) error {
 	if sf.NumMachines() != c.cfg.NumMachines {
 		return fmt.Errorf("core: store file %s is cut for %d machines, cluster has %d",
@@ -30,6 +36,17 @@ func (c *Cluster) LoadStore(sf *store.File) error {
 	}
 	if sf.NumNodes() == 0 {
 		return fmt.Errorf("core: store file %s is empty", sf.Path())
+	}
+	var dc *store.DecodeCache
+	if sf.Compressed() {
+		budget := c.cfg.DecodeCacheBytes
+		if budget == 0 {
+			budget = store.DefaultDecodeCacheBytes
+		}
+		var err error
+		if dc, err = sf.EnsureDecodeCache(budget); err != nil {
+			return err
+		}
 	}
 	layout := sf.Layout()
 	ghosts := partition.EmptyGhostSet()
@@ -43,21 +60,33 @@ func (c *Cluster) LoadStore(sf *store.File) error {
 	// one mapping, and the budget is a per-process RSS bound.
 	res := sf.NewResidency(c.cfg.ResidentBudgetBytes)
 	err := c.parallel(func(m *Machine) error {
-		m.loadFromStore(sf, layout, ghosts, res)
+		m.loadFromStore(sf, dc, layout, ghosts, res)
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	c.oocDec, c.oocRes = dc, res
+	c.oocDecBase, c.oocResBase = store.DecodeCacheStats{}, store.ResidencyStats{}
+	if dc != nil {
+		c.oocDecBase = dc.Stats()
 	}
 	c.loaded = true
 	return nil
 }
 
 // loadFromStore installs machine id's file section as its local store. The
-// row/ref/weight slices alias the mapping zero-copy; only O(numLocal)
-// metadata (degrees, both-orientation prefix) is materialized on the heap.
-func (m *Machine) loadFromStore(sf *store.File, layout partition.Layout, ghosts *partition.GhostSet, res *store.Residency) {
+// row/ref/weight slices alias the mapping zero-copy (for a compressed file
+// the refs alias the decode cache's arena instead — same absolute indexing,
+// valid only under a chunk claim's pins); only O(numLocal) metadata
+// (degrees, both-orientation prefix) is materialized on the heap.
+func (m *Machine) loadFromStore(sf *store.File, dc *store.DecodeCache, layout partition.Layout, ghosts *partition.GhostSet, res *store.Residency) {
 	sec := sf.Section(m.id)
+	outRefs, inRefs := sec.OutRefs, sec.InRefs
+	if dc != nil {
+		outRefs = dc.Refs(m.id, store.OrientOut)
+		inRefs = dc.Refs(m.id, store.OrientIn)
+	}
 	lo, hi := layout.Range(m.id)
 	numLocal := int(hi - lo)
 	s := &localStore{
@@ -66,10 +95,10 @@ func (m *Machine) loadFromStore(sf *store.File, layout partition.Layout, ghosts 
 		ghosts:     ghosts,
 		numLocal:   numLocal,
 		outRows:    sec.OutRows,
-		outRefs:    sec.OutRefs,
+		outRefs:    outRefs,
 		outWeights: sec.OutWeights,
 		inRows:     sec.InRows,
-		inRefs:     sec.InRefs,
+		inRefs:     inRefs,
 		inWeights:  sec.InWeights,
 		outDeg:     make([]int32, numLocal),
 		inDeg:      make([]int32, numLocal),
@@ -82,45 +111,96 @@ func (m *Machine) loadFromStore(sf *store.File, layout partition.Layout, ghosts 
 	}
 	m.store = s
 	m.ghostOwned = s.ghostOwnership()
-	m.cols = nil
+	m.releaseCols()
 	m.loadHints, m.loadTotals = nil, nil
 	m.degMass = sf.DegreeMass()
 	m.residency = res
+	m.dec = dc
+	m.offHeapCols = res != nil
 	m.rebuildChunks()
 }
 
-// touchChunk advises the residency window about the byte ranges one claimed
-// chunk will read: the row slices for the chunk's node range and the ref (and
-// weight) slices for the edges under it. Called at the worker's chunk-claim
-// site, so claim order — sequential per machine via the shared cursor — is
-// the prefetch order. Heap-backed slices (in-memory loads) are filtered out
-// by the residency's pointer check, and jr.res is nil entirely outside
-// out-of-core runs, so the hook costs one predictable branch elsewhere.
-func (jr *jobRuntime) touchChunk(ch partition.Chunk) {
+// chunkSpan maps one scheduling chunk to the node span [lo, hi) it will
+// iterate. ok is false when the chunk drives no topology reads (node
+// iterator, or an empty sparse-frontier chunk).
+func (jr *jobRuntime) chunkSpan(ch partition.Chunk) (lo, hi int64, ok bool) {
 	if jr.rows == nil {
-		return // node iterator: no topology reads
+		return 0, 0, false // node iterator: no topology reads
 	}
-	lo, hi := int64(ch.Begin), int64(ch.End)
+	lo, hi = int64(ch.Begin), int64(ch.End)
 	if jr.frontList != nil {
 		// Sparse frontier: chunk indices address the sorted member list; the
 		// node span is the members' range (sorted ascending).
 		if ch.Begin >= ch.End {
-			return
+			return 0, 0, false
 		}
 		lo = int64(jr.frontList[ch.Begin])
 		hi = int64(jr.frontList[ch.End-1]) + 1
 	}
+	return lo, hi, true
+}
+
+// touchSpan advises the residency window about the byte ranges a node span's
+// iteration will read: the row slices, the ref (and weight) slices for the
+// edges under it — and for compressed stores the compressed blob bytes
+// instead of the refs (the arena refs live outside the mapping and are
+// filtered by the residency's pointer check anyway; what faults from the
+// file is the ~3-bytes-per-edge blob, so that is what enters the window).
+// Claim order — sequential per machine via the shared cursor — is the
+// prefetch order.
+func (jr *jobRuntime) touchSpan(lo, hi int64) {
 	res := jr.res
 	res.TouchI64(jr.rows, lo, hi+1)
-	res.TouchI64(jr.refs, jr.rows[lo], jr.rows[hi])
+	if jr.dec != nil {
+		jr.dec.TouchCompressed(res, jr.decMach, jr.orient, lo, hi)
+	} else {
+		res.TouchI64(jr.refs, jr.rows[lo], jr.rows[hi])
+	}
 	if jr.weights != nil {
 		res.TouchF64(jr.weights, jr.rows[lo], jr.rows[hi])
 	}
 	if jr.rows2 != nil {
 		res.TouchI64(jr.rows2, lo, hi+1)
-		res.TouchI64(jr.refs2, jr.rows2[lo], jr.rows2[hi])
+		if jr.dec != nil {
+			jr.dec.TouchCompressed(res, jr.decMach, store.OrientIn, lo, hi)
+		} else {
+			res.TouchI64(jr.refs2, jr.rows2[lo], jr.rows2[hi])
+		}
 		if jr.weights2 != nil {
 			res.TouchF64(jr.weights2, jr.rows2[lo], jr.rows2[hi])
 		}
 	}
 }
+
+// claimChunk prepares one claimed chunk's topology reads: residency advice
+// for the bytes it touches and — on a compressed store — decode-cache pins
+// covering its rows in every orientation the job iterates. The returned
+// tokens (zero-valued when nothing was pinned) must be released once the
+// chunk's task invocations finish; holders keep them reachable across an
+// abort unwind so cleanup can release them. Claim sites gate on
+// jr.needsClaim() to keep in-memory runs branch-cheap.
+func (jr *jobRuntime) claimChunk(ch partition.Chunk) (t1, t2 store.PinToken, err error) {
+	lo, hi, ok := jr.chunkSpan(ch)
+	if !ok {
+		return
+	}
+	if jr.res != nil {
+		jr.touchSpan(lo, hi)
+	}
+	if jr.dec == nil {
+		return
+	}
+	if t1, err = jr.dec.Pin(jr.decMach, jr.orient, lo, hi); err != nil {
+		return
+	}
+	if jr.rows2 != nil {
+		if t2, err = jr.dec.Pin(jr.decMach, store.OrientIn, lo, hi); err != nil {
+			t1.Release()
+			return store.PinToken{}, store.PinToken{}, err
+		}
+	}
+	return
+}
+
+// needsClaim reports whether chunk claims must go through claimChunk.
+func (jr *jobRuntime) needsClaim() bool { return jr.res != nil || jr.dec != nil }

@@ -22,6 +22,16 @@ func storePath(t testing.TB, g *graph.Graph, p int) string {
 	return path
 }
 
+// storePath3 writes g as a compressed CSR v3 store file.
+func storePath3(t testing.TB, g *graph.Graph, p int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.csr3")
+	if err := store.WriteGraphCompressed(path, g, p); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 // bootStore boots a cluster over the mmap'd store file. The file must outlive
 // the machines (sections alias the mapping), so Close is sequenced after
 // Shutdown in the same cleanup.
@@ -71,18 +81,23 @@ func runPushOne(t *testing.T, c *Cluster, counter PropID) []int64 {
 	return c.GatherI64(counter)
 }
 
-// TestLoadStoreMatchesLoad: the same graph computed from an mmap'd CSR v2
-// file must be bit-identical to the in-memory load, over both fabrics. The
-// store-backed cluster runs with a deliberately tiny residency window and
-// write spilling forced through the file path, so the comparison covers the
-// chunk advice loop and the spill/replay drain, not just the format decode.
+// TestLoadStoreMatchesLoad: the same graph computed from an mmap'd CSR store
+// file — raw v2 and compressed v3 — must be bit-identical to the in-memory
+// load, over both fabrics. The store-backed clusters run with a deliberately
+// tiny residency window and write spilling forced through the file path, and
+// the compressed variant adds a tiny (64 KiB) decode cache, so the comparison
+// covers the chunk advice loop, the pin/decode/evict cycle, and the
+// spill/replay drain, not just the format decode.
 func TestLoadStoreMatchesLoad(t *testing.T) {
 	eachFabric(t, func(t *testing.T, useTCP bool) {
 		g := testGraph(t)
-		path := storePath(t, g, 3)
+		paths := map[string]string{
+			"csr2": storePath(t, g, 3),
+			"csr3": storePath3(t, g, 3),
+		}
 		spillDir := t.TempDir()
 
-		runPair := func(fromStore bool) ([]int64, []float64) {
+		run := func(format string) ([]int64, []float64) {
 			cfg := faultCfg(3)
 			cfg.RequestTimeout = 0
 			cfg.CollectiveTimeout = 0
@@ -96,12 +111,15 @@ func TestLoadStoreMatchesLoad(t *testing.T) {
 				cfg.Fabric = f
 			}
 			var c *Cluster
-			if fromStore {
+			if format != "" {
 				cfg.ResidentBudgetBytes = 64 << 10
 				cfg.SpillWrites = true
 				cfg.SpillBudgetBytes = 1 << 10
 				cfg.SpillDir = spillDir
-				c = bootStore(t, path, cfg)
+				if format == "csr3" {
+					cfg.DecodeCacheBytes = 64 << 10
+				}
+				c = bootStore(t, paths[format], cfg)
 			} else {
 				c = bootCluster(t, g, cfg)
 			}
@@ -118,18 +136,101 @@ func TestLoadStoreMatchesLoad(t *testing.T) {
 			return push, c.GatherF64(dst)
 		}
 
-		memPush, memPull := runPair(false)
-		stPush, stPull := runPair(true)
-		for u := range memPush {
-			if memPush[u] != stPush[u] {
-				t.Fatalf("push node %d: in-memory %d, store %d", u, memPush[u], stPush[u])
-			}
-			if memPull[u] != stPull[u] {
-				t.Fatalf("pull node %d: in-memory %v, store %v", u, memPull[u], stPull[u])
+		memPush, memPull := run("")
+		for _, format := range []string{"csr2", "csr3"} {
+			stPush, stPull := run(format)
+			for u := range memPush {
+				if memPush[u] != stPush[u] {
+					t.Fatalf("%s push node %d: in-memory %d, store %d", format, u, memPush[u], stPush[u])
+				}
+				if memPull[u] != stPull[u] {
+					t.Fatalf("%s pull node %d: in-memory %v, store %v", format, u, memPull[u], stPull[u])
+				}
 			}
 		}
 		if left := spillFiles(t, spillDir); len(left) != 0 {
 			t.Fatalf("spill files survived a clean drain: %v", left)
+		}
+	})
+}
+
+// TestCompressedStoreAbortReleasesPins: abort a job running from a compressed
+// store mid-flight — every decode-cache pin a worker or copier held must be
+// released through the abort unwind (PinnedBlocks drops to zero), no spill
+// residue may survive, and the same cluster must then compute the exact
+// reference, still through the tiny decode cache.
+func TestCompressedStoreAbortReleasesPins(t *testing.T) {
+	eachFabric(t, func(t *testing.T, useTCP bool) {
+		g := testGraph(t)
+		path := storePath3(t, g, 3)
+		spillDir := t.TempDir()
+		cfg := faultCfg(3)
+		cfg.BufferSize = 1 << 10
+		cfg.SpillWrites = true
+		cfg.SpillBudgetBytes = 256
+		cfg.SpillDir = spillDir
+		cfg.DecodeCacheBytes = 64 << 10
+		inj := faultFabric(t, cfg, useTCP, comm.FaultPlan{Seed: 7, Rules: []comm.FaultRule{
+			{Src: 1, Dst: 0, Type: int(comm.MsgWriteReq), Kind: comm.FaultFail, After: 0, Limit: 1},
+		}})
+		cfg.Fabric = inj
+		sf, err := store.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewCluster(cfg)
+		if err != nil {
+			sf.Close() //nolint:errcheck
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			c.Shutdown()
+			inj.Close()
+			sf.Close() //nolint:errcheck
+		})
+		if err := c.LoadStore(sf); err != nil {
+			t.Fatal(err)
+		}
+		dc, err := sf.EnsureDecodeCache(cfg.DecodeCacheBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter, _ := c.AddPropI64("counter")
+		c.FillI64(counter, 0)
+		_, err = c.RunJob(JobSpec{
+			Name:       "compressed-abort",
+			Iter:       IterOutEdges,
+			Task:       &pushOneTask{counter: counter},
+			WriteProps: []WriteSpec{{Prop: counter, Op: reduce.Sum}},
+		})
+		if err == nil {
+			t.Fatal("job succeeded despite injected write-frame failure")
+		}
+		if !errors.Is(err, ErrJobAborted) {
+			t.Fatalf("error %v does not wrap ErrJobAborted", err)
+		}
+		settleQuiescent(t, c)
+		if st := dc.Stats(); st.PinnedBlocks != 0 {
+			t.Fatalf("abort left %d decode-cache blocks pinned", st.PinnedBlocks)
+		}
+		if left := spillFiles(t, spillDir); len(left) != 0 {
+			t.Fatalf("abort left spill files behind: %v", left)
+		}
+
+		// The fault rule is exhausted: the same cluster, same decode cache,
+		// must now compute the exact reference.
+		want := refInDegree(g)
+		got := runPushOne(t, c, counter)
+		for u := range want {
+			if got[u] != want[u] {
+				t.Fatalf("post-abort node %d: got %d, want %d", u, got[u], want[u])
+			}
+		}
+		if st := dc.Stats(); st.PinnedBlocks != 0 {
+			t.Fatalf("clean run left %d decode-cache blocks pinned", st.PinnedBlocks)
+		}
+		if st := dc.Stats(); st.Misses == 0 {
+			t.Errorf("decode cache never decoded a block — test is vacuous (stats: %+v)", st)
 		}
 	})
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/reduce"
+	"repro/internal/store"
 )
 
 // PropID names a registered node property cluster-wide. Properties are
@@ -54,15 +56,50 @@ type column struct {
 	numLocal int
 	vals     []atomic.Uint64 // numLocal + numGhost
 	priv     [][]uint64      // [workers][numGhost], lazily allocated
+
+	// freeFn is non-nil when vals is backed by anonymous mmap instead of the
+	// Go heap (out-of-core runs with a resident budget): the O(N) column then
+	// counts against the kernel's page accounting, not the GC heap, and its
+	// pages return to the kernel the moment the column is released rather
+	// than at the next GC cycle. The backing is deliberately NOT part of the
+	// store's residency window — DONTNEED on anonymous memory zeroes, and
+	// property values, unlike topology, cannot be refetched from the file.
+	freeFn func() error
 }
 
-func newColumn(kind PropKind, numLocal, numGhost, workers int) *column {
-	return &column{
+// newColumn allocates one machine's column. With offHeap set the value array
+// goes to anonymous mmap (falling back to the heap if the map fails);
+// release must be called before dropping the last reference.
+func newColumn(kind PropKind, numLocal, numGhost, workers int, offHeap bool) *column {
+	c := &column{
 		kind:     kind,
 		numLocal: numLocal,
-		vals:     make([]atomic.Uint64, numLocal+numGhost),
 		priv:     make([][]uint64, workers),
 	}
+	total := numLocal + numGhost
+	if offHeap && total > 0 {
+		if buf, freeFn, err := store.AnonAlloc(8 * int64(total)); err == nil {
+			c.vals = unsafe.Slice((*atomic.Uint64)(unsafe.Pointer(&buf[0])), total)
+			c.freeFn = freeFn
+		}
+	}
+	if c.vals == nil {
+		c.vals = make([]atomic.Uint64, total)
+	}
+	return c
+}
+
+// release returns an off-heap column's pages to the kernel. Nil-safe and
+// idempotent; heap-backed columns are left to the GC. The column must not be
+// accessed afterwards.
+func (c *column) release() {
+	if c == nil || c.freeFn == nil {
+		return
+	}
+	f := c.freeFn
+	c.freeFn = nil
+	c.vals = nil
+	f() //nolint:errcheck
 }
 
 func (c *column) numGhost() int { return len(c.vals) - c.numLocal }

@@ -211,15 +211,11 @@ func (m *Machine) packGrant(jr *jobRuntime, thief int, resp *comm.Buffer) int {
 		nodes++
 		return true
 	}
-	for {
-		chunkIdx := int(jr.cursor.Add(1)) - 1
-		if chunkIdx >= len(jr.chunks) {
-			return nodes
-		}
-		ch := jr.chunks[chunkIdx]
-		// Expand the chunk exactly as a worker would (worker.runChunk); when
-		// the frame fills mid-chunk the unpacked remainder goes back on the
-		// residual queue in the same index space the chunk used.
+	// packChunk expands one claimed chunk exactly as a worker would
+	// (worker.runChunk); when the frame fills mid-chunk the unpacked remainder
+	// goes back on the residual queue in the same index space the chunk used,
+	// and packChunk reports the frame full so the grant stops.
+	packChunk := func(ch partition.Chunk) (full bool) {
 		residual := func(at uint32) {
 			jr.steal.pushResidual(partition.Chunk{Begin: at, End: ch.End})
 			m.cfg.Obs.Add(m.id, obs.CtrStealResidual, 1)
@@ -229,7 +225,7 @@ func (m *Machine) packGrant(jr *jobRuntime, thief int, resp *comm.Buffer) int {
 			for i := ch.Begin; i < ch.End; i++ {
 				if !packNode(jr.frontList[i]) {
 					residual(i)
-					return nodes
+					return true
 				}
 			}
 		case jr.frontBits != nil:
@@ -246,7 +242,7 @@ func (m *Machine) packGrant(jr *jobRuntime, thief int, resp *comm.Buffer) int {
 				}
 				if !packNode(n) {
 					residual(n)
-					return nodes
+					return true
 				}
 				n++
 			}
@@ -254,9 +250,33 @@ func (m *Machine) packGrant(jr *jobRuntime, thief int, resp *comm.Buffer) int {
 			for node := ch.Begin; node < ch.End; node++ {
 				if !packNode(node) {
 					residual(node)
-					return nodes
+					return true
 				}
 			}
+		}
+		return false
+	}
+	for {
+		chunkIdx := int(jr.cursor.Add(1)) - 1
+		if chunkIdx >= len(jr.chunks) {
+			return nodes
+		}
+		ch := jr.chunks[chunkIdx]
+		// Claim the chunk's topology like a worker would: residency advice
+		// plus decode-cache pins keeping jr.refs/jr.refs2 valid while the
+		// copier reads them. Copier context, so a decode failure aborts the
+		// job directly instead of a worker unwind; the chunk stays consumed,
+		// which is fine — the job is dead.
+		t1, t2, err := jr.claimChunk(ch)
+		if err != nil {
+			m.abortJob(jr, err)
+			return nodes
+		}
+		full := packChunk(ch)
+		t1.Release()
+		t2.Release()
+		if full {
+			return nodes
 		}
 	}
 }
@@ -348,10 +368,11 @@ func (w *worker) stealPhase(jr *jobRuntime, spec *JobSpec, ctx *Ctx) {
 	sr := jr.steal
 	for {
 		if ch, ok := sr.popResidual(); ok {
-			if jr.res != nil {
-				jr.touchChunk(ch)
+			if jr.needsClaim() {
+				w.claimChunk(jr, ch)
 			}
 			w.runChunk(jr, spec, ctx, ch)
+			w.releasePins()
 			w.drainResponsesSafe()
 			continue
 		}

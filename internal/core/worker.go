@@ -112,6 +112,11 @@ type worker struct {
 	// reused across stolen nodes (see steal.go).
 	stolen stolenNode
 
+	// pin1/pin2 hold the decode-cache pins of the chunk this worker is
+	// currently running (compressed stores only). Worker fields rather than
+	// locals so abortCleanup can release them after an unwind mid-chunk.
+	pin1, pin2 store.PinToken
+
 	// reg is the observability registry (nil when off). rttStart maps an
 	// in-flight request seq to its flush Clock so processResponse can record
 	// the remote-read round trip; allocated only when reg is attached.
@@ -233,6 +238,7 @@ func (w *worker) abortCleanup() {
 		delete(w.sides, seq)
 	}
 	w.outstanding = 0
+	w.releasePins()
 	w.dedupHits, w.dedupMisses = 0, 0
 	w.wcombHits = 0
 	if w.rttStart != nil {
@@ -276,10 +282,11 @@ func (w *worker) runJob(jr *jobRuntime) {
 		if jr.aborted() {
 			w.unwind()
 		}
-		if jr.res != nil {
-			jr.touchChunk(jr.chunks[chunkIdx])
+		if jr.needsClaim() {
+			w.claimChunk(jr, jr.chunks[chunkIdx])
 		}
 		w.runChunk(jr, spec, ctx, jr.chunks[chunkIdx])
+		w.releasePins()
 		// Opportunistically run continuations between chunks so response
 		// queues and buffer pools keep draining while we still have tasks.
 		w.drainResponsesSafe()
@@ -326,6 +333,26 @@ func (w *worker) runJob(jr *jobRuntime) {
 	}
 	w.endTime = time.Now()
 	w.job = nil
+}
+
+// claimChunk runs jr.claimChunk for this worker, parking the pin tokens on
+// the worker so an abort unwind mid-chunk still finds and releases them. A
+// decode failure fails the job (it indicates arena corruption — every block
+// was strictly validated at Open).
+func (w *worker) claimChunk(jr *jobRuntime, ch partition.Chunk) {
+	t1, t2, err := jr.claimChunk(ch)
+	if err != nil {
+		w.fail(err)
+	}
+	w.pin1, w.pin2 = t1, t2
+}
+
+// releasePins drops the current chunk's decode-cache pins. Idempotent (the
+// tokens are zero or self-clearing), so runJob's loop and abortCleanup can
+// both call it.
+func (w *worker) releasePins() {
+	w.pin1.Release()
+	w.pin2.Release()
 }
 
 // runChunk drives the task over one chunk in the job's iteration mode. It is
@@ -936,6 +963,15 @@ type jobRuntime struct {
 	// res is the machine's out-of-core residency window (nil for in-memory
 	// loads); workers advise each claimed chunk's topology ranges through it.
 	res *store.Residency
+
+	// dec is the compressed store's decode cache (nil for raw or in-memory
+	// loads): jr.refs/jr.refs2 alias its arenas, valid only for rows covered
+	// by a live chunk-claim pin. decMach is this machine's arena index and
+	// orient names the orientation jr.refs decodes from (jr.refs2, when set,
+	// is always the in-orientation).
+	dec     *store.DecodeCache
+	decMach int
+	orient  int
 
 	cursor atomic.Int64
 	wg     sync.WaitGroup

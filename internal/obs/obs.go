@@ -99,6 +99,19 @@ const (
 	CtrSpilledWriteFrames
 	CtrSpilledWriteBytes
 	CtrSpillFileFrames
+	// Compressed-store decode cache (CSR v3): chunk claims that found their
+	// blocks already decoded vs. ones that paid a varint decode, the raw ref
+	// bytes produced by those decodes, and arena bytes evicted to stay under
+	// the cache budget.
+	CtrDecodeHits
+	CtrDecodeMisses
+	CtrDecodedBytes
+	CtrDecodeEvictedBytes
+	// Out-of-core residency window: file bytes advised into the window by
+	// chunk claims and bytes advised back out (DONTNEED) to hold the resident
+	// budget.
+	CtrResidencyTouchedBytes
+	CtrResidencyEvictedBytes
 
 	numCounters
 )
@@ -133,6 +146,12 @@ var counterNames = [numCounters]string{
 	CtrSpilledWriteFrames:     "spilled_write_frames",
 	CtrSpilledWriteBytes:      "spilled_write_bytes",
 	CtrSpillFileFrames:        "spill_file_frames",
+	CtrDecodeHits:             "decode_hits",
+	CtrDecodeMisses:           "decode_misses",
+	CtrDecodedBytes:           "decoded_bytes",
+	CtrDecodeEvictedBytes:     "decode_evicted_bytes",
+	CtrResidencyTouchedBytes:  "residency_touched_bytes",
+	CtrResidencyEvictedBytes:  "residency_evicted_bytes",
 }
 
 // String implements fmt.Stringer.

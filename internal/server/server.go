@@ -571,6 +571,35 @@ func (s *Server) handleGenerate(req *Request) Response {
 // maxPriority clamps client-supplied priorities to [-8, 8].
 const maxPriority = 8
 
+// propColsFor returns the peak number of live O(N) property columns the named
+// algorithm registers, so the admission memory gate charges what the run will
+// actually pin instead of a flat allowance. Unknown algorithms (the request
+// will fail later with "unknown algorithm") get the historical allowance of 3.
+func propColsFor(algo string) int {
+	switch algo {
+	case "pagerank", "pagerank-push": // rank, next, degree
+		return 3
+	case "pagerank-approx": // rank, residual, degree + frontier doubles
+		return 5
+	case "eigenvector": // value, next
+		return 2
+	case "wcc": // label, next, changed
+		return 3
+	case "sssp": // dist, next, changed
+		return 3
+	case "hopdist": // dist, next, changed
+		return 3
+	case "kcore": // degree, alive, removed, core
+		return 4
+	case "triangles": // marks
+		return 1
+	case "ppr": // rank, next, degree, mask
+		return 4
+	default:
+		return 3
+	}
+}
+
 // tenantOf maps the wire tenant field to an accounting key.
 func tenantOf(req *Request) string {
 	if req.Tenant == "" {
@@ -619,7 +648,8 @@ func (s *Server) handleRun(req *Request) Response {
 	memMB := req.MaxResidentMB
 	if memMB <= 0 && s.cfg.RunMemoryBudgetMB > 0 {
 		g := inst.graphSnapshot()
-		memMB = store.SizeOf(g.NumNodes(), g.NumEdges(), inst.machines, g.Weighted()).EstimatedResidentMB()
+		memMB = store.SizeOf(g.NumNodes(), g.NumEdges(), inst.machines, g.Weighted(),
+			propColsFor(req.Algo)).EstimatedResidentMB()
 	}
 	t := &ticket{
 		tenant:   tenant,
@@ -1013,6 +1043,7 @@ func (s *Server) handleStats() Response {
 	var transportErrors, jobs, aborts int64
 	var wireRaw, wireBytes int64
 	var stealReqs, stealGrants, stolenNodes, stolenEdges, staleWrites int64
+	var decHits, decMisses, decBytes, decEvicted, resTouched, resEvicted int64
 	var lastAbort *AbortSummary
 	var lastWhen time.Time
 	poolSize := s.cfg.AnalysisPoolSize
@@ -1030,6 +1061,12 @@ func (s *Server) handleStats() Response {
 			stolenNodes += ctrs["stolen_nodes"]
 			stolenEdges += ctrs["stolen_edges"]
 			staleWrites += ctrs["stale_write_frames"]
+			decHits += ctrs["decode_hits"]
+			decMisses += ctrs["decode_misses"]
+			decBytes += ctrs["decoded_bytes"]
+			decEvicted += ctrs["decode_evicted_bytes"]
+			resTouched += ctrs["residency_touched_bytes"]
+			resEvicted += ctrs["residency_evicted_bytes"]
 			if d := eng.reg.LastAbort(); d != nil && d.When.After(lastWhen) {
 				lastWhen = d.When
 				lastAbort = &AbortSummary{
@@ -1071,37 +1108,43 @@ func (s *Server) handleStats() Response {
 	}
 	s.tenantMu.Unlock()
 	return Response{OK: true, Stats: &ServerStats{
-		LoadedGraphs:         loaded,
-		ResidentEdges:        resident,
-		MaxEdges:             s.cfg.MaxResidentEdges,
-		RunsServed:           s.runsServed.Load(),
-		FailedRuns:           s.failedRuns.Load(),
-		ActiveAnalyses:       int(s.active.Load()),
-		TransportErrors:      transportErrors,
-		WireRawBytes:         wireRaw,
-		WireBytes:            wireBytes,
-		WireSavedBytes:       wireRaw - wireBytes,
-		CompressionRatio:     compressionRatio,
-		StealRequests:        stealReqs,
-		StealGrants:          stealGrants,
-		StolenNodes:          stolenNodes,
-		StolenEdges:          stolenEdges,
-		StaleWriteFrames:     staleWrites,
-		UptimeSeconds:        time.Since(s.start).Seconds(),
-		RunP50Millis:         p50,
-		RunP90Millis:         p90,
-		RunP99Millis:         p99,
-		JobsObserved:         jobs,
-		AbortsSeen:           aborts,
-		QueuedAnalyses:       s.sched.queueLen(),
-		EnginePoolSize:       poolSize,
-		BudgetDeferrals:      memDeferrals,
-		MemInUseMB:           memInUse,
-		DeadlineExceededRuns: s.deadlineExceeded.Load(),
-		CanceledRuns:         s.canceledRuns.Load(),
-		QueueP50Millis:       queueP50,
-		QueueP99Millis:       queueP99,
-		Tenants:              tenants,
-		LastAbort:            lastAbort,
+		LoadedGraphs:          loaded,
+		ResidentEdges:         resident,
+		MaxEdges:              s.cfg.MaxResidentEdges,
+		RunsServed:            s.runsServed.Load(),
+		FailedRuns:            s.failedRuns.Load(),
+		ActiveAnalyses:        int(s.active.Load()),
+		TransportErrors:       transportErrors,
+		WireRawBytes:          wireRaw,
+		WireBytes:             wireBytes,
+		WireSavedBytes:        wireRaw - wireBytes,
+		CompressionRatio:      compressionRatio,
+		StealRequests:         stealReqs,
+		StealGrants:           stealGrants,
+		StolenNodes:           stolenNodes,
+		StolenEdges:           stolenEdges,
+		StaleWriteFrames:      staleWrites,
+		DecodeHits:            decHits,
+		DecodeMisses:          decMisses,
+		DecodedBytes:          decBytes,
+		DecodeEvictedBytes:    decEvicted,
+		ResidencyTouchedBytes: resTouched,
+		ResidencyEvictedBytes: resEvicted,
+		UptimeSeconds:         time.Since(s.start).Seconds(),
+		RunP50Millis:          p50,
+		RunP90Millis:          p90,
+		RunP99Millis:          p99,
+		JobsObserved:          jobs,
+		AbortsSeen:            aborts,
+		QueuedAnalyses:        s.sched.queueLen(),
+		EnginePoolSize:        poolSize,
+		BudgetDeferrals:       memDeferrals,
+		MemInUseMB:            memInUse,
+		DeadlineExceededRuns:  s.deadlineExceeded.Load(),
+		CanceledRuns:          s.canceledRuns.Load(),
+		QueueP50Millis:        queueP50,
+		QueueP99Millis:        queueP99,
+		Tenants:               tenants,
+		LastAbort:             lastAbort,
 	}}
 }

@@ -1,0 +1,253 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"repro/internal/codec"
+	"repro/internal/graph"
+)
+
+// CompressFile rewrites the raw CSR v2 file at src as a compressed v3 file
+// at dst. The pass is sequential and runs in O(nodes + block) memory: rows
+// and the block index are per-section metadata, refs stream block by block
+// through a bounded encode buffer, and weights copy through unchanged. Since
+// a v3 file's section offsets depend on the encoded sizes, the header and
+// per-blob sub-headers are written as placeholders and patched once the
+// sizes are known.
+func CompressFile(dst, src string) error {
+	sf, err := Open(src)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	return compressOpen(dst, sf)
+}
+
+func compressOpen(dst string, sf *File) error {
+	if sf.Compressed() {
+		return fmt.Errorf("store: %s is already compressed", sf.Path())
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	p := sf.hdr.p
+	weighted := sf.Weighted()
+
+	headerLen := dataOffset(p)
+	if _, err := f.Write(make([]byte, headerLen)); err != nil {
+		return err
+	}
+	at := headerLen
+	table := make([][secFieldCount]int64, p)
+	cw := &compWriter{f: f}
+	// The ref walk below reads the whole source mapping once, front to back.
+	advise(sf.data, advSequential)
+	for mach := 0; mach < p; mach++ {
+		sec := sf.Section(mach)
+		lo := int64(sf.starts[mach])
+		for orient := 0; orient < 2; orient++ {
+			rows, refs, ws := sec.OutRows, sec.OutRefs, sec.OutWeights
+			blobF, wF := 0, 2
+			if orient == OrientIn {
+				rows, refs, ws = sec.InRows, sec.InRefs, sec.InWeights
+				blobF, wF = 3, 5
+			}
+			blobLen, err := cw.writeBlob(sf, rows, refs, lo, at)
+			if err != nil {
+				return err
+			}
+			table[mach][blobF] = at
+			table[mach][blobF+1] = blobLen
+			at += blobLen
+			if weighted {
+				table[mach][wF] = at
+				if len(ws) > 0 {
+					raw := unsafe.Slice((*byte)(unsafe.Pointer(&ws[0])), 8*len(ws))
+					if _, err := f.Write(raw); err != nil {
+						return err
+					}
+				}
+				at += 8 * int64(len(ws))
+			}
+		}
+	}
+	advise(sf.data, advDontNeed)
+
+	// Patch the header now that every section offset is known.
+	hdr := make([]byte, headerLen)
+	copy(hdr, Magic)
+	putU32(hdr[8:], Version3)
+	flags := FlagCompressedEdges
+	if weighted {
+		flags |= FlagWeighted
+	}
+	putU32(hdr[12:], flags)
+	putU64(hdr[16:], sf.hdr.numNodes)
+	putU64(hdr[24:], sf.hdr.numEdges)
+	putU64(hdr[32:], uint64(p))
+	for i, s := range sf.starts {
+		putU32(hdr[headerFixedBytes+4*i:], s)
+	}
+	tbl := tableOffset(p)
+	for mach := 0; mach < p; mach++ {
+		for fi := 0; fi < secFieldCount; fi++ {
+			putU64(hdr[tbl+int64(8*(secFieldCount*mach+fi)):], uint64(table[mach][fi]))
+		}
+	}
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// compWriter carries the encode scratch reused across sections.
+type compWriter struct {
+	f    *os.File
+	buf  []byte  // encode buffer, flushed when it grows past a block's worth
+	vals []int64 // one row's global ids
+}
+
+// writeBlob encodes one orientation's rows+refs as a v3 blob starting at
+// file offset blobOff (the current write position) and returns its padded
+// length. Writes are sequential except two patches: the sub-header's
+// refBytes and the block index, both at offsets known up front.
+func (cw *compWriter) writeBlob(sf *File, rows, refs []int64, secLo, blobOff int64) (int64, error) {
+	numLocal := int64(len(rows)) - 1
+	edges := rows[numLocal]
+
+	// compRows: degree uvarints.
+	rowBlob := cw.buf[:0]
+	for u := int64(0); u < numLocal; u++ {
+		rowBlob = codec.AppendUvarint(rowBlob, uint64(rows[u+1]-rows[u]))
+	}
+	rowBytes := int64(len(rowBlob))
+	for int64(len(rowBlob)) < pad8(rowBytes) {
+		rowBlob = append(rowBlob, 0)
+	}
+
+	// Block boundaries: whole rows, close at >= target edges, zero-degree
+	// tails fold into the last block.
+	var firstRow []int64
+	if edges > 0 {
+		inBlock := int64(0)
+		firstRow = append(firstRow, 0)
+		for u := int64(0); u < numLocal; u++ {
+			deg := rows[u+1] - rows[u]
+			if inBlock >= v3BlockTargetEdges && deg > 0 {
+				firstRow = append(firstRow, u)
+				inBlock = 0
+			}
+			inBlock += deg
+		}
+	}
+	blockCount := int64(len(firstRow))
+	firstRow = append(firstRow, numLocal)
+
+	// Placeholder sub-header + compRows + placeholder index.
+	var sub [v3BlobHeaderBytes]byte
+	putU64(sub[0:], uint64(rowBytes))
+	putU64(sub[8:], uint64(blockCount))
+	if _, err := cw.f.Write(sub[:]); err != nil {
+		return 0, err
+	}
+	if _, err := cw.f.Write(rowBlob); err != nil {
+		return 0, err
+	}
+	idxOff := blobOff + v3BlobHeaderBytes + pad8(rowBytes)
+	idx := make([]byte, 16*(blockCount+1))
+	if _, err := cw.f.Write(idx); err != nil {
+		return 0, err
+	}
+
+	// compRefs, block by block through the bounded buffer.
+	offs := make([]int64, blockCount+1)
+	cw.buf = cw.buf[:0]
+	var refBytes int64
+	for b := int64(0); b < blockCount; b++ {
+		offs[b] = refBytes
+		start := len(cw.buf)
+		for u := firstRow[b]; u < firstRow[b+1]; u++ {
+			row := refs[rows[u]:rows[u+1]]
+			cw.vals = cw.vals[:0]
+			for _, ref := range row {
+				cw.vals = append(cw.vals, sf.globalFromRef(ref, secLo))
+			}
+			cw.buf = codec.AppendZigZagDeltaRow(cw.buf, cw.vals)
+		}
+		refBytes += int64(len(cw.buf) - start)
+		if len(cw.buf) >= 1<<20 {
+			if _, err := cw.f.Write(cw.buf); err != nil {
+				return 0, err
+			}
+			cw.buf = cw.buf[:0]
+		}
+	}
+	offs[blockCount] = refBytes
+	for pad := refBytes; pad < pad8(refBytes); pad++ {
+		cw.buf = append(cw.buf, 0)
+	}
+	if len(cw.buf) > 0 {
+		if _, err := cw.f.Write(cw.buf); err != nil {
+			return 0, err
+		}
+		cw.buf = cw.buf[:0]
+	}
+
+	// Patch refBytes and the index.
+	putU64(sub[16:], uint64(refBytes))
+	if _, err := cw.f.WriteAt(sub[:], blobOff); err != nil {
+		return 0, err
+	}
+	for b := int64(0); b <= blockCount; b++ {
+		putU64(idx[16*b:], uint64(firstRow[b]))
+		putU64(idx[16*b+8:], uint64(offs[b]))
+	}
+	if _, err := cw.f.WriteAt(idx, idxOff); err != nil {
+		return 0, err
+	}
+	return v3BlobHeaderBytes + pad8(rowBytes) + 16*(blockCount+1) + pad8(refBytes), nil
+}
+
+// globalFromRef inverts the section's ref encoding back to a global node id
+// (store files are ghost-free, so every ref is invertible).
+func (sf *File) globalFromRef(ref, secLo int64) int64 {
+	if ref >= 0 {
+		return secLo + ref
+	}
+	rm, off := unpackRemoteRef(ref)
+	return int64(sf.starts[rm]) + int64(off)
+}
+
+// WriteGraphCompressed materializes g as a compressed CSR v3 file
+// partitioned for p machines: a raw v2 twin is written to a temp file next
+// to path and compressed through CompressFile, preserving WriteGraph's
+// bit-identity contract (per-row neighbor order survives the codec round
+// trip exactly).
+func WriteGraphCompressed(path string, g *graph.Graph, p int) error {
+	tmp, err := rawTemp(path)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) //nolint:errcheck
+	if err := WriteGraph(tmp, g, p); err != nil {
+		return err
+	}
+	return CompressFile(path, tmp)
+}
+
+// rawTemp creates an empty temp file next to path for the raw intermediate.
+func rawTemp(path string) (string, error) {
+	dir := filepath.Dir(path)
+	tf, err := os.CreateTemp(dir, ".pgxd-raw-*.csr2")
+	if err != nil {
+		return "", err
+	}
+	name := tf.Name()
+	tf.Close() //nolint:errcheck
+	return name, nil
+}

@@ -42,19 +42,61 @@ import (
 	"fmt"
 )
 
-// Magic identifies a CSR v2 file.
+// Magic identifies a CSR store file (versions 2 and 3 share it).
 const Magic = "PGXDCSR2"
 
-// Version is the current format version.
+// Version is the raw (uncompressed) format version.
 const Version = 2
+
+// Version3 is the compressed-edge format version. A v3 file carries the
+// same prelude and starts array as v2, but each machine's edge sections are
+// delta-varint block blobs (see the compressed layout note below) and the
+// section table fields are reinterpreted: outBlobOff, outBlobLen,
+// outWeightsOff, inBlobOff, inBlobLen, inWeightsOff. Weights stay raw f64
+// arrays — they are incompressible noise and keeping them flat preserves the
+// zero-copy mmap view kernels index absolutely.
+const Version3 = 3
 
 // Format flags.
 const (
 	// FlagWeighted marks files carrying per-edge float64 weights.
 	FlagWeighted uint32 = 1 << 0
+	// FlagCompressedEdges marks files whose edge sections are codec-encoded
+	// block blobs (version 3). The flag and the version field must agree.
+	FlagCompressedEdges uint32 = 1 << 1
 
-	knownFlags = FlagWeighted
+	knownFlags = FlagWeighted | FlagCompressedEdges
 )
+
+// Compressed blob layout (one per machine per orientation, 8-aligned):
+//
+//	u64 rowBytes      exact compRows content length
+//	u64 blockCount    number of edge blocks
+//	u64 refBytes      exact compRefs content length
+//	compRows          numLocal uvarint degrees (the deltas of the prefix-sum
+//	                  row array), zero-padded to 8-byte alignment
+//	blockIndex        (blockCount+1) x {u64 firstRow, u64 byteOff}: block b
+//	                  covers rows [firstRow[b], firstRow[b+1]) and bytes
+//	                  [byteOff[b], byteOff[b+1]) of compRefs; the last entry
+//	                  is the {numLocal, refBytes} sentinel
+//	compRefs          per-row zigzag-delta varints of global neighbor ids
+//	                  (prev resets to 0 at each row start — rows keep edge
+//	                  insertion order, so gaps are signed), zero-padded to
+//	                  8-byte alignment
+//
+// Every block holds whole rows and at least one edge; a hub row larger than
+// the target becomes one oversized block. blockCount is 0 iff the section
+// has no edges.
+const (
+	v3BlobHeaderBytes = 24
+	// v3BlockTargetEdges is the writer's decoded-block granularity: 8192
+	// edges = 64 KiB of decoded refs, the unit the decode cache pins and
+	// evicts.
+	v3BlockTargetEdges = 8192
+)
+
+// pad8 rounds n up to a multiple of 8.
+func pad8(n int64) int64 { return (n + 7) &^ 7 }
 
 const (
 	headerFixedBytes = 40 // magic + version + flags + n + m + p
@@ -62,8 +104,9 @@ const (
 	maxMachines      = 1 << 15
 )
 
-// header is the decoded fixed-size prelude of a CSR v2 file.
+// header is the decoded fixed-size prelude of a CSR store file.
 type header struct {
+	version  uint32
 	flags    uint32
 	numNodes uint64
 	numEdges uint64
@@ -100,16 +143,21 @@ func parseHeader(data []byte) (header, error) {
 	if string(data[:8]) != Magic {
 		return header{}, fmt.Errorf("store: bad magic %q (want %q)", data[:8], Magic)
 	}
-	if v := leU32(data[8:]); v != Version {
-		return header{}, fmt.Errorf("store: unsupported format version %d (want %d)", v, Version)
+	v := leU32(data[8:])
+	if v != Version && v != Version3 {
+		return header{}, fmt.Errorf("store: unsupported format version %d (want %d or %d)", v, Version, Version3)
 	}
 	h := header{
+		version:  v,
 		flags:    leU32(data[12:]),
 		numNodes: leU64(data[16:]),
 		numEdges: leU64(data[24:]),
 	}
 	if h.flags&^knownFlags != 0 {
 		return header{}, fmt.Errorf("store: unknown flag bits %#x", h.flags&^knownFlags)
+	}
+	if compressed := h.flags&FlagCompressedEdges != 0; compressed != (v == Version3) {
+		return header{}, fmt.Errorf("store: version %d with compressed-edges flag %v — version and flag must agree", v, compressed)
 	}
 	p := leU64(data[32:])
 	if p < 1 || p > maxMachines {

@@ -31,6 +31,24 @@ func mapRW(f *os.File, size int64) ([]byte, func() error, error) {
 	return data, func() error { return syscall.Munmap(data) }, nil
 }
 
+// anonAlloc allocates a zeroed, page-aligned region outside the Go heap via
+// an anonymous private mapping. Decode arenas and off-heap property columns
+// live here: the address space is reserved up front but pages materialize
+// only when written, and MADV_DONTNEED returns them to the kernel (reading
+// the range afterwards yields zeros). The returned free func unmaps; the
+// slice must not be used after.
+func anonAlloc(size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(-1, 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
 // Advice values for advise.
 const (
 	advNormal     = syscall.MADV_NORMAL

@@ -28,6 +28,15 @@ func mapRW(f *os.File, size int64) ([]byte, func() error, error) {
 	}, nil
 }
 
+// anonAlloc falls back to a heap allocation: no page-granular release, but
+// decode-cache bookkeeping (and correctness) is identical.
+func anonAlloc(size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, func() error { return nil }, nil
+	}
+	return make([]byte, size), func() error { return nil }, nil
+}
+
 const (
 	advNormal     = 0
 	advSequential = 1

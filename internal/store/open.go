@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"os"
+	"sync"
 	"unsafe"
 
 	"repro/internal/partition"
@@ -32,6 +33,13 @@ type File struct {
 	secs     []Section
 	degMass  []int64
 	pageSize int64
+
+	// v3 holds the compressed-section metadata (version 3 files only); for
+	// such files the Section views carry rows and weights but nil refs — the
+	// decode cache serves refs from its arenas instead.
+	v3      []v3Sec
+	cacheMu sync.Mutex
+	cache   *DecodeCache
 }
 
 // Open maps path and validates it: header, partition starts, section table,
@@ -82,6 +90,9 @@ func (sf *File) validate() error {
 		if sf.starts[i] < sf.starts[i-1] {
 			return fmt.Errorf("store: starts not monotone at machine %d", i)
 		}
+	}
+	if hdr.version == Version3 {
+		return sf.validateV3()
 	}
 
 	size := int64(len(sf.data))
@@ -199,8 +210,20 @@ func (sf *File) checkRefs(refs []int64, mach int) error {
 	return nil
 }
 
-// Close unmaps the file. Section views must not be used afterwards.
+// f64View returns a float64 slice aliasing count values at byte offset off.
+func f64View(data []byte, off, count int64) []float64 {
+	return unsafe.Slice((*float64)(unsafe.Pointer(&data[off])), count)
+}
+
+// Close unmaps the file (and frees the decode cache's arenas, if one was
+// created). Section views and cache refs must not be used afterwards.
 func (sf *File) Close() error {
+	sf.cacheMu.Lock()
+	if sf.cache != nil {
+		sf.cache.free()
+		sf.cache = nil
+	}
+	sf.cacheMu.Unlock()
 	if sf.unmap == nil {
 		return nil
 	}
@@ -208,6 +231,7 @@ func (sf *File) Close() error {
 	sf.unmap = nil
 	sf.data = nil
 	sf.secs = nil
+	sf.v3 = nil
 	return u()
 }
 
@@ -225,6 +249,11 @@ func (sf *File) NumMachines() int { return sf.hdr.p }
 
 // Weighted reports whether the file carries edge weights.
 func (sf *File) Weighted() bool { return sf.hdr.flags&FlagWeighted != 0 }
+
+// Compressed reports whether the file's edge sections are codec-encoded
+// (version 3). Compressed files serve refs through a DecodeCache; their
+// Section views carry rows and weights but nil refs.
+func (sf *File) Compressed() bool { return sf.hdr.version == Version3 }
 
 // Layout returns the ownership layout stored in the file.
 func (sf *File) Layout() partition.Layout {

@@ -25,6 +25,18 @@ type Residency struct {
 
 	used int64
 	ring []resSpan
+
+	// Advise accounting (see Stats): bytes advised in by Touch calls and
+	// bytes advised out by budget eviction, page-rounded, lifetime totals.
+	touchedBytes int64
+	evictedBytes int64
+}
+
+// ResidencyStats is a point-in-time snapshot of the window's advise
+// counters.
+type ResidencyStats struct {
+	TouchedBytes int64
+	EvictedBytes int64
 }
 
 type resSpan struct{ off, length int64 }
@@ -62,6 +74,24 @@ func (r *Residency) TouchF64(s []float64, lo, hi int64) {
 	r.touch(uintptr(unsafe.Pointer(&s[lo])), 8*(hi-lo))
 }
 
+// TouchBytes is TouchI64 for raw byte views (compressed section blobs).
+func (r *Residency) TouchBytes(s []byte, lo, hi int64) {
+	if r == nil || hi <= lo || len(s) == 0 {
+		return
+	}
+	r.touch(uintptr(unsafe.Pointer(&s[lo])), hi-lo)
+}
+
+// Stats snapshots the window's advise counters. Nil-safe.
+func (r *Residency) Stats() ResidencyStats {
+	if r == nil {
+		return ResidencyStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ResidencyStats{TouchedBytes: r.touchedBytes, EvictedBytes: r.evictedBytes}
+}
+
 func (r *Residency) touch(ptr uintptr, length int64) {
 	if ptr < r.base || ptr >= r.base+uintptr(len(r.data)) {
 		return
@@ -81,6 +111,7 @@ func (r *Residency) touch(ptr uintptr, length int64) {
 	defer r.mu.Unlock()
 	advise(r.data[aOff:aEnd], advWillNeed)
 	r.used += aEnd - aOff
+	r.touchedBytes += aEnd - aOff
 	r.ring = append(r.ring, resSpan{off: aOff, length: aEnd - aOff})
 	// Evict oldest spans beyond the budget, always keeping the span just
 	// touched. Overlapping spans double-count and double-evict; both err
@@ -89,6 +120,7 @@ func (r *Residency) touch(ptr uintptr, length int64) {
 		old := r.ring[0]
 		r.ring = r.ring[1:]
 		r.used -= old.length
+		r.evictedBytes += old.length
 		advise(r.data[old.off:old.off+old.length], advDontNeed)
 	}
 }

@@ -126,7 +126,7 @@ func TestSizeOfMatchesFile(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := SizeOf(g.NumNodes(), g.NumEdges(), 4, weighted).FileBytes; got != st.Size() {
+		if got := SizeOf(g.NumNodes(), g.NumEdges(), 4, weighted, 3).FileBytes; got != st.Size() {
 			t.Fatalf("weighted=%v: SizeOf %d, file %d", weighted, got, st.Size())
 		}
 	}

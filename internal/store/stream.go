@@ -29,6 +29,11 @@ type StreamOptions struct {
 	// Smaller buckets mean more stream sweeps but a lower peak RSS. Default
 	// 64 MiB.
 	BucketBytes int64
+	// Compress emits a compressed (v3) file: the raw v2 file streams to a
+	// temp next to path, compresses through CompressFile's sequential
+	// O(nodes + block) pass, and the temp is removed. Peak memory stays
+	// O(nodes + bucket).
+	Compress bool
 }
 
 // WriteStream emits a CSR v2 file from an edge stream without ever
@@ -46,6 +51,19 @@ type StreamOptions struct {
 //     builder uses — so the streamed file is byte-identical to
 //     WriteGraph of the same graph.
 func WriteStream(path string, es EdgeStream, opt StreamOptions) error {
+	if opt.Compress {
+		tmp, err := rawTemp(path)
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp) //nolint:errcheck
+		raw := opt
+		raw.Compress = false
+		if err := WriteStream(tmp, es, raw); err != nil {
+			return err
+		}
+		return CompressFile(path, tmp)
+	}
 	n := es.NumNodes()
 	if n <= 0 {
 		return fmt.Errorf("store: stream has no nodes")

@@ -1,0 +1,288 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/codec"
+)
+
+// Orientation indices into a compressed section, used by DecodeCache claims.
+const (
+	OrientOut = 0
+	OrientIn  = 1
+)
+
+// v3Orient is one machine's decoded metadata for one orientation of a
+// compressed (version 3) file: heap row prefix sums, the block index, and a
+// view of the compressed refs blob. The refs themselves are never
+// materialized here — the DecodeCache inflates blocks on demand into an
+// anonymous arena.
+type v3Orient struct {
+	rows     []int64 // numLocal+1 prefix sums, decoded from compRows
+	firstRow []int64 // blockCount+1 entries; firstRow[blockCount] == numLocal
+	offs     []int64 // blockCount+1 byte offsets into comp; last == len(comp)
+	comp     []byte  // compRefs view, aliasing the mapping
+	weights  []float64
+	edges    int64
+}
+
+type v3Sec struct{ o [2]v3Orient }
+
+// validateV3 checks a version-3 file the way validate checks v2: sequential
+// monotone offsets, aligned arrays, and a full strict decode of every block
+// — torn, overlong, trailing, or out-of-range block bytes are rejected at
+// Open, exactly like the wire codec rejects corrupt frames, so the runtime
+// decode path never meets a byte the validator has not already accepted.
+func (sf *File) validateV3() error {
+	hdr := sf.hdr
+	p := hdr.p
+	size := int64(len(sf.data))
+	tbl := tableOffset(p)
+	next := dataOffset(p)
+	weighted := hdr.flags&FlagWeighted != 0
+	sf.v3 = make([]v3Sec, p)
+	sf.secs = make([]Section, p)
+	sf.degMass = make([]int64, p)
+	var sumOut, sumIn int64
+	var scratch []int64
+	advise(sf.data, advSequential)
+	for mach := 0; mach < p; mach++ {
+		numLocal := int64(sf.starts[mach+1] - sf.starts[mach])
+		field := func(i int) int64 { return int64(leU64(sf.data[tbl+int64(8*(secFieldCount*mach+i)):])) }
+
+		takeWeights := func(name string, off, count int64) ([]float64, error) {
+			if off != next {
+				return nil, fmt.Errorf("store: machine %d %s at offset %d, expected %d", mach, name, off, next)
+			}
+			if off%8 != 0 {
+				return nil, fmt.Errorf("store: machine %d %s offset %d not 8-byte aligned", mach, name, off)
+			}
+			end := off + 8*count
+			if end < off || end > size {
+				return nil, fmt.Errorf("store: machine %d %s [%d, %d) exceeds file size %d (truncated?)", mach, name, off, end, size)
+			}
+			next = end
+			if count == 0 {
+				return nil, nil
+			}
+			return f64View(sf.data, off, count), nil
+		}
+
+		for orient := 0; orient < 2; orient++ {
+			blobField, wField, oName := 0, 2, "out"
+			if orient == OrientIn {
+				blobField, wField, oName = 3, 5, "in"
+			}
+			o := &sf.v3[mach].o[orient]
+			var err error
+			scratch, err = sf.parseV3Blob(o, mach, orient, numLocal, field(blobField), field(blobField+1), &next, scratch)
+			if err != nil {
+				return err
+			}
+			if weighted {
+				if o.weights, err = takeWeights(oName+" weights", field(wField), o.edges); err != nil {
+					return err
+				}
+			} else if field(wField) != 0 {
+				return fmt.Errorf("store: machine %d has a weight offset in an unweighted file", mach)
+			}
+		}
+
+		out, in := &sf.v3[mach].o[OrientOut], &sf.v3[mach].o[OrientIn]
+		sumOut += out.edges
+		sumIn += in.edges
+		sf.degMass[mach] = out.edges + in.edges
+		sf.secs[mach] = Section{
+			OutRows: out.rows, OutWeights: out.weights,
+			InRows: in.rows, InWeights: in.weights,
+		}
+	}
+	if sumOut != int64(hdr.numEdges) || sumIn != int64(hdr.numEdges) {
+		return fmt.Errorf("store: section edge counts (out=%d in=%d) disagree with header (%d)", sumOut, sumIn, hdr.numEdges)
+	}
+	if next != size {
+		return fmt.Errorf("store: %d trailing bytes after last section", size-next)
+	}
+	return nil
+}
+
+// parseV3Blob validates one orientation blob at offset off and fills o.
+// scratch is threaded through for block-decode reuse.
+func (sf *File) parseV3Blob(o *v3Orient, mach, orient int, numLocal, off, blobLen int64, next *int64, scratch []int64) ([]int64, error) {
+	size := int64(len(sf.data))
+	bad := func(format string, args ...any) ([]int64, error) {
+		return scratch, fmt.Errorf("store: machine %d orient %d blob: %s", mach, orient, fmt.Sprintf(format, args...))
+	}
+	if off != *next {
+		return bad("at offset %d, expected %d", off, *next)
+	}
+	if off%8 != 0 {
+		return bad("offset %d not 8-byte aligned", off)
+	}
+	end := off + blobLen
+	if blobLen < v3BlobHeaderBytes || end < off || end > size {
+		return bad("[%d, %d) exceeds file size %d (truncated?)", off, end, size)
+	}
+	rowBytes := int64(leU64(sf.data[off:]))
+	blockCount := int64(leU64(sf.data[off+8:]))
+	refBytes := int64(leU64(sf.data[off+16:]))
+	if rowBytes < 0 || refBytes < 0 || blockCount < 0 ||
+		rowBytes > blobLen || refBytes > blobLen || blockCount > blobLen {
+		return bad("implausible sub-header (rowBytes=%d blocks=%d refBytes=%d)", rowBytes, blockCount, refBytes)
+	}
+	if want := v3BlobHeaderBytes + pad8(rowBytes) + 16*(blockCount+1) + pad8(refBytes); want != blobLen {
+		return bad("length %d disagrees with sub-header (want %d)", blobLen, want)
+	}
+
+	// compRows: numLocal strictly canonical uvarint degrees.
+	rowStart := off + v3BlobHeaderBytes
+	rowBlob := sf.data[rowStart : rowStart+rowBytes]
+	o.rows = make([]int64, numLocal+1)
+	consumed := 0
+	for u := int64(0); u < numLocal; u++ {
+		d, k := codec.Uvarint(rowBlob[consumed:])
+		if k <= 0 {
+			return bad("corrupt degree varint at row %d", u)
+		}
+		consumed += k
+		o.rows[u+1] = o.rows[u] + int64(d)
+		if o.rows[u+1] < o.rows[u] {
+			return bad("degree overflow at row %d", u)
+		}
+	}
+	if int64(consumed) != rowBytes {
+		return bad("%d trailing compRows bytes", rowBytes-int64(consumed))
+	}
+	for _, b := range sf.data[rowStart+rowBytes : rowStart+pad8(rowBytes)] {
+		if b != 0 {
+			return bad("non-zero compRows padding")
+		}
+	}
+	o.edges = o.rows[numLocal]
+
+	// Block index.
+	idxStart := rowStart + pad8(rowBytes)
+	o.firstRow = make([]int64, blockCount+1)
+	o.offs = make([]int64, blockCount+1)
+	for b := int64(0); b <= blockCount; b++ {
+		o.firstRow[b] = int64(leU64(sf.data[idxStart+16*b:]))
+		o.offs[b] = int64(leU64(sf.data[idxStart+16*b+8:]))
+	}
+	if o.firstRow[blockCount] != numLocal || o.offs[blockCount] != refBytes {
+		return bad("block index sentinel {%d, %d}, want {%d, %d}",
+			o.firstRow[blockCount], o.offs[blockCount], numLocal, refBytes)
+	}
+	if o.edges == 0 {
+		if blockCount != 0 || refBytes != 0 {
+			return bad("edgeless section with %d blocks, %d ref bytes", blockCount, refBytes)
+		}
+	} else {
+		if blockCount == 0 {
+			return bad("%d edges but no blocks", o.edges)
+		}
+		if o.firstRow[0] != 0 || o.offs[0] != 0 {
+			return bad("first block starts at {row %d, byte %d}, want {0, 0}", o.firstRow[0], o.offs[0])
+		}
+	}
+	for b := int64(1); b <= blockCount; b++ {
+		if o.firstRow[b] <= o.firstRow[b-1] || o.offs[b] <= o.offs[b-1] {
+			return bad("block index not strictly increasing at block %d", b)
+		}
+	}
+
+	// compRefs: strictly decode every block (ids canonical and in range,
+	// exact byte consumption per block).
+	compStart := idxStart + 16*(blockCount+1)
+	o.comp = sf.data[compStart : compStart+refBytes]
+	for _, b := range sf.data[compStart+refBytes : compStart+pad8(refBytes)] {
+		if b != 0 {
+			return bad("non-zero compRefs padding")
+		}
+	}
+	var err error
+	for b := 0; b < int(blockCount); b++ {
+		if scratch, err = sf.decodeV3Block(mach, orient, b, nil, scratch); err != nil {
+			return scratch, err
+		}
+	}
+	*next = end
+	return scratch, nil
+}
+
+// decodeV3Block strictly decodes block b of (mach, orient). With refs non-nil
+// (the decode cache's arena view, indexed absolutely by o.rows), decoded
+// global ids are converted to the engine's ref encoding in place; with refs
+// nil the block is validated only, using scratch as the throwaway buffer.
+// Every path enforces canonical varints, ids in [0, numNodes), and exact
+// consumption of the block's byte range.
+func (sf *File) decodeV3Block(mach, orient, b int, refs []int64, scratch []int64) ([]int64, error) {
+	o := &sf.v3[mach].o[orient]
+	rlo, rhi := o.firstRow[b], o.firstRow[b+1]
+	comp := o.comp[o.offs[b]:o.offs[b+1]]
+	n := int64(sf.hdr.numNodes)
+	lo, hi := int64(sf.starts[mach]), int64(sf.starts[mach+1])
+	off := 0
+	for u := rlo; u < rhi; u++ {
+		cnt := int(o.rows[u+1] - o.rows[u])
+		if cnt == 0 {
+			continue
+		}
+		var dst []int64
+		if refs != nil {
+			s := o.rows[u]
+			dst = refs[s:s:o.rows[u+1]]
+		} else {
+			if cap(scratch) < cnt {
+				scratch = make([]int64, 0, cnt)
+			}
+			dst = scratch[:0]
+		}
+		vals, k, ok := codec.DecodeZigZagDeltaRow(comp[off:], cnt, n, dst)
+		if !ok {
+			return scratch, fmt.Errorf("store: machine %d orient %d block %d row %d: corrupt compressed row", mach, orient, b, u)
+		}
+		off += k
+		if refs != nil {
+			for i, v := range vals {
+				vals[i] = sf.refFromGlobal(v, lo, hi)
+			}
+		} else {
+			scratch = vals[:0]
+		}
+	}
+	if off != len(comp) {
+		return scratch, fmt.Errorf("store: machine %d orient %d block %d: %d trailing block bytes", mach, orient, b, len(comp)-off)
+	}
+	return scratch, nil
+}
+
+// refFromGlobal converts a global node id to machine [lo, hi)'s ref
+// encoding: owned ids become local indices, everything else a packed remote
+// (machine, offset). The id was range-checked by the block decoder, so the
+// owner search always lands.
+func (sf *File) refFromGlobal(v, lo, hi int64) int64 {
+	if v >= lo && v < hi {
+		return v - lo
+	}
+	owner := sort.Search(sf.hdr.p, func(i int) bool { return int64(sf.starts[i+1]) > v })
+	return packRemoteRef(owner, uint32(v)-sf.starts[owner])
+}
+
+// blockRange returns the half-open block index range covering rows
+// [rowLo, rowHi) of (mach, orient); empty when the row span carries no edges.
+func (sf *File) blockRange(mach, orient int, rowLo, rowHi int64) (int, int) {
+	o := &sf.v3[mach].o[orient]
+	nb := len(o.firstRow) - 1
+	if nb == 0 || rowLo >= rowHi || o.rows[rowHi]-o.rows[rowLo] == 0 {
+		return 0, 0
+	}
+	// First block whose row range extends past rowLo.
+	blo := sort.Search(nb, func(b int) bool { return o.firstRow[b+1] > rowLo })
+	// First block starting at or past rowHi.
+	bhi := sort.Search(nb, func(b int) bool { return o.firstRow[b] >= rowHi })
+	if bhi < blo {
+		bhi = blo
+	}
+	return blo, bhi
+}

@@ -1,0 +1,325 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// openPair writes the same graph raw and compressed and opens both.
+func openPair(t *testing.T, g *graph.Graph, p int) (raw, comp *File) {
+	t.Helper()
+	dir := t.TempDir()
+	rawPath := filepath.Join(dir, "g.csr2")
+	compPath := filepath.Join(dir, "g.csr3")
+	if err := WriteGraph(rawPath, g, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteGraphCompressed(compPath, g, p); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	if raw, err = Open(rawPath); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { raw.Close() })
+	if comp, err = Open(compPath); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { comp.Close() })
+	return raw, comp
+}
+
+// TestCompressedRoundTrip: decoding every block of a compressed file must
+// reproduce the raw file's refs bit-for-bit — same values, same per-row
+// order — with rows and weights identical too.
+func TestCompressedRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		name := "unweighted"
+		if weighted {
+			name = "weighted"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := testGraph(t, weighted)
+			raw, comp := openPair(t, g, 3)
+			if !comp.Compressed() || raw.Compressed() {
+				t.Fatal("Compressed() flags wrong")
+			}
+			if comp.Weighted() != weighted {
+				t.Fatalf("weighted = %v, want %v", comp.Weighted(), weighted)
+			}
+			dc, err := comp.EnsureDecodeCache(0) // unbounded
+			if err != nil {
+				t.Fatal(err)
+			}
+			for mach := 0; mach < 3; mach++ {
+				rs, cs := raw.Section(mach), comp.Section(mach)
+				if cs.OutRefs != nil || cs.InRefs != nil {
+					t.Fatal("compressed section exposes raw refs")
+				}
+				for orient := 0; orient < 2; orient++ {
+					wantRows, wantRefs, wantW := rs.OutRows, rs.OutRefs, rs.OutWeights
+					rows, w := cs.OutRows, cs.OutWeights
+					if orient == OrientIn {
+						wantRows, wantRefs, wantW = rs.InRows, rs.InRefs, rs.InWeights
+						rows, w = cs.InRows, cs.InWeights
+					}
+					numLocal := int64(len(rows)) - 1
+					for u := int64(0); u <= numLocal; u++ {
+						if rows[u] != wantRows[u] {
+							t.Fatalf("machine %d orient %d rows[%d] = %d, want %d", mach, orient, u, rows[u], wantRows[u])
+						}
+					}
+					tok, err := dc.Pin(mach, orient, 0, numLocal)
+					if err != nil {
+						t.Fatal(err)
+					}
+					refs := dc.Refs(mach, orient)
+					if len(refs) != len(wantRefs) {
+						t.Fatalf("machine %d orient %d: %d refs, want %d", mach, orient, len(refs), len(wantRefs))
+					}
+					for i := range refs {
+						if refs[i] != wantRefs[i] {
+							t.Fatalf("machine %d orient %d ref %d = %d, want %d", mach, orient, i, refs[i], wantRefs[i])
+						}
+					}
+					for i := range w {
+						if w[i] != wantW[i] {
+							t.Fatalf("machine %d orient %d weight %d mismatch", mach, orient, i)
+						}
+					}
+					tok.Release()
+				}
+			}
+			if st := dc.Stats(); st.PinnedBlocks != 0 {
+				t.Fatalf("%d blocks still pinned after release", st.PinnedBlocks)
+			}
+		})
+	}
+}
+
+// TestCompressedStreamMatchesMaterialized: the streaming writer's compressed
+// output must be byte-identical to compressing the materialized graph.
+func TestCompressedStreamMatchesMaterialized(t *testing.T) {
+	g, err := graph.RMAT(8, 8, graph.TwitterLike(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := mustStream(graph.RMATStream(8, 8, graph.TwitterLike(), 42))
+	dir := t.TempDir()
+	memPath := filepath.Join(dir, "mem.csr3")
+	streamPath := filepath.Join(dir, "stream.csr3")
+	if err := WriteGraphCompressed(memPath, g, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteStream(streamPath, es, StreamOptions{Machines: 3, BucketBytes: 1 << 12, Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(memPath)
+	b, _ := os.ReadFile(streamPath)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("streamed compressed file differs from materialized (%d vs %d bytes)", len(b), len(a))
+	}
+	// No raw temp left behind.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".pgxd-raw-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestCompressedSmaller asserts the headline ratio on an unweighted RMAT:
+// even at tiny scale the refs+rows encoding must beat raw by >= 1.8x overall.
+func TestCompressedSmaller(t *testing.T) {
+	g, err := graph.RMAT(10, 8, graph.TwitterLike(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, comp := openPair(t, g, 4)
+	ratio := float64(raw.FileBytes()) / float64(comp.FileBytes())
+	if ratio < 1.8 {
+		t.Fatalf("compression ratio %.2fx (raw %d, compressed %d), want >= 1.8x",
+			ratio, raw.FileBytes(), comp.FileBytes())
+	}
+	// The sizing estimate must bracket sanely: estimated compressed size is
+	// an upper-bound-leaning guess but still below raw.
+	s := SizeOf(g.NumNodes(), g.NumEdges(), 4, false, 3)
+	if s.CompressedFileBytes >= s.FileBytes {
+		t.Fatalf("estimated compressed %d not below raw %d", s.CompressedFileBytes, s.FileBytes)
+	}
+	if s.DecodeCacheBytes <= 0 {
+		t.Fatal("no decode-cache term in sizing")
+	}
+	if got := comp.Sizing(3).CompressedFileBytes; got != comp.FileBytes() {
+		t.Fatalf("open-file sizing %d, want exact %d", got, comp.FileBytes())
+	}
+}
+
+// TestCompressedRejectsCorruption mutates a valid v3 file the way the v2
+// corruption suite does: every torn, overlong, disagreeing, or non-canonical
+// encoding must be rejected at Open.
+func TestCompressedRejectsCorruption(t *testing.T) {
+	g := testGraph(t, false)
+	path := filepath.Join(t.TempDir(), "g.csr3")
+	if err := WriteGraphCompressed(path, g, 2); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate machine 0's out blob from the section table.
+	tbl := tableOffset(2)
+	blobOff := int64(leU64(orig[tbl:]))
+	rowBytes := int64(leU64(orig[blobOff:]))
+	blockCount := int64(leU64(orig[blobOff+8:]))
+	refBytes := int64(leU64(orig[blobOff+16:]))
+	idxOff := blobOff + v3BlobHeaderBytes + pad8(rowBytes)
+	compOff := idxOff + 16*(blockCount+1)
+
+	mutate := func(fn func(d []byte)) []byte {
+		d := append([]byte(nil), orig...)
+		fn(d)
+		return d
+	}
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string
+	}{
+		{"v3 without flag", mutate(func(d []byte) { putU32(d[12:], 0) }), "must agree"},
+		{"v2 with flag", mutate(func(d []byte) { putU32(d[8:], Version) }), "must agree"},
+		{"sub-header disagrees", mutate(func(d []byte) { putU64(d[blobOff:], uint64(rowBytes+8)) }), "disagrees"},
+		{"torn degree varint", mutate(func(d []byte) { d[blobOff+v3BlobHeaderBytes] = 0x80 }), "store:"},
+		{"torn compressed row", mutate(func(d []byte) { d[compOff+refBytes-1] |= 0x80 }), "store:"},
+		{"bad sentinel row", mutate(func(d []byte) {
+			s := int64(leU64(d[idxOff+16*blockCount:]))
+			putU64(d[idxOff+16*blockCount:], uint64(s+1))
+		}), "sentinel"},
+		{"first block not zero", mutate(func(d []byte) { putU64(d[idxOff+8:], 1) }), "store:"},
+		{"trailing bytes", append(append([]byte(nil), orig...), 0, 0, 0, 0, 0, 0, 0, 0), "trailing"},
+		{"truncated", orig[:len(orig)-8], "store:"},
+	}
+	if pad8(refBytes) > refBytes {
+		cases = append(cases, struct {
+			name    string
+			data    []byte
+			wantSub string
+		}{"non-zero padding", mutate(func(d []byte) { d[compOff+refBytes] = 1 }), "padding"})
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := reopen(t, path, tc.data)
+			if err == nil {
+				t.Fatal("Open accepted a corrupt compressed file")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+	if err := reopen(t, path, orig); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+}
+
+// TestDecodeCacheEviction drives a multi-block section through a one-block
+// budget: every re-pin after eviction must re-decode to the same bits, stats
+// must track hits/misses/evictions, and pins must block eviction.
+func TestDecodeCacheEviction(t *testing.T) {
+	g, err := graph.Uniform(512, 80000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, comp := openPair(t, g, 2)
+	dc, err := comp.EnsureDecodeCache(64 << 10) // 8192 ids: ~one block
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, err := comp.EnsureDecodeCache(1 << 30); err != nil || again != dc {
+		t.Fatal("EnsureDecodeCache is not a singleton")
+	}
+	if _, err := raw.EnsureDecodeCache(0); err == nil {
+		t.Fatal("EnsureDecodeCache accepted a raw file")
+	}
+
+	sec := raw.Section(0)
+	rows := comp.Section(0).OutRows
+	numLocal := int64(len(rows)) - 1
+	if nb := len(comp.v3[0].o[OrientOut].firstRow) - 1; nb < 3 {
+		t.Fatalf("test graph yields %d blocks, want >= 3 for eviction churn", nb)
+	}
+	check := func(lo, hi int64) {
+		tok, err := dc.Pin(0, OrientOut, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tok.Release()
+		refs := dc.Refs(0, OrientOut)
+		for e := rows[lo]; e < rows[hi]; e++ {
+			if refs[e] != sec.OutRefs[e] {
+				t.Fatalf("ref %d = %d, want %d", e, refs[e], sec.OutRefs[e])
+			}
+		}
+	}
+	// Two passes over row windows: the second pass re-decodes what the
+	// budget evicted during the first.
+	step := numLocal / 8
+	for pass := 0; pass < 2; pass++ {
+		for lo := int64(0); lo < numLocal; lo += step {
+			hi := lo + step
+			if hi > numLocal {
+				hi = numLocal
+			}
+			check(lo, hi)
+		}
+	}
+	st := dc.Stats()
+	if st.Misses == 0 || st.EvictedBytes == 0 {
+		t.Fatalf("no eviction churn: %+v", st)
+	}
+	if st.DecodedBytes <= st.EvictedBytes-st.UsedBytes {
+		t.Fatalf("implausible accounting: %+v", st)
+	}
+	if st.PinnedBlocks != 0 {
+		t.Fatalf("%d blocks pinned after release", st.PinnedBlocks)
+	}
+
+	// A held pin survives budget pressure: pin block 0's rows, churn the
+	// rest, and the pinned range must still read back correctly.
+	o := &comp.v3[0].o[OrientOut]
+	tok, err := dc.Pin(0, OrientOut, 0, o.firstRow[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := o.firstRow[1]; lo < numLocal; lo += step {
+		hi := lo + step
+		if hi > numLocal {
+			hi = numLocal
+		}
+		check(lo, hi)
+	}
+	refs := dc.Refs(0, OrientOut)
+	for e := rows[0]; e < rows[o.firstRow[1]]; e++ {
+		if refs[e] != sec.OutRefs[e] {
+			t.Fatalf("pinned ref %d lost: %d, want %d", e, refs[e], sec.OutRefs[e])
+		}
+	}
+	tok.Release()
+	tok.Release() // idempotent
+	if st := dc.Stats(); st.PinnedBlocks != 0 {
+		t.Fatalf("%d blocks pinned after idempotent release", st.PinnedBlocks)
+	}
+
+	// TouchCompressed is nil-safe and bounded.
+	dc.TouchCompressed(nil, 0, OrientOut, 0, numLocal)
+	res := comp.NewResidency(1 << 20)
+	dc.TouchCompressed(res, 0, OrientOut, 0, numLocal)
+	dc.TouchCompressed(res, 1, OrientIn, 0, 0)
+	res.Drop()
+}
